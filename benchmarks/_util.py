@@ -1,0 +1,43 @@
+"""Shared helpers for the experiment benches.
+
+Every bench runs at a "smoke" scale chosen so the whole harness finishes
+on one CPU core in minutes.  Set ``REPRO_SCALE=N`` (integer >= 1) to
+multiply training budgets for higher-fidelity curves; the qualitative
+shapes reported in EXPERIMENTS.md hold at scale 1.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def scale() -> int:
+    value = int(os.environ.get("REPRO_SCALE", "1"))
+    return max(value, 1)
+
+
+def fmt_table(headers: list[str], rows: list[list]) -> str:
+    """Plain-text aligned table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def banner(title: str) -> str:
+    line = "=" * len(title)
+    return f"\n{line}\n{title}\n{line}"

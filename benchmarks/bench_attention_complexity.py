@@ -1,0 +1,94 @@
+"""E12 — §6's complexity claims: parallel O(L^2) attention vs serial RNN.
+
+Two claims to reproduce:
+
+1. *Serial depth*: an RNN must perform L sequential state updates for a
+   window of length L, while the transformer's computation graph depth is
+   independent of L (its layers see all positions at once) — measured
+   here exactly, not by timing.
+2. *Total work*: the transformer's per-forward cost grows ~quadratically
+   in L (every position attends to every earlier position) while the
+   RNN's grows ~linearly — measured by wall-clock scaling exponents.
+"""
+
+import time
+
+import numpy as np
+
+from _util import banner, fmt_table, scale
+
+from repro.autograd import no_grad
+from repro.core import TransformerConfig, TransformerLM
+from repro.lm import RNNLM
+from repro.phenomenology import attention_flops, fit_power_law
+
+_LENGTHS = [32, 64, 128, 256, 512]
+_VOCAB = 32
+
+
+def _median_time(fn, repeats: int = 5) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def run(repeats: int = 5):
+    cfg = TransformerConfig(vocab_size=_VOCAB, max_seq_len=max(_LENGTHS),
+                            d_model=16, num_heads=4, num_layers=2)
+    transformer = TransformerLM(cfg, rng=0)
+    rnn = RNNLM(_VOCAB, embed_dim=16, hidden_dim=16, rng=0)
+    rows = []
+    tf_times, rnn_times = [], []
+    for length in _LENGTHS:
+        x = np.random.default_rng(0).integers(0, _VOCAB, size=(1, length))
+        with no_grad():
+            tf_t = _median_time(lambda: transformer.forward(x), repeats)
+            rnn_t = _median_time(lambda: rnn.forward(x), repeats)
+        tf_times.append(tf_t)
+        rnn_times.append(rnn_t)
+        rows.append([length, tf_t * 1e3, rnn_t * 1e3,
+                     2,  # transformer graph depth in blocks — constant
+                     rnn.sequential_steps(length),
+                     attention_flops(length, 16, 2)])
+    tf_fit = fit_power_law(_LENGTHS, tf_times)
+    rnn_fit = fit_power_law(_LENGTHS, rnn_times)
+    # fit_power_law models decay (L ~ x^-a); times grow, so negate.
+    return {"rows": rows, "tf_exponent": -tf_fit.exponent,
+            "rnn_exponent": -rnn_fit.exponent}
+
+
+def report(result) -> str:
+    lines = [banner("Attention vs recurrence — cost scaling with window L")]
+    lines.append(fmt_table(
+        ["L", "transformer ms", "RNN ms", "tf serial depth",
+         "RNN serial steps", "attention FLOPs (2DL^2p)"],
+        result["rows"],
+    ))
+    lines.append(f"wall-time scaling: transformer ~ L^{result['tf_exponent']:.2f} "
+                 f"(theory: -> 2), RNN ~ L^{result['rnn_exponent']:.2f} (theory: 1)")
+    lines.append("serial depth: transformer constant (parallelisable), RNN = L.")
+    return "\n".join(lines)
+
+
+def test_attention_complexity(benchmark):
+    result = benchmark.pedantic(run, kwargs={"repeats": 5 * scale()},
+                                rounds=1, iterations=1)
+    print(report(result))
+    rows = result["rows"]
+    # serial-depth claim is exact
+    assert all(row[3] == 2 for row in rows)
+    assert [row[4] for row in rows] == _LENGTHS
+    # total-work claim: transformer superlinear, RNN ~linear, and the
+    # transformer's growth exponent exceeds the RNN's
+    assert result["tf_exponent"] > 1.25
+    assert 0.5 < result["rnn_exponent"] < 1.45
+    assert result["tf_exponent"] > result["rnn_exponent"] + 0.15
+    # attention FLOPs column is exactly quadratic
+    assert rows[-1][5] / rows[0][5] == (rows[-1][0] / rows[0][0]) ** 2
+
+
+if __name__ == "__main__":
+    print(report(run()))

@@ -1,0 +1,84 @@
+"""E1 — Figure 1: chain-of-thought supervision on multi-step problems.
+
+Figure 1 shows Minerva solving a multi-step word problem by writing out
+intermediate steps.  The reproduced finding: at a fixed small model size,
+a transformer trained to emit each left-to-right intermediate result
+("Q3+4*2:7:=4") solves far more held-out multi-step problems than the
+same architecture trained to emit the answer directly ("Q3+4*2=4").
+"""
+
+import numpy as np
+
+from _util import banner, fmt_table, scale
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.data import PROBLEM_ALPHABET, CharTokenizer, math_word_problems
+from repro.train import train_lm_on_stream
+
+_NUM_OPS = 3          # three chained operations -> answer needs 3 sequential steps
+_SEQ_LEN = 24
+
+
+def _train_variant(chain_of_thought: bool, steps: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    problems = math_word_problems(rng, 3000, num_ops=_NUM_OPS,
+                                  chain_of_thought=chain_of_thought)
+    text = "".join(p.text for p in problems)
+    tok = CharTokenizer(PROBLEM_ALPHABET)
+    ids = np.array(tok.encode(text))
+    cfg = TransformerConfig(vocab_size=tok.vocab_size, max_seq_len=_SEQ_LEN,
+                            d_model=48, num_heads=4, num_layers=2)
+    model = TransformerLM(cfg, rng=seed)
+    train_lm_on_stream(model, ids, num_steps=steps, batch_size=16,
+                       seq_len=_SEQ_LEN, lr=3e-3, seed=seed)
+    return model, tok
+
+
+def _evaluate(model, tok, chain_of_thought: bool, num_problems: int = 80,
+              seed: int = 123) -> float:
+    rng = np.random.default_rng(seed)
+    problems = math_word_problems(rng, num_problems, num_ops=_NUM_OPS,
+                                  chain_of_thought=chain_of_thought)
+    newline = tok.vocab.token_to_id("\n")
+    correct = 0
+    for p in problems:
+        prompt = tok.encode(p.prompt)
+        out = model.generate(prompt, 14, greedy=True, stop_token=newline)
+        generated = tok.decode(out[len(prompt):]).rstrip("\n")
+        answer = generated.split("=")[-1] if "=" in generated else generated
+        correct += answer.strip() == str(p.answer)
+    return correct / num_problems
+
+
+def run(steps: int = 2500):
+    direct_model, tok = _train_variant(chain_of_thought=False, steps=steps)
+    cot_model, _ = _train_variant(chain_of_thought=True, steps=steps)
+    direct_acc = _evaluate(direct_model, tok, chain_of_thought=False)
+    cot_acc = _evaluate(cot_model, tok, chain_of_thought=True)
+    return {"direct": direct_acc, "cot": cot_acc, "steps": steps}
+
+
+def report(result) -> str:
+    lines = [banner("Figure 1 — chain-of-thought vs direct answering "
+                    f"({_NUM_OPS}-step problems, same architecture)")]
+    lines.append(fmt_table(
+        ["supervision", "held-out accuracy"],
+        [["direct answer", f"{result['direct']:.1%}"],
+         ["chain of thought", f"{result['cot']:.1%}"],
+         ["digit-guess floor", "10.0%"]],
+    ))
+    lines.append("paper shape: same architecture, same budget - the chain-trained "
+                 "model answers multi-step problems markedly better (Minerva analog).")
+    return "\n".join(lines)
+
+
+def test_fig1_chain_of_thought(benchmark):
+    result = benchmark.pedantic(run, kwargs={"steps": 2500 * scale()},
+                                rounds=1, iterations=1)
+    print(report(result))
+    assert result["cot"] > result["direct"] + 0.08
+    assert result["cot"] > 0.25
+
+
+if __name__ == "__main__":
+    print(report(run(steps=2500 * scale())))

@@ -1,0 +1,90 @@
+"""E2 — Figure 2: scaling laws for neural language models.
+
+Regenerates the three Kaplan-style series at laptop scale: held-out loss
+versus model size P (data fixed), dataset size D (architecture fixed),
+and training compute C = 6 P D_seen.  Straight lines on log-log axes —
+i.e. power-law fits with positive exponents — are the reproduced shape.
+"""
+
+import numpy as np
+
+from _util import banner, fmt_table, scale
+
+from repro.data import WordTokenizer, Corpus
+from repro.grammar import english_toy_pcfg, sample_treebank, treebank_text
+from repro.phenomenology import data_size_sweep, fit_power_law, model_size_sweep
+
+_ARCHS = [(8, 1, 2), (12, 1, 2), (16, 2, 2), (24, 2, 4), (40, 2, 4)]
+_TOKEN_COUNTS = [400, 800, 1600, 3200, 6400, 12800]
+
+
+def build_corpus(num_sentences: int = 2600, seed: int = 7) -> Corpus:
+    rng = np.random.default_rng(seed)
+    examples = sample_treebank(english_toy_pcfg(), num_sentences, rng,
+                               min_len=3, max_len=14)
+    text = treebank_text(examples)
+    tok = WordTokenizer(text)
+    return Corpus.from_ids(np.array(tok.encode(text)), tok.vocab_size,
+                           test_fraction=0.1)
+
+
+def run(steps: int = 250, seed: int = 0):
+    corpus = build_corpus()
+    model_points = model_size_sweep(corpus, _ARCHS, seq_len=32, steps=steps,
+                                    seed=seed)
+    data_points = data_size_sweep(corpus, _TOKEN_COUNTS,
+                                  architecture=(24, 2, 4), seq_len=32,
+                                  steps=steps, seed=seed)
+    p_fit = fit_power_law([pt.num_params for pt in model_points],
+                          [pt.test_loss for pt in model_points])
+    d_fit = fit_power_law([pt.num_tokens for pt in data_points],
+                          [pt.test_loss for pt in data_points])
+    c_fit = fit_power_law([pt.flops for pt in model_points],
+                          [pt.test_loss for pt in model_points])
+    return {
+        "model_points": model_points,
+        "data_points": data_points,
+        "alpha_P": p_fit.exponent, "r2_P": p_fit.r_squared,
+        "alpha_D": d_fit.exponent, "r2_D": d_fit.r_squared,
+        "alpha_C": c_fit.exponent, "r2_C": c_fit.r_squared,
+    }
+
+
+def report(result) -> str:
+    lines = [banner("Figure 2 — loss vs parameters (D fixed)")]
+    lines.append(fmt_table(
+        ["params P", "test loss", "flops"],
+        [[pt.num_params, pt.test_loss, pt.flops] for pt in result["model_points"]],
+    ))
+    lines.append(f"power-law fit: L ~ P^(-{result['alpha_P']:.3f})  "
+                 f"(log-log R^2 = {result['r2_P']:.3f})")
+    lines.append(banner("Figure 2 — loss vs dataset size (P fixed)"))
+    lines.append(fmt_table(
+        ["tokens D", "test loss"],
+        [[pt.num_tokens, pt.test_loss] for pt in result["data_points"]],
+    ))
+    lines.append(f"power-law fit: L ~ D^(-{result['alpha_D']:.3f})  "
+                 f"(log-log R^2 = {result['r2_D']:.3f})")
+    lines.append(f"compute series: L ~ C^(-{result['alpha_C']:.3f})  "
+                 f"(paper's exponents: 0.076-0.095 on web text)")
+    return "\n".join(lines)
+
+
+def test_fig2_scaling_laws(benchmark):
+    result = benchmark.pedantic(run, kwargs={"steps": 250 * scale()},
+                                rounds=1, iterations=1)
+    print(report(result))
+    # Reproduced shape: bigger P and bigger D both reduce held-out loss,
+    # following a reasonable power law.
+    model_losses = [pt.test_loss for pt in result["model_points"]]
+    data_losses = [pt.test_loss for pt in result["data_points"]]
+    assert model_losses[-1] < model_losses[0]
+    assert data_losses[-1] < data_losses[0]
+    assert result["alpha_P"] > 0
+    assert result["alpha_D"] > 0
+    assert result["r2_P"] > 0.6
+    assert result["r2_D"] > 0.6
+
+
+if __name__ == "__main__":
+    print(report(run(steps=250 * scale())))

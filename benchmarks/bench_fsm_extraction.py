@@ -1,0 +1,77 @@
+"""E17 — "realistic RNNs are finite state machines" (§5/§7 [26, 134]).
+
+The constructive version of the complexity-class claim: train an RNN to
+recognise Tomita regular languages, cluster its hidden states, read off a
+DFA, and measure (a) fidelity — how often the extracted automaton agrees
+with the network — and (b) language accuracy against the true grammar.
+High-fidelity extraction of a *small* automaton is direct evidence the
+network computes with finitely many effective states.
+"""
+
+import numpy as np
+
+from _util import banner, fmt_table, scale
+
+from repro.formal import (
+    RNNClassifier,
+    extract_and_evaluate,
+    sample_language_dataset,
+    tomita,
+)
+
+_LANGUAGES = [1, 4, 5, 6]  # graded difficulty; 5/6 need counting mod 2/3
+
+
+def run(epochs: int = 12, seed: int = 0):
+    rows = []
+    for index in _LANGUAGES:
+        dfa = tomita(index)
+        rng = np.random.default_rng(seed + index)
+        strings, labels = sample_language_dataset(dfa, rng, 140, max_len=10)
+        model = RNNClassifier(2, hidden_dim=16, rng=seed)
+        model.fit(strings, labels, epochs=epochs, lr=1e-2, seed=seed)
+        rnn_acc = model.accuracy(strings, labels)
+        eval_strings, _ = sample_language_dataset(
+            dfa, np.random.default_rng(seed + 100 + index), 60, max_len=10)
+        result = extract_and_evaluate(model, dfa, strings, eval_strings,
+                                      num_clusters=12, seed=seed)
+        rows.append([f"Tomita {index}", dfa.minimized().num_states,
+                     f"{rnn_acc:.2f}", result.dfa.num_states,
+                     f"{result.fidelity:.2f}",
+                     f"{result.language_accuracy:.2f}"])
+    return {"rows": rows}
+
+
+def report(result) -> str:
+    lines = [banner("RNN -> DFA extraction on the Tomita languages")]
+    lines.append(fmt_table(
+        ["language", "true DFA states", "RNN train acc",
+         "extracted states", "fidelity to RNN", "language acc"],
+        result["rows"],
+    ))
+    lines.append("high fidelity + few states = the trained network is, "
+                 "operationally, a finite state machine (§5's claim).")
+    lines.append("Tomita 6 (counting mod 3) is the documented hard case: the "
+                 "RNN learns it but its circular counter geometry resists "
+                 "naive cluster extraction — the motivation for the "
+                 "active-learning extraction methods of Weiss et al.")
+    return "\n".join(lines)
+
+
+def test_fsm_extraction(benchmark):
+    result = benchmark.pedantic(run, kwargs={"epochs": 12 * scale()},
+                                rounds=1, iterations=1)
+    print(report(result))
+    by_name = {row[0]: row for row in result["rows"]}
+    easy = ["Tomita 1", "Tomita 4", "Tomita 5"]
+    # the RNNs learn the languages...
+    assert np.mean([float(by_name[n][2]) for n in easy]) > 0.9
+    # ...and small automata reproduce most of their behaviour
+    fidelities = [float(by_name[n][4]) for n in easy]
+    assert min(fidelities) > 0.75
+    assert max(fidelities) > 0.9
+    assert all(int(row[3]) <= 12 for row in result["rows"])
+
+
+if __name__ == "__main__":
+    print(report(run(epochs=12 * scale())))

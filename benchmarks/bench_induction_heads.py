@@ -1,0 +1,95 @@
+"""E8 — induction heads: the circuit behind in-context copying.
+
+Olsson et al.'s signature, reproduced on repeated random sequences
+[s ; s]: after training, (a) some head's prefix-matching score — its mean
+attention from the second occurrence of a token to the position *after*
+the first occurrence — is far above the uniform baseline; (b) next-token
+accuracy on the (fully predictable) second half approaches 100% while the
+(random) first half stays at chance; (c) the per-position loss drops
+sharply at the start of the second half.
+"""
+
+import numpy as np
+
+from _util import banner, fmt_table, scale
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.interp import (
+    copying_accuracy,
+    per_position_loss,
+    prefix_matching_scores,
+    repeated_sequence_batch,
+    top_induction_head,
+)
+from repro.nn import AdamW
+
+_VOCAB = 24
+_HALF = 12
+
+
+def train_model(steps: int, seed: int = 0):
+    cfg = TransformerConfig(vocab_size=_VOCAB, max_seq_len=2 * _HALF,
+                            d_model=32, num_heads=4, num_layers=2)
+    model = TransformerLM(cfg, rng=seed)
+    rng = np.random.default_rng(seed)
+    opt = AdamW(model.parameters(), lr=3e-3)
+    for _ in range(steps):
+        x = repeated_sequence_batch(rng, _VOCAB, _HALF, 8)
+        model.zero_grad()
+        model.loss(x[:, :-1], x[:, 1:]).backward()
+        opt.step()
+    return model
+
+
+def run(steps: int = 400, seed: int = 0):
+    model = train_model(steps, seed)
+    untrained = TransformerLM(model.config, rng=seed + 1)
+    batch = repeated_sequence_batch(np.random.default_rng(99), _VOCAB, _HALF, 32)
+    scores = prefix_matching_scores(model, batch)
+    base_scores = prefix_matching_scores(untrained, batch)
+    layer, head, best = top_induction_head(model, batch)
+    first, second = copying_accuracy(model, batch)
+    losses = per_position_loss(model, batch)
+    return {
+        "scores": scores, "base_scores": base_scores,
+        "layer": layer, "head": head, "best": best,
+        "first_half_acc": first, "second_half_acc": second,
+        "losses": losses,
+    }
+
+
+def report(result) -> str:
+    lines = [banner("Induction heads — repeated random sequences [s ; s]")]
+    scores = result["scores"]
+    rows = [[f"layer {l}"] + [f"{scores[l, h]:.2f}" for h in range(scores.shape[1])]
+            for l in range(scores.shape[0])]
+    lines.append("prefix-matching score per head (trained):")
+    lines.append(fmt_table(["", *[f"head {h}" for h in range(scores.shape[1])]], rows))
+    lines.append(f"strongest induction head: layer {result['layer']} "
+                 f"head {result['head']} score {result['best']:.2f} "
+                 f"(untrained max {result['base_scores'].max():.2f}, "
+                 f"uniform baseline ~{1 / (2 * _HALF):.2f})")
+    lines.append(f"copying accuracy: first half {result['first_half_acc']:.1%} "
+                 f"(chance ~{1 / _VOCAB:.1%}), second half "
+                 f"{result['second_half_acc']:.1%}")
+    losses = result["losses"]
+    lines.append(f"mean loss: positions 1-{_HALF - 1}: "
+                 f"{losses[:_HALF - 1].mean():.3f}   positions "
+                 f"{_HALF + 1}-{2 * _HALF - 1}: {losses[_HALF:].mean():.3f}")
+    return "\n".join(lines)
+
+
+def test_induction_heads(benchmark):
+    result = benchmark.pedantic(run, kwargs={"steps": 400 * scale()},
+                                rounds=1, iterations=1)
+    print(report(result))
+    assert result["best"] > 0.5, "no strong prefix-matching head emerged"
+    assert result["best"] > result["base_scores"].max() + 0.2
+    assert result["second_half_acc"] > 0.8
+    assert result["first_half_acc"] < 0.4
+    losses = result["losses"]
+    assert losses[_HALF:].mean() < losses[: _HALF - 1].mean() / 3
+
+
+if __name__ == "__main__":
+    print(report(run(steps=400 * scale())))

@@ -1,0 +1,229 @@
+"""E7 — Othello-GPT: an emergent world model, probed and intervened on.
+
+Li et al.'s experiment, scaled to a 6x6 board: (a) a transformer trained
+only on move sequences predicts (almost exclusively) legal moves; (b) a
+linear probe decodes the board state (empty / mine / theirs per cell)
+from its residual stream above the per-cell majority floor; (c) editing
+an activation along the probe's tile directions shifts next-move
+probability toward the moves that are newly legal on the *edited* board,
+while a norm-matched random edit does not.
+
+Verified at these settings (1800 steps, 300 games): legal-move rate
+reaches ~100%; probe-direction edits shift ~3x more mass toward the
+edited board's newly-legal moves than norm-matched random edits.
+Documented deviation: the trained-vs-untrained *probe accuracy* gap is
+small (+~3 points) at this budget — an untrained transformer's random
+features already decode much of the board (the probing literature's
+random-baseline caveat); Li et al. train on millions of games to get
+their large separation.  The *causal* intervention asymmetry is the
+discriminating world-model evidence at our scale.
+"""
+
+import numpy as np
+
+from _util import banner, fmt_table, scale
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.interp import MultiTargetLinearProbe, forward_with_patch, patch_position
+from repro.nn import AdamW
+from repro.othello import OthelloBoard, generate_dataset, legal_move_rate
+
+_SIZE = 6
+_CELLS = _SIZE * _SIZE
+
+
+def train_model(num_games: int, steps: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    data = generate_dataset(rng, num_games=num_games, size=_SIZE)
+    cfg = TransformerConfig(vocab_size=len(data.vocab),
+                            max_seq_len=data.seq_len,
+                            d_model=64, num_heads=4, num_layers=2)
+    model = TransformerLM(cfg, rng=seed)
+    untrained = TransformerLM(cfg, rng=seed + 1)
+    opt = AdamW(model.parameters(), lr=3e-3)
+    batch_rng = np.random.default_rng(seed + 2)
+    for _ in range(steps):
+        idx = batch_rng.integers(0, len(data.tokens), size=16)
+        x, y = data.lm_batch(idx)
+        model.zero_grad()
+        model.loss(x, y).backward()
+        opt.step()
+    return model, untrained, data
+
+
+def collect_activations(model, data, layer: int, game_indices) -> tuple[np.ndarray, np.ndarray]:
+    """(features, board targets) for every position of the given games."""
+    feats, targets = [], []
+    for i in game_indices:
+        length = int(data.lengths[i])
+        cache = {}
+        from repro.autograd import no_grad
+        with no_grad():
+            model.forward(data.tokens[i : i + 1, : length + 1], cache=cache)
+        acts = cache[f"block{layer}.out"][0]  # (length+1, d)
+        for t in range(1, length + 1):
+            feats.append(acts[t])
+            targets.append(data.board_states[i, t - 1])
+    return np.stack(feats), np.stack(targets)
+
+
+def probe_accuracy(model, data, layer: int, train_games, test_games,
+                   epochs: int = 25, seed: int = 0) -> tuple[MultiTargetLinearProbe, float]:
+    x_train, y_train = collect_activations(model, data, layer, train_games)
+    x_test, y_test = collect_activations(model, data, layer, test_games)
+    probe = MultiTargetLinearProbe(x_train.shape[1], _CELLS, 3, rng=seed)
+    probe.fit(x_train, y_train, epochs=epochs, lr=1e-2, batch_size=128)
+    predictions = probe.predict(x_test)
+    return probe, float((predictions == y_test).mean())
+
+
+def _flipped_board_legal_sets(data, game: int, t: int):
+    """Replay to position t; flip one occupied non-centre cell; return
+    (cell, original owner class, original legal ids, flipped legal ids)."""
+    board = OthelloBoard(_SIZE)
+    for token in data.tokens[game, 1 : t + 1].tolist():
+        board.play(*data.vocab.id_to_move(token))
+    if board.game_over:
+        return None
+    player = board.to_move
+    rel = board.relative_state(player).reshape(-1)
+    occupied = [c for c in np.flatnonzero(rel > 0)
+                if (c // _SIZE, c % _SIZE) in data.vocab._cell_to_id]
+    if not occupied:
+        return None
+    cell = int(occupied[len(occupied) // 2])
+    original_legal = {data.vocab.move_to_id(r, c) for r, c in board.legal_moves()}
+    flipped = board.copy()
+    flipped.grid[cell // _SIZE, cell % _SIZE] *= -1  # swap ownership
+    flipped_legal = {data.vocab.move_to_id(r, c)
+                     for r, c in flipped.legal_moves(player)}
+    return cell, int(rel[cell]), original_legal, flipped_legal
+
+
+def intervention_study(model, probe, data, layer: int, games, strength: float,
+                       seed: int = 0):
+    """Probe-direction vs random-direction patches at matched norm."""
+    rng = np.random.default_rng(seed)
+    probe_tv, random_tv = [], []
+    legality_shift, random_legality_shift = [], []
+    for game in games:
+        length = int(data.lengths[game])
+        if length < 8:
+            continue
+        t = length // 2
+        setup = _flipped_board_legal_sets(data, game, t)
+        if setup is None:
+            continue
+        cell, current_class, original_legal, flipped_legal = setup
+        other_class = 2 if current_class == 1 else 1
+        direction = (probe.class_direction(cell, other_class)
+                     - probe.class_direction(cell, current_class))
+        norm = np.linalg.norm(direction)
+        if norm == 0:
+            continue
+        delta = strength * direction / norm
+        x = data.tokens[game : game + 1, : t + 1]
+        base = forward_with_patch(model, x, layer, lambda a: a)[0, -1]
+        patched = forward_with_patch(model, x, layer,
+                                     patch_position(t, delta))[0, -1]
+        rand = rng.normal(size=delta.shape)
+        rand *= strength / np.linalg.norm(rand)
+        random_patched = forward_with_patch(model, x, layer,
+                                            patch_position(t, rand))[0, -1]
+
+        def probs(logits):
+            e = np.exp(logits - logits.max())
+            return e / e.sum()
+
+        p0, p1, p2 = probs(base), probs(patched), probs(random_patched)
+        probe_tv.append(0.5 * np.abs(p1 - p0).sum())
+        random_tv.append(0.5 * np.abs(p2 - p0).sum())
+        newly_legal = list(flipped_legal - original_legal)
+        if newly_legal:
+            legality_shift.append(p1[newly_legal].sum() - p0[newly_legal].sum())
+            random_legality_shift.append(p2[newly_legal].sum() - p0[newly_legal].sum())
+    return (float(np.mean(probe_tv)), float(np.mean(random_tv)),
+            float(np.mean(legality_shift)) if legality_shift else 0.0,
+            float(np.mean(random_legality_shift)) if random_legality_shift else 0.0,
+            len(probe_tv))
+
+
+def run(num_games: int = 300, steps: int = 1800, seed: int = 0):
+    model, untrained, data = train_model(num_games, steps, seed)
+    layer = 0  # middle-ish of a 2-block stack (after block 0)
+    eval_rng = np.random.default_rng(seed + 9)
+
+    rate_trained = legal_move_rate(model, data, num_games=40,
+                                   positions_per_game=6, rng=eval_rng)
+    rate_untrained = legal_move_rate(untrained, data, num_games=40,
+                                     positions_per_game=6, rng=eval_rng)
+
+    n = len(data.tokens)
+    train_games = range(0, min(100, n - 20))
+    test_games = range(n - 20, n)
+    probe, acc_trained = probe_accuracy(model, data, layer, train_games, test_games)
+    _, acc_untrained = probe_accuracy(untrained, data, layer, train_games,
+                                      test_games)
+    majority = float(np.mean([np.bincount(col, minlength=3).max() / len(col)
+                              for col in collect_activations(model, data, layer,
+                                                             test_games)[1].T]))
+
+    probe_tv, random_tv, legality, random_legality, n_cases = \
+        intervention_study(model, probe, data, layer, range(min(80, n)),
+                           strength=10.0, seed=seed)
+
+    return {
+        "rate_trained": rate_trained, "rate_untrained": rate_untrained,
+        "acc_trained": acc_trained, "acc_untrained": acc_untrained,
+        "majority": majority,
+        "probe_tv": probe_tv, "random_tv": random_tv,
+        "legality_shift": legality, "random_legality_shift": random_legality,
+        "n_interventions": n_cases,
+    }
+
+
+def report(result) -> str:
+    lines = [banner("Othello-GPT (6x6) — legal moves, board probes, interventions")]
+    lines.append(fmt_table(
+        ["measurement", "trained model", "untrained control"],
+        [["legal-move rate (argmax)",
+          f"{result['rate_trained']:.1%}", f"{result['rate_untrained']:.1%}"],
+         ["linear board-state probe acc",
+          f"{result['acc_trained']:.1%}", f"{result['acc_untrained']:.1%}"]],
+    ))
+    lines.append(f"(per-cell majority-class floor: {result['majority']:.1%})")
+    lines.append(fmt_table(
+        ["intervention effect", "value"],
+        [["mass toward newly-legal moves (probe dir)",
+          f"{result['legality_shift']:+.4f}"],
+         ["mass toward newly-legal moves (random dir)",
+          f"{result['random_legality_shift']:+.4f}"],
+         ["mean TV shift, probe direction", f"{result['probe_tv']:.3f}"],
+         ["mean TV shift, random direction", f"{result['random_tv']:.3f}"],
+         ["cases", result["n_interventions"]]],
+    ))
+    lines.append("note: raw TV is larger for random (off-manifold) edits; the "
+                 "*directed* legality shift is the world-model evidence.")
+    return "\n".join(lines)
+
+
+def test_othello_world_model(benchmark):
+    result = benchmark.pedantic(
+        run, kwargs={"num_games": 300, "steps": 1800 * scale()},
+        rounds=1, iterations=1)
+    print(report(result))
+    assert result["rate_trained"] > result["rate_untrained"] + 0.5
+    assert result["rate_trained"] > 0.9
+    # board state decodable above the per-cell majority floor, and the
+    # trained model at least nudges past the random-feature control
+    assert result["acc_trained"] > result["majority"] + 0.05
+    assert result["acc_trained"] > result["acc_untrained"]
+    # causal world-model check: probe-direction edits push mass toward the
+    # edited board's newly-legal moves far more than norm-matched random
+    # edits (verified margin ~3x)
+    assert result["legality_shift"] > 0.03
+    assert result["legality_shift"] > 2 * result["random_legality_shift"]
+
+
+if __name__ == "__main__":
+    print(report(run(steps=1800 * scale())))

@@ -1,0 +1,147 @@
+"""E10 — the structural probe: parse-tree distances in embeddings.
+
+Hewitt & Manning's finding, scaled down: a *low-rank* metric probe over a
+language model's embeddings reconstructs parse-tree distances.  We fit
+the probe in closed form (ridge regression for the full metric, eigen-
+truncation for the rank-k version — the convex counterpart of the
+original SGD probe) on a PCFG treebank with exact gold trees.
+
+Reproduced shapes:
+(a) tree distance is decodable far above the permutation null;
+(b) very low rank suffices (rank 1-2 of d=48 — the analog of the paper's
+    "rank ~50 of ~1000 for BERT");
+(c) training matters at the embedding layer: the trained model's
+    embeddings probe much better than an untrained clone's.
+
+Documented deviation: at this toy scale the *contextual* (deeper) layers
+probe worse than the embedding layer, and an untrained transformer's
+random-feature mixtures are themselves fairly probeable — both known
+caveats of the probing methodology (cf. control tasks / random baselines
+in the probing literature); at BERT scale the paper's mid-layer result
+holds.  EXPERIMENTS.md records the full comparison.
+"""
+
+import numpy as np
+
+from _util import banner, fmt_table, scale
+
+from repro.autograd import no_grad
+from repro.core import TransformerConfig, TransformerLM
+from repro.data import WordTokenizer
+from repro.grammar import english_toy_pcfg, sample_treebank, treebank_text
+from repro.interp import (
+    ProbeExample,
+    fit_distance_metric,
+    metric_rank_projection,
+    pooled_distance_spearman,
+)
+from repro.train import train_lm_on_stream
+
+_RANKS = [1, 2, 4, 8, 48]
+_D_MODEL = 48
+
+
+def build_examples(model, tok, treebank, cache_key: str) -> list[ProbeExample]:
+    """Per-sentence (activations at ``cache_key``, gold tree distances)."""
+    examples = []
+    for entry in treebank:
+        ids = np.array(tok.encode(" ".join(entry.tokens)))
+        cache = {}
+        with no_grad():
+            model.forward(ids[None, :], cache=cache)
+        examples.append(ProbeExample(embeddings=cache[cache_key][0],
+                                     distances=entry.distances))
+    return examples
+
+
+def _linear_distance_baseline(treebank) -> float:
+    """Spearman of |i - j| vs tree distance — the surface-feature bar."""
+    from scipy import stats
+
+    linear, gold = [], []
+    for entry in treebank:
+        n = len(entry.tokens)
+        iu = np.triu_indices(n, k=1)
+        linear.append((iu[1] - iu[0]).astype(float))
+        gold.append(entry.distances[iu])
+    return float(stats.spearmanr(np.concatenate(linear),
+                                 np.concatenate(gold)).statistic)
+
+
+def run(steps: int = 1200, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    grammar = english_toy_pcfg()
+    train_bank = sample_treebank(grammar, 400, rng, min_len=4, max_len=14)
+    probe_bank = sample_treebank(grammar, 120, rng, min_len=5, max_len=14)
+    held_out = sample_treebank(grammar, 40, rng, min_len=5, max_len=14)
+
+    text = treebank_text(train_bank)
+    tok = WordTokenizer(text)
+    ids = np.array(tok.encode(text))
+    cfg = TransformerConfig(vocab_size=tok.vocab_size, max_seq_len=16,
+                            d_model=_D_MODEL, num_heads=4, num_layers=2)
+    model = TransformerLM(cfg, rng=seed)
+    train_lm_on_stream(model, ids, num_steps=steps, batch_size=16, seq_len=16,
+                       lr=3e-3, seed=seed)
+    untrained = TransformerLM(cfg, rng=seed + 1)
+
+    # rank sweep on the trained model's embedding layer
+    train_ex = build_examples(model, tok, probe_bank, "embed")
+    test_ex = build_examples(model, tok, held_out, "embed")
+    metric = fit_distance_metric(train_ex)
+    rank_rows = []
+    for rank in _RANKS:
+        projection = metric_rank_projection(metric, rank)
+        rank_rows.append([rank, pooled_distance_spearman(projection, test_ex)])
+    null = pooled_distance_spearman(metric_rank_projection(metric, 2),
+                                    test_ex, shuffle_gold=True,
+                                    rng=np.random.default_rng(seed + 7))
+
+    # layer comparison at rank 2, trained vs untrained
+    layer_rows = []
+    for label, m in (("trained", model), ("untrained", untrained)):
+        for key in ("embed", "block0.out", "block1.out"):
+            tr = build_examples(m, tok, probe_bank, key)
+            te = build_examples(m, tok, held_out, key)
+            proj = metric_rank_projection(fit_distance_metric(tr), 2)
+            layer_rows.append([label, key,
+                               pooled_distance_spearman(proj, te)])
+
+    return {"rank_rows": rank_rows, "layer_rows": layer_rows, "null": null,
+            "linear_baseline": _linear_distance_baseline(held_out)}
+
+
+def report(result) -> str:
+    lines = [banner("Structural probe — pooled Spearman(probed, gold tree "
+                    "distance)")]
+    lines.append("rank sweep (trained model, embedding layer):")
+    lines.append(fmt_table(["probe rank k", "held-out rho"],
+                           [[r, f"{v:.3f}"] for r, v in result["rank_rows"]]))
+    lines.append(f"permutation null: {result['null']:.3f}   "
+                 f"linear-distance |i-j| baseline: "
+                 f"{result['linear_baseline']:.3f}")
+    lines.append("\nlayer comparison at rank 2:")
+    lines.append(fmt_table(["model", "layer", "held-out rho"],
+                           [[a, b, f"{v:.3f}"] for a, b, v in
+                            result["layer_rows"]]))
+    return "\n".join(lines)
+
+
+def test_structural_probe(benchmark):
+    result = benchmark.pedantic(run, kwargs={"steps": 1200 * scale()},
+                                rounds=1, iterations=1)
+    print(report(result))
+    by_rank = dict(result["rank_rows"])
+    layers = {(a, b): v for a, b, v in result["layer_rows"]}
+    # (a) decodable far above the null
+    assert max(by_rank.values()) > 0.5
+    assert abs(result["null"]) < 0.15
+    # (b) very low rank suffices: rank 1-2 already attains the sweep max
+    assert max(by_rank[1], by_rank[2]) > max(by_rank.values()) - 0.05
+    assert by_rank[1] > 0.4
+    # (c) training reorganises the embedding geometry
+    assert layers[("trained", "embed")] > layers[("untrained", "embed")] + 0.1
+
+
+if __name__ == "__main__":
+    print(report(run(steps=1200 * scale())))

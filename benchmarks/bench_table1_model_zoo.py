@@ -1,0 +1,105 @@
+"""E3 — Table 1: the model zoo (family, parameters, dataset size, quality).
+
+The paper's Table 1 lists model families with parameter counts and
+training-set sizes.  We regenerate the same columns for our from-scratch
+zoo — unigram, N-grams, FFN LM, RNN, LSTM, and two transformer sizes —
+plus the held-out perplexity each achieves on a shared corpus, which is
+the quantity the table's growth was in service of.
+"""
+
+import numpy as np
+
+from _util import banner, fmt_table, scale
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.data import Corpus, WordTokenizer
+from repro.grammar import english_toy_pcfg, sample_treebank, treebank_text
+from repro.lm import FFNLM, LSTMLM, RNNLM, InterpolatedNGramLM, NGramLM, UnigramLM, make_windows
+from repro.nn import AdamW
+from repro.train import train_lm_on_stream
+
+
+def build_corpus(seed: int = 3) -> Corpus:
+    rng = np.random.default_rng(seed)
+    examples = sample_treebank(english_toy_pcfg(), 1500, rng, min_len=3, max_len=14)
+    text = treebank_text(examples)
+    tok = WordTokenizer(text)
+    return Corpus.from_ids(np.array(tok.encode(text)), tok.vocab_size,
+                           test_fraction=0.12)
+
+
+def _train_neural(model, corpus, steps, seq_len=24):
+    train_lm_on_stream(model, corpus.train_ids, num_steps=steps,
+                       batch_size=16, seq_len=seq_len, lr=3e-3, seed=0)
+    return model
+
+
+def run(steps: int = 250):
+    corpus = build_corpus()
+    v, d = corpus.vocab_size, corpus.num_train_tokens
+    rows = []
+
+    def add(name, params, ppl):
+        rows.append([name, params, d, round(ppl, 3)])
+
+    uni = UnigramLM(v).fit(corpus.train_ids)
+    add("unigram (Eq. 1)", v, uni.perplexity(corpus.test_ids))
+
+    bi = NGramLM(v, order=2, add_k=0.1).fit(corpus.train_ids)
+    add("bigram (Eq. 6)", bi.num_contexts() * 1, bi.perplexity(corpus.test_ids))
+
+    tri = InterpolatedNGramLM(v, order=3).fit(corpus.train_ids)
+    add("trigram (interp.)", sum(m.num_contexts() for m in tri._models),
+        tri.perplexity(corpus.test_ids))
+
+    ffn = FFNLM(v, window=4, embed_dim=16, hidden_dim=64, rng=0)
+    ctx, tgt = make_windows(corpus.train_ids, 4)
+    opt = AdamW(ffn.parameters(), lr=3e-3)
+    rng = np.random.default_rng(0)
+    for _ in range(steps):
+        idx = rng.integers(0, len(tgt), size=32)
+        ffn.zero_grad()
+        ffn.loss(ctx[idx], tgt[idx]).backward()
+        opt.step()
+    add("FFN LM (Bengio)", ffn.num_parameters(),
+        ffn.perplexity(corpus.test_ids[:400]))
+
+    rnn = _train_neural(RNNLM(v, embed_dim=16, hidden_dim=32, rng=0), corpus, steps)
+    add("RNN (Eq. 12)", rnn.num_parameters(), rnn.perplexity(corpus.test_ids[:400]))
+
+    lstm = _train_neural(LSTMLM(v, embed_dim=16, hidden_dim=32, rng=0), corpus, steps)
+    add("LSTM", lstm.num_parameters(), lstm.perplexity(corpus.test_ids[:400]))
+
+    for label, (dm, layers, heads) in [("transformer-S", (16, 1, 2)),
+                                       ("transformer-M", (32, 2, 4))]:
+        cfg = TransformerConfig(vocab_size=v, max_seq_len=24, d_model=dm,
+                                num_heads=heads, num_layers=layers)
+        model = _train_neural(TransformerLM(cfg, rng=0), corpus, steps)
+        add(label + " (§6)", model.num_parameters(),
+            model.perplexity_on(corpus.test_ids, seq_len=24))
+
+    return {"rows": rows, "vocab": v, "tokens": d}
+
+
+def report(result) -> str:
+    lines = [banner("Table 1 — model zoo: family, parameters, dataset, perplexity")]
+    lines.append(fmt_table(["model", "params / contexts", "train tokens D",
+                            "test perplexity"], result["rows"]))
+    lines.append(f"(vocabulary |W| = {result['vocab']})")
+    return "\n".join(lines)
+
+
+def test_table1_model_zoo(benchmark):
+    result = benchmark.pedantic(run, kwargs={"steps": 250 * scale()},
+                                rounds=1, iterations=1)
+    print(report(result))
+    ppl = {row[0].split(" ")[0]: row[3] for row in result["rows"]}
+    # The load-bearing orderings from §5:
+    assert ppl["bigram"] < ppl["unigram"]
+    assert ppl["transformer-M"] < ppl["unigram"]
+    best_neural = min(ppl["transformer-M"], ppl["LSTM"], ppl["RNN"], ppl["FFN"])
+    assert best_neural < ppl["bigram"] * 1.5
+
+
+if __name__ == "__main__":
+    print(report(run(steps=250 * scale())))

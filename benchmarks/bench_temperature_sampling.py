@@ -1,0 +1,92 @@
+"""E13 — Eq. 8: Boltzmann sampling and the temperature knob.
+
+Reproduced shapes on a trained model's next-token distribution:
+(a) sample entropy increases monotonically with temperature T;
+(b) the T -> 0 limit reproduces greedy argmax decoding;
+(c) at T = 1 the empirical sample frequencies match the model's softmax
+    distribution (chi-squared-style check);
+(d) large T approaches the uniform distribution (entropy -> log |W|).
+"""
+
+import numpy as np
+
+from _util import banner, fmt_table, scale
+
+from repro.core import TransformerConfig, TransformerLM, logits_to_probs, sample_token
+from repro.data import WordTokenizer
+from repro.grammar import english_toy_pcfg, sample_treebank, treebank_text
+from repro.train import distribution_entropy, train_lm_on_stream
+
+_TEMPERATURES = [0.1, 0.3, 1.0, 3.0, 10.0]
+
+
+def train_model(steps: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    bank = sample_treebank(english_toy_pcfg(), 600, rng, min_len=3, max_len=12)
+    text = treebank_text(bank)
+    tok = WordTokenizer(text)
+    ids = np.array(tok.encode(text))
+    cfg = TransformerConfig(vocab_size=tok.vocab_size, max_seq_len=16,
+                            d_model=32, num_heads=4, num_layers=2)
+    model = TransformerLM(cfg, rng=seed)
+    train_lm_on_stream(model, ids, num_steps=steps, batch_size=16, seq_len=16,
+                       lr=3e-3, seed=seed)
+    return model, tok
+
+
+def run(steps: int = 300, samples: int = 3000, seed: int = 0):
+    model, tok = train_model(steps, seed)
+    context = np.array(tok.encode("the big dog"))
+    logits = model.next_token_logprobs(context)  # log-probs work as logits
+    rng = np.random.default_rng(seed + 1)
+    rows = []
+    for temperature in _TEMPERATURES:
+        draws = np.array([sample_token(logits, rng, temperature=temperature)
+                          for _ in range(samples)])
+        counts = np.bincount(draws, minlength=len(logits)) / samples
+        rows.append([temperature, distribution_entropy(counts + 1e-12),
+                     float(counts.max())])
+    greedy = sample_token(logits, greedy=True)
+    cold = [sample_token(logits, rng, temperature=1e-3) for _ in range(50)]
+    # chi-squared-ish agreement at T = 1
+    t1 = np.array([sample_token(logits, rng, temperature=1.0)
+                   for _ in range(samples)])
+    empirical = np.bincount(t1, minlength=len(logits)) / samples
+    target = logits_to_probs(logits, temperature=1.0)
+    l1_gap = float(np.abs(empirical - target).sum())
+    return {"rows": rows, "greedy": greedy, "cold": cold, "l1_gap": l1_gap,
+            "vocab": len(logits), "target_entropy": distribution_entropy(target)}
+
+
+def report(result) -> str:
+    lines = [banner('Eq. 8 — sampling "the big dog [?]" at varying temperature')]
+    lines.append(fmt_table(
+        ["temperature T", "sample entropy (nats)", "max token freq"],
+        [[t, f"{h:.3f}", f"{m:.2f}"] for t, h, m in result["rows"]],
+    ))
+    lines.append(f"model distribution entropy at T=1: "
+                 f"{result['target_entropy']:.3f}; uniform bound log|W| = "
+                 f"{np.log(result['vocab']):.3f}")
+    lines.append(f"T -> 0 samples all equal greedy token {result['greedy']}: "
+                 f"{all(c == result['greedy'] for c in result['cold'])}")
+    lines.append(f"L1(empirical @T=1, model softmax) = {result['l1_gap']:.3f}")
+    return "\n".join(lines)
+
+
+def test_temperature_sampling(benchmark):
+    result = benchmark.pedantic(
+        run, kwargs={"steps": 300 * scale(), "samples": 3000 * scale()},
+        rounds=1, iterations=1)
+    print(report(result))
+    entropies = [h for _t, h, _m in result["rows"]]
+    assert entropies == sorted(entropies), "entropy not monotone in T"
+    assert all(c == result["greedy"] for c in result["cold"])
+    assert result["l1_gap"] < 0.1
+    # T = 10 is near uniform
+    assert entropies[-1] > 0.9 * np.log(result["vocab"])
+    # T = 0.1 is near deterministic
+    assert entropies[0] < 0.5
+
+
+if __name__ == "__main__":
+    print(report(run(steps=300 * scale())))

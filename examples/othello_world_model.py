@@ -1,0 +1,96 @@
+"""Othello-GPT in miniature (§7): train, probe, intervene.
+
+Trains a small transformer on random legal 6x6 Othello games (move
+sequences only — the model never sees a board), then shows that:
+  1. its argmax predictions are almost always *legal* moves;
+  2. a linear probe decodes the board state from its activations;
+  3. editing activations along the probe's directions changes the
+     model's move predictions (a causal world-model check).
+
+Run:  python examples/othello_world_model.py   (about a minute on CPU)
+"""
+
+import numpy as np
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.interp import MultiTargetLinearProbe, forward_with_patch, patch_position
+from repro.nn import AdamW
+from repro.othello import OthelloBoard, generate_dataset, legal_move_rate
+
+SIZE = 6
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    data = generate_dataset(rng, num_games=150, size=SIZE)
+    print(f"dataset: {len(data.tokens)} random games, "
+          f"vocab {len(data.vocab)} move tokens")
+
+    config = TransformerConfig(vocab_size=len(data.vocab),
+                               max_seq_len=data.seq_len,
+                               d_model=48, num_heads=4, num_layers=2)
+    model = TransformerLM(config, rng=0)
+    print(f"before training: legal-move rate "
+          f"{legal_move_rate(model, data, num_games=30):.0%}")
+
+    optimizer = AdamW(model.parameters(), lr=3e-3)
+    batch_rng = np.random.default_rng(1)
+    for step in range(400):
+        idx = batch_rng.integers(0, len(data.tokens), size=8)
+        x, y = data.lm_batch(idx)
+        model.zero_grad()
+        loss = model.loss(x, y)
+        loss.backward()
+        optimizer.step()
+    print(f"after 400 steps:  legal-move rate "
+          f"{legal_move_rate(model, data, num_games=30):.0%} "
+          f"(loss {float(loss.data):.2f})")
+
+    # Probe the residual stream for the board state (empty/mine/theirs).
+    from repro.autograd import no_grad
+
+    feats, targets = [], []
+    for i in range(100):
+        length = int(data.lengths[i])
+        cache = {}
+        with no_grad():
+            model.forward(data.tokens[i : i + 1, : length + 1], cache=cache)
+        for t in range(1, length + 1):
+            feats.append(cache["block0.out"][0, t])
+            targets.append(data.board_states[i, t - 1])
+    feats, targets = np.stack(feats), np.stack(targets)
+    split = int(len(feats) * 0.85)
+    probe = MultiTargetLinearProbe(48, SIZE * SIZE, 3, rng=0)
+    probe.fit(feats[:split], targets[:split], epochs=10, lr=1e-2, batch_size=128)
+    accuracy = (probe.predict(feats[split:]) == targets[split:]).mean()
+    print(f"linear board-state probe accuracy: {accuracy:.0%} "
+          f"(3 classes x {SIZE * SIZE} cells)")
+
+    # Causal check: push one cell's representation toward the other colour
+    # and watch the next-move distribution move.
+    game, t = 0, int(data.lengths[0]) // 2
+    state = data.board_states[game, t - 1]
+    occupied = np.flatnonzero(state > 0)
+    cell = int(occupied[len(occupied) // 2])
+    current = int(state[cell])
+    other = 2 if current == 1 else 1
+    direction = probe.class_direction(cell, other) - probe.class_direction(cell, current)
+    delta = 6.0 * direction / np.linalg.norm(direction)
+    x = data.tokens[game : game + 1, : t + 1]
+    base = forward_with_patch(model, x, 0, lambda a: a)[0, -1]
+    patched = forward_with_patch(model, x, 0, patch_position(t, delta))[0, -1]
+
+    def probs(logits):
+        e = np.exp(logits - logits.max())
+        return e / e.sum()
+
+    shift = 0.5 * np.abs(probs(patched) - probs(base)).sum()
+    print(f"intervention at cell {divmod(cell, SIZE)} "
+          f"(class {current} -> {other}): next-move distribution moved by "
+          f"TV = {shift:.3f}")
+    print(f"argmax move before: {data.vocab.notation(int(np.argmax(base)))}, "
+          f"after: {data.vocab.notation(int(np.argmax(patched)))}")
+
+
+if __name__ == "__main__":
+    main()

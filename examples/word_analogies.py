@@ -1,0 +1,66 @@
+"""Word-vector arithmetic from raw co-occurrence counts (§5, Eq. 9).
+
+Builds the full distributional pipeline — corpus -> co-occurrence matrix
+-> PPMI -> truncated SVD — and demonstrates king - man + woman ~ queen
+plus nearest-neighbour queries, entirely from counted statistics.
+
+Run:  python examples/word_analogies.py
+"""
+
+import numpy as np
+
+from repro.data import (
+    WordTokenizer,
+    attribute_world_corpus,
+    capital_analogy_questions,
+    gender_analogy_questions,
+)
+from repro.embeddings import (
+    analogy_query,
+    cooccurrence_matrix,
+    evaluate_analogies,
+    nearest_words,
+    pmi_matrix,
+    svd_embedding,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    text = attribute_world_corpus(rng, num_sentences=6000)
+    tok = WordTokenizer(text)
+    ids = np.array(tok.encode(text))
+    print(f"corpus of {len(ids)} tokens, vocabulary {tok.vocab_size}")
+
+    counts = cooccurrence_matrix(ids, tok.vocab_size, window=5)
+    embeddings = svd_embedding(pmi_matrix(counts), dim=40)
+    print("embeddings: PPMI + rank-40 SVD of the co-occurrence matrix\n")
+
+    # The Eq. 9 flagship example.
+    query = analogy_query(embeddings, tok.vocab, "king", "man", "woman")
+    top = nearest_words(embeddings, tok.vocab, query, k=3,
+                        exclude=("king", "man", "woman"))
+    print("king - man + woman ~ ?")
+    for word, similarity in top:
+        print(f"   {word:<10} cosine {similarity:.3f}")
+
+    # Nearest neighbours show the concept geometry.
+    for word in ("queen", "paris"):
+        vec = embeddings[tok.vocab.token_to_id(word)]
+        neighbours = nearest_words(embeddings, tok.vocab, vec, k=4,
+                                   exclude=(word,))
+        names = ", ".join(w for w, _s in neighbours)
+        print(f"nearest to {word!r}: {names}")
+
+    # Full evaluation across both analogy families.
+    for name, questions in (("gender", gender_analogy_questions()),
+                            ("capitals", capital_analogy_questions())):
+        report = evaluate_analogies(embeddings, tok.vocab, questions)
+        print(f"{name} analogies: {report.correct}/{report.total} "
+              f"({report.accuracy:.0%})")
+        for a, b, c, expected, got in report.failures[:3]:
+            print(f"   miss: {a} - {b} + {c} -> {got} (wanted {expected})")
+
+
+if __name__ == "__main__":
+    main()

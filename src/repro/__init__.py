@@ -1,0 +1,91 @@
+"""repro: a from-scratch reproduction of the LLM tutorial's full stack.
+
+Subpackages
+-----------
+- ``repro.autograd``      reverse-mode autodiff over NumPy
+- ``repro.nn``            layers, initializers, optimizers, LR schedules
+- ``repro.data``          vocabularies, tokenizers, batching, synthetic corpora
+- ``repro.lm``            §5 simpler LMs (unigram, N-gram, FFN, RNN, LSTM)
+- ``repro.core``          §6 transformer LLM (attention, blocks, sampling)
+- ``repro.train``         training loops, metrics, checkpoints
+- ``repro.embeddings``    §5 co-occurrence / PPMI / SVD / analogies
+- ``repro.grammar``       appendix CFG/PCFG/CYK/Inside-Outside stack
+- ``repro.othello``       §7 Othello world-model substrate
+- ``repro.interp``        §7 probes, interventions, induction heads
+- ``repro.phenomenology`` §3-4 scaling laws, compute, grokking, ICL
+- ``repro.benchsuite``    §4 mini BIG-bench task suite + harness
+
+Quick start::
+
+    import numpy as np
+    from repro.core import TransformerConfig, TransformerLM
+    from repro.data import CharTokenizer, Corpus
+    from repro.train import train_lm_on_stream
+
+    text = "hello world " * 200
+    tok = CharTokenizer(text)
+    corpus = Corpus.from_ids(tok.encode(text), tok.vocab_size)
+    model = TransformerLM(TransformerConfig(vocab_size=tok.vocab_size,
+                                            max_seq_len=32), rng=0)
+    train_lm_on_stream(model, corpus.train_ids, num_steps=200)
+    print(tok.decode(model.generate(tok.encode("hello"), 20, greedy=True)))
+"""
+
+from . import (
+    autograd,
+    benchsuite,
+    core,
+    data,
+    embeddings,
+    formal,
+    grammar,
+    interp,
+    lm,
+    nn,
+    othello,
+    phenomenology,
+    train,
+)
+from .autograd import Tensor, no_grad
+from .core import TransformerConfig, TransformerLM, TransformerRegressor
+from .data import BPETokenizer, CharTokenizer, Corpus, Vocabulary, WordTokenizer
+from .lm import FFNLM, LSTMLM, RNNLM, InterpolatedNGramLM, LanguageModel, NGramLM, UnigramLM
+from .train import Trainer, train_lm_on_stream
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "autograd",
+    "nn",
+    "data",
+    "lm",
+    "core",
+    "train",
+    "embeddings",
+    "formal",
+    "grammar",
+    "othello",
+    "interp",
+    "phenomenology",
+    "benchsuite",
+    "Tensor",
+    "no_grad",
+    "TransformerConfig",
+    "TransformerLM",
+    "TransformerRegressor",
+    "Vocabulary",
+    "CharTokenizer",
+    "WordTokenizer",
+    "BPETokenizer",
+    "Corpus",
+    "LanguageModel",
+    "UnigramLM",
+    "NGramLM",
+    "InterpolatedNGramLM",
+    "FFNLM",
+    "RNNLM",
+    "LSTMLM",
+    "Trainer",
+    "train_lm_on_stream",
+    "__version__",
+]

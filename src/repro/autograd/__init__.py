@@ -1,0 +1,40 @@
+"""Reverse-mode autodiff over NumPy: the substrate behind every model here."""
+
+from .functional import (
+    cross_entropy,
+    dropout,
+    gelu,
+    layer_norm,
+    log_softmax,
+    relu,
+    softmax,
+)
+from .gradcheck import check_gradients, numerical_gradient
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    stack,
+    where,
+)
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "layer_norm",
+    "gelu",
+    "relu",
+    "dropout",
+    "check_gradients",
+    "numerical_gradient",
+]

@@ -1,0 +1,147 @@
+"""Fused differentiable functions built on :class:`~repro.autograd.Tensor`.
+
+These are the handful of composite operations (softmax, cross-entropy,
+layer norm, GELU, dropout) whose analytic backward passes are both faster
+and numerically better behaved than chaining the primitive ops.  Each
+matches its standard deep-learning definition; softmax is the "Boltzmann
+distribution" of the paper's Eq. 8.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def _softmax_data(x: np.ndarray, axis: int) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (Eq. 8 with beta = 1)."""
+    y = _softmax_data(x.data, axis)
+
+    def backward(g, emit):
+        inner = (g * y).sum(axis=axis, keepdims=True)
+        emit(x, y * (g - inner))
+
+    return Tensor._make(y, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - lse
+    probs = np.exp(out)
+
+    def backward(g, emit):
+        emit(x, g - probs * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Cross-entropy between ``logits`` and integer ``targets`` (Eq. 3).
+
+    ``logits`` has shape ``(..., V)``; ``targets`` has the matching leading
+    shape and holds class indices.  With ``reduction="mean"`` this is the
+    per-token average negative log-likelihood — the paper's loss
+    :math:`\\mathcal{L}`; ``exp`` of it is the perplexity.
+    """
+    if reduction not in ("mean", "sum", "none"):
+        raise ValueError(f"unknown reduction {reduction!r}")
+    targets = np.asarray(targets)
+    flat_logits = logits.data.reshape(-1, logits.data.shape[-1])
+    flat_targets = targets.reshape(-1).astype(np.intp)
+    n, v = flat_logits.shape
+    if flat_targets.shape[0] != n:
+        raise ValueError("targets shape does not match logits leading shape")
+    if flat_targets.min(initial=0) < 0 or flat_targets.max(initial=0) >= v:
+        raise ValueError("target index out of range")
+
+    shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - lse
+    nll = -log_probs[np.arange(n), flat_targets]
+
+    if reduction == "none":
+        out_data = nll.reshape(targets.shape)
+    elif reduction == "sum":
+        out_data = np.asarray(nll.sum())
+    else:
+        out_data = np.asarray(nll.mean())
+
+    def backward(g, emit):
+        probs = np.exp(log_probs)
+        probs[np.arange(n), flat_targets] -= 1.0
+        if reduction == "none":
+            probs *= np.asarray(g).reshape(-1, 1)
+        elif reduction == "sum":
+            probs *= float(g)
+        else:
+            probs *= float(g) / n
+        emit(logits, probs.reshape(logits.data.shape))
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the final axis, with affine parameters."""
+    mu = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = (x.data - mu) * inv_std
+    out = xhat * weight.data + bias.data
+
+    def backward(g, emit):
+        reduce_axes = tuple(range(g.ndim - 1))
+        emit(weight, (g * xhat).sum(axis=reduce_axes))
+        emit(bias, g.sum(axis=reduce_axes))
+        gx = g * weight.data
+        mean_gx = gx.mean(axis=-1, keepdims=True)
+        mean_gx_xhat = (gx * xhat).mean(axis=-1, keepdims=True)
+        emit(x, inv_std * (gx - mean_gx - xhat * mean_gx_xhat))
+
+    return Tensor._make(out, (x, weight, bias), backward)
+
+
+_GELU_C = math.sqrt(2.0 / math.pi)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU activation (tanh approximation, as used in GPT models)."""
+    u = _GELU_C * (x.data + 0.044715 * x.data**3)
+    t = np.tanh(u)
+    out = 0.5 * x.data * (1.0 + t)
+
+    def backward(g, emit):
+        du = _GELU_C * (1.0 + 3 * 0.044715 * x.data**2)
+        dt = (1.0 - t**2) * du
+        emit(x, g * (0.5 * (1.0 + t) + 0.5 * x.data * dt))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    """ReLU activation (the paper's default FFN nonlinearity, §5)."""
+    return x.relu()
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero each element with probability ``p``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+
+    def backward(g, emit):
+        emit(x, g * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)

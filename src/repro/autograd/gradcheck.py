@@ -1,0 +1,60 @@
+"""Finite-difference gradient verification for the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``fn(*inputs).sum()`` w.r.t. one input."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        hi = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        lo = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+    eps: float = 1e-6,
+) -> None:
+    """Assert analytic gradients of ``fn(*inputs).sum()`` match finite diffs.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch.  Every
+    input with ``requires_grad=True`` is checked.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    out.backward(np.ones_like(out.data))
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_gradient(fn, inputs, i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch on input {i}: max abs error {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )

@@ -1,0 +1,495 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This module is the computational substrate the paper assumes when it says
+"backpropagation" (Eq. 16).  A :class:`Tensor` wraps a ``numpy.ndarray``
+and records the operations applied to it; :meth:`Tensor.backward` walks the
+recorded graph in reverse topological order and accumulates gradients.
+
+Only the primitives needed by the rest of the library are implemented, but
+each one supports full NumPy broadcasting; gradients of broadcast operands
+are reduced back to the operand's shape (see :func:`_unbroadcast`).
+
+All arrays are kept in ``float64`` so that the finite-difference checks in
+:mod:`repro.autograd.gradcheck` are meaningful.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence, Union
+
+import numpy as np
+
+Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (for inference)."""
+    global _GRAD_ENABLED
+    previous, _GRAD_ENABLED = _GRAD_ENABLED, False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently recorded onto the graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
+
+    If an operand of shape ``shape`` was broadcast up to ``grad.shape``
+    during the forward pass, the chain rule requires summing the incoming
+    gradient over every broadcast axis.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original operand.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with an optional gradient and autograd history.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a ``numpy.ndarray``; converted to float64.
+    requires_grad:
+        If True, gradients are accumulated into ``self.grad`` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data: Arrayish, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{flag})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        out = Tensor.__new__(Tensor)
+        out.data = self.data
+        out.requires_grad = False
+        out.grad = None
+        out._backward = None
+        out._parents = ()
+        return out
+
+    # ------------------------------------------------------------------
+    # Graph construction / backward
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Build a result tensor, recording history only when needed."""
+        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.requires_grad = needs
+        if needs:
+            out._parents = tuple(parents)
+            out._backward = backward
+        else:
+            out._parents = ()
+            out._backward = None
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        If ``grad`` is omitted the tensor must be a scalar, in which case
+        the seed gradient is 1.0 (the usual loss.backward() convention).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without grad requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}"
+            )
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate into .grad
+                node._accumulate(g)
+                continue
+            node._pass_down(g, grads)
+
+    def _pass_down(self, g: np.ndarray, grads: dict[int, np.ndarray]) -> None:
+        """Run this node's backward fn, routing parent grads via ``grads``."""
+        contributions: list[tuple[Tensor, np.ndarray]] = []
+
+        def emit(parent: Tensor, pg: np.ndarray) -> None:
+            contributions.append((parent, pg))
+
+        self._backward(g, emit)  # type: ignore[misc]
+        for parent, pg in contributions:
+            if not parent.requires_grad:
+                continue
+            if parent._backward is None and not parent._parents:
+                parent._accumulate(pg)
+            else:
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pg
+                else:
+                    grads[key] = pg
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic primitives
+    # ------------------------------------------------------------------
+    def __add__(self, other: Arrayish) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data + other.data
+
+        def backward(g, emit):
+            emit(self, _unbroadcast(g, self.shape))
+            emit(other, _unbroadcast(g, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g, emit):
+            emit(self, -g)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: Arrayish) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: Arrayish) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: Arrayish) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data * other.data
+
+        def backward(g, emit):
+            emit(self, _unbroadcast(g * other.data, self.shape))
+            emit(other, _unbroadcast(g * self.data, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Arrayish) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data / other.data
+
+        def backward(g, emit):
+            emit(self, _unbroadcast(g / other.data, self.shape))
+            emit(other, _unbroadcast(-g * self.data / (other.data**2), other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other: Arrayish) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        data = self.data**exponent
+
+        def backward(g, emit):
+            emit(self, g * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other: Arrayish) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self.data, other.data
+        if a.ndim < 2 or b.ndim < 2:
+            raise ValueError("matmul requires tensors with ndim >= 2")
+        data = a @ b
+
+        def backward(g, emit):
+            ga = g @ b.swapaxes(-1, -2)
+            gb = a.swapaxes(-1, -2) @ g
+            emit(self, _unbroadcast(ga, a.shape))
+            emit(other, _unbroadcast(gb, b.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(g, emit):
+            emit(self, g * data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(g, emit):
+            emit(self, g / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(g, emit):
+            emit(self, g * (1.0 - data**2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g, emit):
+            emit(self, g * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(g, emit):
+            emit(self, g * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    def square(self) -> "Tensor":
+        return self * self
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward(g, emit):
+            emit(self, g * sign)
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g, emit):
+            g = np.asarray(g)
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                g = np.expand_dims(g, axes)
+            emit(self, np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g, emit):
+            g = np.asarray(g)
+            expanded = data
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                g = np.expand_dims(g, axes)
+                expanded = np.expand_dims(data, axes)
+            mask = (self.data == expanded).astype(np.float64)
+            # Split gradient evenly among ties, matching subgradient choice.
+            mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            emit(self, g * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(g, emit):
+            emit(self, g.reshape(self.shape))
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+        data = self.data.transpose(axes)
+
+        def backward(g, emit):
+            emit(self, g.transpose(inverse))
+
+        return Tensor._make(data, (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(g, emit):
+            buf = np.zeros_like(self.data)
+            np.add.at(buf, index, g)
+            emit(self, buf)
+
+        return Tensor._make(data, (self,), backward)
+
+    def pad_last(self, before: int, after: int) -> "Tensor":
+        """Zero-pad the final axis (used by convolution-free models)."""
+        widths = [(0, 0)] * (self.ndim - 1) + [(before, after)]
+        data = np.pad(self.data, widths)
+        last = self.shape[-1]
+
+        def backward(g, emit):
+            sl = [slice(None)] * (self.ndim - 1) + [slice(before, before + last)]
+            emit(self, g[tuple(sl)])
+
+        return Tensor._make(data, (self,), backward)
+
+
+def as_tensor(value: Arrayish) -> Tensor:
+    """Coerce ``value`` to a (non-grad-requiring) :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g, emit):
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            sl = [slice(None)] * g.ndim
+            sl[axis] = slice(int(start), int(stop))
+            emit(t, g[tuple(sl)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g, emit):
+        for i, t in enumerate(tensors):
+            emit(t, np.take(g, i, axis=axis))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def where(condition: np.ndarray, a: Arrayish, b: Arrayish) -> Tensor:
+    """Elementwise select; ``condition`` is a constant boolean array."""
+    a, b = as_tensor(a), as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(g, emit):
+        emit(a, _unbroadcast(np.where(cond, g, 0.0), a.shape))
+        emit(b, _unbroadcast(np.where(cond, 0.0, g), b.shape))
+
+    return Tensor._make(data, (a, b), backward)

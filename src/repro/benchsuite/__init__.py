@@ -1,0 +1,49 @@
+"""Mini BIG-bench (§4): synthetic graded tasks + evaluation harness."""
+
+from .harness import (
+    TaskScore,
+    evaluate_suite,
+    evaluate_task,
+    leaderboard,
+    shots_sweep,
+)
+from .tasks import (
+    SUITE_ALPHABET,
+    AdditionTask,
+    ComparisonTask,
+    CopyTask,
+    Example,
+    ModularArithmeticTask,
+    ReverseTask,
+    SortTask,
+    SubtractionTask,
+    SuccessorTask,
+    Task,
+    default_suite,
+    few_shot_prompt,
+    mixture_text,
+    render_example,
+)
+
+__all__ = [
+    "Task",
+    "Example",
+    "AdditionTask",
+    "SubtractionTask",
+    "ModularArithmeticTask",
+    "CopyTask",
+    "ReverseTask",
+    "SortTask",
+    "ComparisonTask",
+    "SuccessorTask",
+    "default_suite",
+    "few_shot_prompt",
+    "render_example",
+    "mixture_text",
+    "SUITE_ALPHABET",
+    "TaskScore",
+    "evaluate_task",
+    "evaluate_suite",
+    "shots_sweep",
+    "leaderboard",
+]

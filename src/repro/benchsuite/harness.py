@@ -1,0 +1,102 @@
+"""Benchmark harness: evaluate a character-level LM on the task suite.
+
+This is the measurement instrument of §4 — standardized test items, model
+accuracy evaluated reproducibly, results as a leaderboard-style table.
+Evaluation is in-context: the model sees a k-shot prompt and must generate
+the answer with no weight updates (§3's in-context learning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.tokenizers import CharTokenizer
+from .tasks import Example, Task, few_shot_prompt
+
+
+@dataclass
+class TaskScore:
+    task_name: str
+    shots: int
+    correct: int
+    total: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+
+def evaluate_task(
+    model,
+    tokenizer: CharTokenizer,
+    task: Task,
+    rng: np.random.Generator,
+    num_queries: int = 25,
+    shots: int = 3,
+    max_answer_len: int = 8,
+) -> TaskScore:
+    """k-shot accuracy of ``model`` on ``task``.
+
+    The model generates greedily from the prompt until the separator /
+    newline; grading is the task's own (default exact-match).
+    """
+    stop_chars = {";", "\n"}
+    correct = 0
+    for _ in range(num_queries):
+        episode = task.generate(rng, shots + 1)
+        shots_list, query = episode[:shots], episode[shots]
+        prompt = few_shot_prompt(shots_list, query)
+        prompt_ids = tokenizer.encode(prompt)
+        out_ids = model.generate(prompt_ids, max_answer_len, greedy=True)
+        generated = tokenizer.decode(out_ids[len(prompt_ids):])
+        for stop in stop_chars:
+            if stop in generated:
+                generated = generated.split(stop, 1)[0]
+        if task.grade(query, generated):
+            correct += 1
+    return TaskScore(task_name=task.name, shots=shots,
+                     correct=correct, total=num_queries)
+
+
+def evaluate_suite(
+    model,
+    tokenizer: CharTokenizer,
+    tasks: list[Task],
+    rng: np.random.Generator,
+    num_queries: int = 25,
+    shots: int = 3,
+) -> list[TaskScore]:
+    """Score every task; returns one :class:`TaskScore` per task."""
+    return [
+        evaluate_task(model, tokenizer, task, rng,
+                      num_queries=num_queries, shots=shots)
+        for task in tasks
+    ]
+
+
+def shots_sweep(
+    model,
+    tokenizer: CharTokenizer,
+    task: Task,
+    rng: np.random.Generator,
+    shot_counts: list[int],
+    num_queries: int = 25,
+) -> list[TaskScore]:
+    """Accuracy as a function of the number of in-context examples."""
+    return [
+        evaluate_task(model, tokenizer, task, rng,
+                      num_queries=num_queries, shots=k)
+        for k in shot_counts
+    ]
+
+
+def leaderboard(scores: list[TaskScore]) -> str:
+    """Plain-text leaderboard table, best tasks first."""
+    rows = sorted(scores, key=lambda s: -s.accuracy)
+    width = max(len(s.task_name) for s in rows)
+    lines = [f"{'task':<{width}}  shots  accuracy"]
+    for s in rows:
+        lines.append(f"{s.task_name:<{width}}  {s.shots:>5}  {s.accuracy:>7.1%}")
+    return "\n".join(lines)

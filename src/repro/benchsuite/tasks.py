@@ -1,0 +1,198 @@
+"""A mini BIG-bench (§4): synthetic tasks with exact graders.
+
+Each :class:`Task` generates (input, output) text pairs and can render a
+few-shot prompt — the in-context-learning format of §3.  The suite covers
+the task families the paper names: arithmetic, letter manipulation
+(anagrams/reversal), copying, comparison, and modular arithmetic.  All
+tasks draw from a shared small alphabet so one character-level model can
+be trained on a mixture and evaluated on every task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Every character any task may emit.  A single CharTokenizer over this
+#: alphabet serves the whole suite.
+SUITE_ALPHABET = list("0123456789abcdefghij+-*%=><|,;? \n")
+
+_SEPARATOR = ";"  # between few-shot examples
+_ARROW = "="      # between input and output
+
+
+@dataclass(frozen=True)
+class Example:
+    """One task instance rendered as text."""
+
+    input_text: str
+    output_text: str
+
+
+class Task:
+    """Base class: named generator of graded text examples."""
+
+    name: str = "task"
+
+    def generate(self, rng: np.random.Generator, count: int) -> list[Example]:
+        return [self.generate_one(rng) for _ in range(count)]
+
+    def generate_one(self, rng: np.random.Generator) -> Example:
+        raise NotImplementedError
+
+    def grade(self, example: Example, model_output: str) -> bool:
+        """Default grading: exact match up to surrounding whitespace."""
+        return model_output.strip() == example.output_text.strip()
+
+
+class AdditionTask(Task):
+    """Single- or multi-digit addition, e.g. '23+45' -> '68'."""
+
+    def __init__(self, digits: int = 1):
+        if digits < 1:
+            raise ValueError("digits must be >= 1")
+        self.digits = digits
+        self.name = f"addition_{digits}d"
+
+    def generate_one(self, rng: np.random.Generator) -> Example:
+        high = 10**self.digits
+        a, b = int(rng.integers(0, high)), int(rng.integers(0, high))
+        return Example(f"{a}+{b}", str(a + b))
+
+
+class SubtractionTask(Task):
+    """Non-negative subtraction, e.g. '7-3' -> '4'."""
+
+    def __init__(self, digits: int = 1):
+        self.digits = digits
+        self.name = f"subtraction_{digits}d"
+
+    def generate_one(self, rng: np.random.Generator) -> Example:
+        high = 10**self.digits
+        a, b = sorted((int(rng.integers(0, high)), int(rng.integers(0, high))))
+        return Example(f"{b}-{a}", str(b - a))
+
+
+class ModularArithmeticTask(Task):
+    """'a+b%m' -> (a+b) mod m; the §4 toy-world staple."""
+
+    def __init__(self, modulus: int = 7):
+        if modulus < 2:
+            raise ValueError("modulus must be >= 2")
+        self.modulus = modulus
+        self.name = f"mod{modulus}_addition"
+
+    def generate_one(self, rng: np.random.Generator) -> Example:
+        a = int(rng.integers(0, self.modulus))
+        b = int(rng.integers(0, self.modulus))
+        return Example(f"{a}+{b}%{self.modulus}", str((a + b) % self.modulus))
+
+
+class CopyTask(Task):
+    """Repeat the input string verbatim."""
+
+    def __init__(self, length: int = 4, alphabet: str = "abcdefghij"):
+        self.length = length
+        self.alphabet = alphabet
+        self.name = f"copy_{length}"
+
+    def generate_one(self, rng: np.random.Generator) -> Example:
+        s = "".join(rng.choice(list(self.alphabet), size=self.length))
+        return Example(s, s)
+
+
+class ReverseTask(Task):
+    """Reverse the input string — letter rearrangement, per §3."""
+
+    def __init__(self, length: int = 4, alphabet: str = "abcdefghij"):
+        self.length = length
+        self.alphabet = alphabet
+        self.name = f"reverse_{length}"
+
+    def generate_one(self, rng: np.random.Generator) -> Example:
+        s = "".join(rng.choice(list(self.alphabet), size=self.length))
+        return Example(s, s[::-1])
+
+
+class SortTask(Task):
+    """Sort the input letters alphabetically (anagram canonicalisation)."""
+
+    def __init__(self, length: int = 4, alphabet: str = "abcdefghij"):
+        self.length = length
+        self.alphabet = alphabet
+        self.name = f"sort_{length}"
+
+    def generate_one(self, rng: np.random.Generator) -> Example:
+        s = "".join(rng.choice(list(self.alphabet), size=self.length))
+        return Example(s, "".join(sorted(s)))
+
+
+class ComparisonTask(Task):
+    """'a>b?' -> the larger number (common-sense comparison)."""
+
+    def __init__(self, digits: int = 1):
+        self.digits = digits
+        self.name = f"max_{digits}d"
+
+    def generate_one(self, rng: np.random.Generator) -> Example:
+        high = 10**self.digits
+        a, b = int(rng.integers(0, high)), int(rng.integers(0, high))
+        return Example(f"{a}>{b}?", str(max(a, b)))
+
+
+class SuccessorTask(Task):
+    """Next letter in the alphabet: 'c' -> 'd' (wrapping)."""
+
+    def __init__(self, alphabet: str = "abcdefghij"):
+        self.alphabet = alphabet
+        self.name = "successor"
+
+    def generate_one(self, rng: np.random.Generator) -> Example:
+        i = int(rng.integers(0, len(self.alphabet)))
+        return Example(self.alphabet[i],
+                       self.alphabet[(i + 1) % len(self.alphabet)])
+
+
+def default_suite() -> list[Task]:
+    """The standard task mixture used by the examples and benches."""
+    return [
+        AdditionTask(digits=1),
+        SubtractionTask(digits=1),
+        ModularArithmeticTask(modulus=7),
+        CopyTask(length=4),
+        ReverseTask(length=4),
+        SortTask(length=4),
+        ComparisonTask(digits=1),
+        SuccessorTask(),
+    ]
+
+
+def render_example(example: Example) -> str:
+    return f"{example.input_text}{_ARROW}{example.output_text}"
+
+
+def few_shot_prompt(shots: list[Example], query: Example) -> str:
+    """k demonstrations then the query input, ending at the '=' cue."""
+    parts = [render_example(s) for s in shots]
+    parts.append(f"{query.input_text}{_ARROW}")
+    return _SEPARATOR.join(parts)
+
+
+def mixture_text(tasks: list[Task], rng: np.random.Generator,
+                 examples_per_task: int, shots: int = 3) -> str:
+    """Training text: many few-shot episodes sampled across the suite.
+
+    Each line is one complete episode (k demonstrations + completed
+    query), so next-token prediction on this text teaches exactly the
+    few-shot format evaluation uses.
+    """
+    lines: list[str] = []
+    for task in tasks:
+        for _ in range(examples_per_task):
+            episode = task.generate(rng, shots + 1)
+            lines.append(
+                _SEPARATOR.join(render_example(e) for e in episode)
+            )
+    order = rng.permutation(len(lines))
+    return "\n".join(lines[i] for i in order) + "\n"

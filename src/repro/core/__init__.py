@@ -1,0 +1,37 @@
+"""The §6 transformer LLM: config, attention, blocks, GPT, sampling."""
+
+from .attention import MultiHeadSelfAttention, causal_mask
+from .blocks import FeedForward, TransformerBlock
+from .config import TransformerConfig
+from .gpt import TransformerLM
+from .positional import (
+    LearnedPositional,
+    NoPositional,
+    SinusoidalPositional,
+    sinusoidal_positions,
+)
+from .regressor import TransformerRegressor
+from .sampling import (
+    filter_top_k,
+    filter_top_p,
+    logits_to_probs,
+    sample_token,
+)
+
+__all__ = [
+    "TransformerConfig",
+    "TransformerLM",
+    "TransformerRegressor",
+    "MultiHeadSelfAttention",
+    "causal_mask",
+    "FeedForward",
+    "TransformerBlock",
+    "sinusoidal_positions",
+    "SinusoidalPositional",
+    "LearnedPositional",
+    "NoPositional",
+    "sample_token",
+    "logits_to_probs",
+    "filter_top_k",
+    "filter_top_p",
+]

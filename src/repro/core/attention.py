@@ -1,0 +1,122 @@
+"""Multi-head causal self-attention (Eqs. 13-14).
+
+Each output position i is a learned linear map W of a softmax-weighted sum
+of value vectors at positions j <= i, with weights given by the Boltzmann
+form ``c_ij = softmax_j(u_i . B . u_j)``.  The bilinear form B is factored
+into "key" and "query" matrices (the paper's footnote 32), and H heads of
+dimension q = p / H run in parallel and are concatenated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, softmax
+from ..autograd.functional import dropout as dropout_fn
+from ..nn import Linear, Module
+
+_MASK_VALUE = -1e9
+
+
+def causal_mask(seq_len: int, window: int | None = None) -> np.ndarray:
+    """Additive (1, 1, T, T) mask: 0 on allowed pairs, -1e9 elsewhere.
+
+    Implements the j <= i restriction of Eq. 13 that makes the model
+    autoregressive (footnote 33).  With ``window`` set, position i may
+    additionally only attend to the last ``window`` positions — the
+    local/sparse-attention variant §6 cites (Child et al.) as the standard
+    fix for the O(L^2) cost; compute here stays dense (NumPy), but the
+    *connectivity* matches.
+    """
+    mask = np.triu(np.full((seq_len, seq_len), _MASK_VALUE), k=1)
+    if window is not None:
+        if window < 1:
+            raise ValueError("attention window must be >= 1")
+        mask += np.tril(np.full((seq_len, seq_len), _MASK_VALUE), k=-window)
+    return mask[None, None, :, :]
+
+
+class MultiHeadSelfAttention(Module):
+    """H parallel attention heads followed by an output projection."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+        causal: bool = True,
+        window: int | None = None,
+    ):
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.causal = causal
+        self.window = window
+        self.dropout_p = dropout
+        self._rng = rng
+        # Fused query/key/value projection (the factored B of Eq. 14) and
+        # the output map W of Eq. 13.
+        self.qkv = Linear(d_model, 3 * d_model, rng)
+        self.proj = Linear(d_model, d_model, rng)
+
+    def forward(self, x: Tensor, cache: dict | None = None,
+                cache_key: str = "attn") -> Tensor:
+        batch, seq_len, _ = x.shape
+        qkv = self.qkv(x)  # (B, T, 3C)
+        q = qkv[:, :, : self.d_model]
+        k = qkv[:, :, self.d_model : 2 * self.d_model]
+        v = qkv[:, :, 2 * self.d_model :]
+
+        def split_heads(t: Tensor) -> Tensor:
+            return t.reshape(batch, seq_len, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        q, k, v = split_heads(q), split_heads(k), split_heads(v)  # (B, H, T, q)
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        if self.causal:
+            scores = scores + Tensor(causal_mask(seq_len, window=self.window))
+        weights = softmax(scores, axis=-1)  # the c_ij of Eq. 14
+        if cache is not None:
+            cache[f"{cache_key}.weights"] = weights.data.copy()
+        weights = dropout_fn(weights, self.dropout_p, self._rng, training=self.training)
+        out = weights @ v  # (B, H, T, q): the weighted sums of Eq. 13
+        out = out.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.d_model)
+        return self.proj(out)
+
+    def step(self, x_last: np.ndarray, state: dict) -> np.ndarray:
+        """Incremental decoding: one new position against cached keys/values.
+
+        ``x_last`` is the (B, 1, d_model) input for the newest position;
+        ``state`` persists the per-layer K/V arrays between calls (the
+        standard KV cache).  Inference-only plain-NumPy math — per-token
+        cost O(T) instead of the O(T^2) of re-running the full forward.
+        """
+        batch = x_last.shape[0]
+        qkv = x_last.reshape(batch, -1) @ self.qkv.weight.data + self.qkv.bias.data
+        q, k, v = np.split(qkv, 3, axis=-1)
+
+        def heads(t: np.ndarray) -> np.ndarray:
+            return t.reshape(batch, self.num_heads, self.head_dim)
+
+        q, k, v = heads(q), heads(k), heads(v)  # (B, H, hd)
+        if "k" in state:
+            state["k"] = np.concatenate([state["k"], k[:, :, None, :]], axis=2)
+            state["v"] = np.concatenate([state["v"], v[:, :, None, :]], axis=2)
+        else:
+            state["k"] = k[:, :, None, :]
+            state["v"] = v[:, :, None, :]
+        keys, values = state["k"], state["v"]  # (B, H, t, hd)
+        if self.window is not None:
+            keys = keys[:, :, -self.window :, :]
+            values = values[:, :, -self.window :, :]
+        scores = np.einsum("bhd,bhtd->bht", q, keys) / np.sqrt(self.head_dim)
+        scores -= scores.max(axis=-1, keepdims=True)
+        exp = np.exp(scores)
+        attn = exp / exp.sum(axis=-1, keepdims=True)
+        out = np.einsum("bht,bhtd->bhd", attn, values)
+        out = out.reshape(batch, self.d_model)
+        out = out @ self.proj.weight.data + self.proj.bias.data
+        return out[:, None, :]

@@ -1,0 +1,59 @@
+"""Transformer hyperparameters (the quantities listed at the end of §6).
+
+The paper's symbols map to fields as: embedding dimension p -> ``d_model``,
+hidden dimension p_h -> ``d_ff`` (default 4p, as in GPT-3), window length
+L -> ``max_seq_len``, number of heads H -> ``num_heads``, and depth D ->
+``num_layers`` blocks (each block containing one attention and one FFN
+layer, so the paper's layer count is ``2 * num_layers``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+
+@dataclass
+class TransformerConfig:
+    vocab_size: int
+    max_seq_len: int = 64          # L
+    d_model: int = 32              # p
+    num_heads: int = 4             # H   (head dim q = p / H)
+    num_layers: int = 2            # D/2 blocks of (attention, FFN)
+    d_ff: int | None = None        # p_h; defaults to 4 * d_model
+    dropout: float = 0.0
+    positional: str = "learned"    # "learned" | "sinusoidal" | "none"
+    pre_layernorm: bool = True     # pre-LN residual blocks (ablatable)
+    use_residual: bool = True      # residual connections (ablatable)
+    activation: str = "gelu"
+    attention_window: int | None = None  # local/sparse attention span (None = full)
+
+    def __post_init__(self) -> None:
+        if self.d_ff is None:
+            self.d_ff = 4 * self.d_model
+        if self.d_model % self.num_heads != 0:
+            raise ValueError(
+                f"d_model={self.d_model} not divisible by num_heads={self.num_heads}"
+            )
+        if self.positional not in ("learned", "sinusoidal", "none"):
+            raise ValueError(f"unknown positional scheme {self.positional!r}")
+        if self.vocab_size < 1 or self.max_seq_len < 1:
+            raise ValueError("vocab_size and max_seq_len must be positive")
+        if self.attention_window is not None and self.attention_window < 1:
+            raise ValueError("attention_window must be >= 1 when set")
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.num_heads
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TransformerConfig":
+        return cls(**d)
+
+    def approx_num_parameters(self) -> int:
+        """The paper's ~12 D p^2 rule of thumb, plus embedding tables."""
+        blocks = 12 * self.num_layers * self.d_model**2
+        embeddings = self.vocab_size * self.d_model * 2  # in + out tables
+        return blocks + embeddings

@@ -1,0 +1,70 @@
+"""Positional encodings.
+
+Attention alone is permutation-invariant (§6), so the order of the input
+list must be injected explicitly.  Two schemes from the paper:
+
+* :func:`sinusoidal_positions` — the fixed sine/cosine basis of Eq. 15
+  (Vaswani et al.);
+* :class:`LearnedPositional` — "one could instead treat these vectors as
+  learnable parameters".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import Embedding, Module
+
+
+def sinusoidal_positions(max_len: int, dim: int, base: float = 10000.0) -> np.ndarray:
+    """The Eq. 15 table: row ``pos`` holds the encoding of position ``pos``.
+
+    Pairs ``(e_{2i-1}, e_{2i}) = (cos, sin)(pos / base^{2i/dim})``.
+    """
+    if dim % 2 != 0:
+        raise ValueError("sinusoidal positional dimension must be even")
+    positions = np.arange(max_len)[:, None].astype(np.float64)
+    i = np.arange(1, dim // 2 + 1)[None, :].astype(np.float64)
+    angle = positions / base ** (2 * i / dim)
+    table = np.empty((max_len, dim))
+    table[:, 0::2] = np.cos(angle)
+    table[:, 1::2] = np.sin(angle)
+    return table
+
+
+class SinusoidalPositional(Module):
+    """Adds the fixed Eq. 15 table to the input embeddings."""
+
+    def __init__(self, max_len: int, dim: int):
+        super().__init__()
+        self._table = sinusoidal_positions(max_len, dim)
+        self.max_len = max_len
+
+    def forward(self, x: Tensor) -> Tensor:
+        seq_len = x.shape[-2]
+        if seq_len > self.max_len:
+            raise ValueError(f"sequence length {seq_len} exceeds max {self.max_len}")
+        return x + Tensor(self._table[:seq_len])
+
+
+class LearnedPositional(Module):
+    """Adds a trainable position-embedding table to the input embeddings."""
+
+    def __init__(self, max_len: int, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.table = Embedding(max_len, dim, rng)
+        self.max_len = max_len
+
+    def forward(self, x: Tensor) -> Tensor:
+        seq_len = x.shape[-2]
+        if seq_len > self.max_len:
+            raise ValueError(f"sequence length {seq_len} exceeds max {self.max_len}")
+        return x + self.table(np.arange(seq_len))
+
+
+class NoPositional(Module):
+    """Identity — used to demonstrate the permutation-invariance failure."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,63 @@
+"""Transformer over continuous inputs, for in-context regression (§4, E9).
+
+Garg et al.'s setting: the "tokens" are real vectors — alternating inputs
+x_i and (padded) labels y_i — and the model is trained to predict y at the
+final position.  Token embedding is replaced by a linear read-in and the
+LM head by a scalar read-out; everything in between is the §6 stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..nn import LayerNorm, Linear, Module
+from .blocks import TransformerBlock
+from .config import TransformerConfig
+from .positional import LearnedPositional, SinusoidalPositional
+
+
+class TransformerRegressor(Module):
+    """Causal transformer mapping (B, T, in_dim) floats to (B, T) scalars."""
+
+    def __init__(self, in_dim: int, config: TransformerConfig,
+                 rng: np.random.Generator | int = 0):
+        super().__init__()
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(rng)
+        self.config = config
+        self.in_dim = in_dim
+        self.read_in = Linear(in_dim, config.d_model, rng)
+        if config.positional == "sinusoidal":
+            self.positional = SinusoidalPositional(config.max_seq_len, config.d_model)
+        else:
+            self.positional = LearnedPositional(config.max_seq_len, config.d_model, rng)
+        self.blocks = [TransformerBlock(config, rng) for _ in range(config.num_layers)]
+        self.final_norm = LayerNorm(config.d_model)
+        self.read_out = Linear(config.d_model, 1, rng)
+
+    def forward(self, x: np.ndarray | Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x, dtype=np.float64))
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, T, in_dim) input, got shape {x.shape}")
+        if x.shape[1] > self.config.max_seq_len:
+            raise ValueError("sequence longer than configured window")
+        h = self.positional(self.read_in(x))
+        for block in self.blocks:
+            h = block(h)
+        h = self.final_norm(h)
+        out = self.read_out(h)  # (B, T, 1)
+        return out.reshape(out.shape[0], out.shape[1])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference-mode forward returning a plain array."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                out = self.forward(x)
+        finally:
+            if was_training:
+                self.train()
+        return out.data

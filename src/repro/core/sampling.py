@@ -1,0 +1,77 @@
+"""Sampling from next-token logits (Eq. 8 and its practical refinements).
+
+Eq. 8 turns a prediction vector into a Boltzmann distribution with inverse
+temperature beta = 1/T; T -> 0 recovers argmax ("greedy"), larger T
+flattens the distribution.  Top-k and nucleus (top-p) filtering are the
+standard truncations used by deployed LLMs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def logits_to_probs(logits: np.ndarray, temperature: float = 1.0) -> np.ndarray:
+    """Eq. 8: softmax of logits / T, computed stably."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive; use greedy=True for T -> 0")
+    scaled = np.asarray(logits, dtype=np.float64) / temperature
+    scaled -= scaled.max()
+    e = np.exp(scaled)
+    return e / e.sum()
+
+
+def filter_top_k(logits: np.ndarray, k: int) -> np.ndarray:
+    """Keep the k largest logits; set the rest to -inf."""
+    if k < 1:
+        raise ValueError("top_k must be >= 1")
+    logits = np.asarray(logits, dtype=np.float64)
+    if k >= logits.size:
+        return logits.copy()
+    threshold = np.partition(logits, -k)[-k]
+    out = logits.copy()
+    out[out < threshold] = -np.inf
+    return out
+
+
+def filter_top_p(logits: np.ndarray, p: float, temperature: float = 1.0) -> np.ndarray:
+    """Nucleus filtering: keep the smallest set of tokens with mass >= p."""
+    if not 0.0 < p <= 1.0:
+        raise ValueError("top_p must be in (0, 1]")
+    logits = np.asarray(logits, dtype=np.float64)
+    probs = logits_to_probs(logits, temperature)
+    order = np.argsort(-probs)
+    cumulative = np.cumsum(probs[order])
+    cutoff = int(np.searchsorted(cumulative, p)) + 1
+    keep = order[:cutoff]
+    out = np.full_like(logits, -np.inf)
+    out[keep] = logits[keep]
+    return out
+
+
+def sample_token(
+    logits: np.ndarray,
+    rng: np.random.Generator | None = None,
+    temperature: float = 1.0,
+    top_k: int | None = None,
+    top_p: float | None = None,
+    greedy: bool = False,
+) -> int:
+    """Draw one token id from next-token ``logits``.
+
+    ``greedy=True`` is the beta -> infinity / argmax limit of Eq. 8 and
+    needs no randomness; otherwise ``rng`` is required.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 1:
+        raise ValueError("sample_token expects a 1-D logits vector")
+    if greedy:
+        return int(np.argmax(logits))
+    if rng is None:
+        raise ValueError("rng is required for stochastic sampling")
+    if top_k is not None:
+        logits = filter_top_k(logits, top_k)
+    if top_p is not None:
+        logits = filter_top_p(logits, top_p, temperature)
+    probs = logits_to_probs(logits, temperature)
+    return int(rng.choice(len(probs), p=probs))

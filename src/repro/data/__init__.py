@@ -1,0 +1,48 @@
+"""Text data substrate: vocabularies, tokenizers, batching, synthetic corpora."""
+
+from .corpus import (
+    Corpus,
+    iterate_batches,
+    sample_batch,
+    sequential_batches,
+    train_test_split,
+)
+from .synthetic import (
+    CAPITAL_TRIPLES,
+    GENDER_TRIPLES,
+    PROBLEM_ALPHABET,
+    WordProblem,
+    attribute_world_corpus,
+    capital_analogy_questions,
+    diversity_corpus,
+    gender_analogy_questions,
+    math_word_problems,
+    render_problem,
+    solve_left_to_right,
+)
+from .tokenizers import BPETokenizer, CharTokenizer, Tokenizer, WordTokenizer
+from .vocab import Vocabulary
+
+__all__ = [
+    "Vocabulary",
+    "Tokenizer",
+    "CharTokenizer",
+    "WordTokenizer",
+    "BPETokenizer",
+    "Corpus",
+    "train_test_split",
+    "sample_batch",
+    "iterate_batches",
+    "sequential_batches",
+    "attribute_world_corpus",
+    "gender_analogy_questions",
+    "capital_analogy_questions",
+    "GENDER_TRIPLES",
+    "CAPITAL_TRIPLES",
+    "math_word_problems",
+    "render_problem",
+    "solve_left_to_right",
+    "WordProblem",
+    "PROBLEM_ALPHABET",
+    "diversity_corpus",
+]

@@ -1,0 +1,108 @@
+"""Token-stream utilities: splits and (B, T) next-word-prediction batches.
+
+Training an autoregressive model (Eq. 3) needs pairs ``(x, y)`` where
+``y`` is ``x`` shifted one position left.  :func:`sample_batches` draws
+random windows from a contiguous id stream, which is how LLM training
+consumes a corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+def train_test_split(ids: Sequence[int], test_fraction: float = 0.1) -> tuple[np.ndarray, np.ndarray]:
+    """Split a contiguous token stream into train/held-out pieces.
+
+    The held-out piece is the *tail* of the stream (held-out text, per the
+    paper's footnote 17), not a random shuffle — shuffling tokens would
+    destroy the sequential structure the model must generalise to.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    cut = int(len(ids) * (1.0 - test_fraction))
+    if cut < 2 or len(ids) - cut < 2:
+        raise ValueError("corpus too small to split")
+    return ids[:cut], ids[cut:]
+
+
+def sample_batch(
+    ids: np.ndarray, batch_size: int, seq_len: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``batch_size`` random windows; returns (x, y) of shape (B, T)."""
+    ids = np.asarray(ids, dtype=np.int64)
+    if len(ids) < seq_len + 1:
+        raise ValueError(f"corpus of {len(ids)} tokens too short for seq_len={seq_len}")
+    starts = rng.integers(0, len(ids) - seq_len, size=batch_size)
+    x = np.stack([ids[s : s + seq_len] for s in starts])
+    y = np.stack([ids[s + 1 : s + seq_len + 1] for s in starts])
+    return x, y
+
+
+def iterate_batches(
+    ids: np.ndarray,
+    batch_size: int,
+    seq_len: int,
+    num_batches: int,
+    rng: np.random.Generator,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``num_batches`` random (x, y) batches."""
+    for _ in range(num_batches):
+        yield sample_batch(ids, batch_size, seq_len, rng)
+
+
+def sequential_batches(
+    ids: np.ndarray, batch_size: int, seq_len: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Deterministic full-coverage batches for evaluation.
+
+    Splits the stream into non-overlapping windows of ``seq_len + 1`` and
+    groups them ``batch_size`` at a time; a final ragged group is yielded
+    smaller rather than dropped.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    n_windows = (len(ids) - 1) // seq_len
+    windows = [
+        (ids[i * seq_len : i * seq_len + seq_len],
+         ids[i * seq_len + 1 : i * seq_len + seq_len + 1])
+        for i in range(n_windows)
+    ]
+    for i in range(0, len(windows), batch_size):
+        group = windows[i : i + batch_size]
+        yield np.stack([g[0] for g in group]), np.stack([g[1] for g in group])
+
+
+@dataclass
+class Corpus:
+    """A tokenized corpus bundled with its vocabulary-facing metadata."""
+
+    train_ids: np.ndarray
+    test_ids: np.ndarray
+    vocab_size: int
+
+    @classmethod
+    def from_ids(cls, ids: Sequence[int], vocab_size: int, test_fraction: float = 0.1) -> "Corpus":
+        train, test = train_test_split(ids, test_fraction)
+        return cls(train_ids=train, test_ids=test, vocab_size=vocab_size)
+
+    @property
+    def num_train_tokens(self) -> int:
+        """The paper's dataset size D, in tokens."""
+        return int(len(self.train_ids))
+
+    def subset(self, num_tokens: int) -> "Corpus":
+        """Restrict the training stream to its first ``num_tokens`` tokens.
+
+        Used by scaling-law sweeps (E2/E4) to vary D at fixed content.
+        """
+        if num_tokens < 2:
+            raise ValueError("need at least 2 tokens")
+        return Corpus(
+            train_ids=self.train_ids[: min(num_tokens, len(self.train_ids))],
+            test_ids=self.test_ids,
+            vocab_size=self.vocab_size,
+        )

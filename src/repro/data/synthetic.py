@@ -1,0 +1,228 @@
+"""Synthetic corpora with known structure.
+
+The paper argues (§4) that phenomenology is "better studied in simpler
+tasks using synthetic data".  These generators stand in for web-scale text:
+
+* :func:`attribute_world_corpus` — a templated world whose co-occurrence
+  statistics *provably* satisfy the ratio identity (Eq. 10) behind the
+  king - man + woman = queen analogy (Eq. 9).
+* :func:`math_word_problems` — multi-step arithmetic questions rendered
+  with or without chain-of-thought steps (the Figure-1 / Minerva setting).
+* :func:`diversity_corpus` — corpora of equal token count but varying
+  sentence diversity, for the data-pruning/diversity claim (E16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Attribute world (for word-embedding analogies, Eqs. 9-10)
+# ---------------------------------------------------------------------------
+
+#: (concept, male word, female word) triples; each concept also gets its own
+#: context vocabulary below.
+GENDER_TRIPLES: list[tuple[str, str, str]] = [
+    ("royal", "king", "queen"),
+    ("noble", "lord", "lady"),
+    ("child", "boy", "girl"),
+    ("parent", "father", "mother"),
+    ("sibling", "brother", "sister"),
+    ("heir", "prince", "princess"),
+    ("performer", "actor", "actress"),
+    ("person", "man", "woman"),
+    ("relative", "uncle", "aunt"),
+    ("server", "waiter", "waitress"),
+]
+
+_CONCEPT_CONTEXT: dict[str, list[str]] = {
+    "royal": ["throne", "crown", "palace", "ruled"],
+    "noble": ["manor", "estate", "title", "bowed"],
+    "child": ["played", "school", "toys", "small"],
+    "parent": ["home", "cared", "raised", "family"],
+    "sibling": ["shared", "twin", "argued", "together"],
+    "heir": ["young", "court", "trained", "succeed"],
+    "performer": ["stage", "theater", "applause", "acted"],
+    "person": ["walked", "street", "spoke", "ordinary"],
+    "relative": ["visited", "holiday", "gift", "distant"],
+    "server": ["tray", "table", "served", "kitchen"],
+}
+
+_GENDER_CONTEXT: dict[str, list[str]] = {
+    "male": ["he", "him", "his", "himself"],
+    "female": ["she", "her", "hers", "herself"],
+}
+
+#: (region id, country, capital) triples for the second analogy family.
+CAPITAL_TRIPLES: list[tuple[str, str, str]] = [
+    ("gaul", "france", "paris"),
+    ("italia", "italy", "rome"),
+    ("iberia", "spain", "madrid"),
+    ("hellas", "greece", "athens"),
+    ("nippon", "japan", "tokyo"),
+    ("misr", "egypt", "cairo"),
+]
+
+_COUNTRY_CONTEXT = ["nation", "borders", "countryside", "province"]
+_CITY_CONTEXT = ["streets", "downtown", "buildings", "plaza"]
+
+
+def attribute_world_corpus(rng: np.random.Generator, num_sentences: int = 4000) -> str:
+    """Generate text whose co-occurrence statistics support Eq. 9 analogies.
+
+    Each sentence surrounds a target word with context drawn from (a) its
+    concept's vocabulary and (b) its attribute's vocabulary (gender, or
+    region for country/capital pairs).  The resulting co-occurrence column
+    of a word is approximately concept-vector + attribute-vector, which is
+    exactly the additive structure word-vector arithmetic exploits.
+    """
+    sentences: list[str] = []
+    for _ in range(num_sentences):
+        if rng.random() < 0.7:
+            concept, male, female = GENDER_TRIPLES[rng.integers(len(GENDER_TRIPLES))]
+            gender = "male" if rng.random() < 0.5 else "female"
+            word = male if gender == "male" else female
+            ctx_a = rng.choice(_CONCEPT_CONTEXT[concept], size=2, replace=False)
+            ctx_b = rng.choice(_GENDER_CONTEXT[gender], size=2, replace=False)
+            sentences.append(
+                f"the {word} {ctx_a[0]} near the {ctx_a[1]} and {ctx_b[0]} "
+                f"kept {ctx_b[1]} calm"
+            )
+        else:
+            region, country, capital = CAPITAL_TRIPLES[rng.integers(len(CAPITAL_TRIPLES))]
+            is_city = rng.random() < 0.5
+            word = capital if is_city else country
+            kind_ctx = _CITY_CONTEXT if is_city else _COUNTRY_CONTEXT
+            ctx = rng.choice(kind_ctx, size=2, replace=False)
+            sentences.append(
+                f"in {word} the {ctx[0]} of {region} meet the {ctx[1]} quietly"
+            )
+    return " . ".join(sentences) + " ."
+
+
+def gender_analogy_questions() -> list[tuple[str, str, str, str]]:
+    """All (a, b, c, d) with a - b + c ~ d, e.g. king - man + woman = queen.
+
+    Quadruples pair distinct concepts that share the gender axis.
+    """
+    questions = []
+    for concept_i, male_i, female_i in GENDER_TRIPLES:
+        for concept_j, male_j, female_j in GENDER_TRIPLES:
+            if concept_i == concept_j:
+                continue
+            # male_i - male_j + female_j ~ female_i
+            questions.append((male_i, male_j, female_j, female_i))
+    return questions
+
+
+def capital_analogy_questions() -> list[tuple[str, str, str, str]]:
+    """(paris, france, italy, rome)-style quadruples."""
+    questions = []
+    for _, country_i, capital_i in CAPITAL_TRIPLES:
+        for _, country_j, capital_j in CAPITAL_TRIPLES:
+            if country_i == country_j:
+                continue
+            questions.append((capital_i, country_i, country_j, capital_j))
+    return questions
+
+
+# ---------------------------------------------------------------------------
+# Multi-step arithmetic word problems (Figure 1 / chain-of-thought, E1)
+# ---------------------------------------------------------------------------
+
+
+def solve_left_to_right(operands: list[int], ops: list[str], modulus: int = 10) -> list[int]:
+    """Evaluate ``a op b op c ...`` strictly left to right, mod ``modulus``.
+
+    Returns the list of intermediate results (one per op), the last of
+    which is the final answer.
+    """
+    if len(operands) != len(ops) + 1:
+        raise ValueError("need exactly one more operand than ops")
+    acc = operands[0]
+    steps: list[int] = []
+    for op, operand in zip(ops, operands[1:]):
+        if op == "+":
+            acc = (acc + operand) % modulus
+        elif op == "*":
+            acc = (acc * operand) % modulus
+        else:
+            raise ValueError(f"unsupported op {op!r}")
+        steps.append(acc)
+    return steps
+
+
+@dataclass(frozen=True)
+class WordProblem:
+    """One rendered problem: the prompt the model sees and the full target."""
+
+    prompt: str   # up to and including the cue character (':' or '=')
+    completion: str  # what the model should generate, ending with '\n'
+    answer: int
+
+    @property
+    def text(self) -> str:
+        return self.prompt + self.completion
+
+
+def render_problem(operands: list[int], ops: list[str], chain_of_thought: bool,
+                   modulus: int = 10) -> WordProblem:
+    """Render one problem.
+
+    Direct format:  ``Q3+4*2=4\\n``  (prompt ends at '=')
+    CoT format:     ``Q3+4*2:7:4=4\\n``  (prompt ends at ':'; the model must
+    emit each left-to-right intermediate, then '=' and the answer.)
+    """
+    expr = str(operands[0]) + "".join(f"{op}{x}" for op, x in zip(ops, operands[1:]))
+    steps = solve_left_to_right(operands, ops, modulus)
+    answer = steps[-1]
+    if chain_of_thought:
+        chain = "".join(f"{s}:" for s in steps[:-1])
+        return WordProblem(prompt=f"Q{expr}:", completion=f"{chain}={answer}\n"
+                           if steps[:-1] else f"={answer}\n", answer=answer)
+    return WordProblem(prompt=f"Q{expr}=", completion=f"{answer}\n", answer=answer)
+
+
+def math_word_problems(
+    rng: np.random.Generator,
+    count: int,
+    num_ops: int = 2,
+    chain_of_thought: bool = False,
+    modulus: int = 10,
+) -> list[WordProblem]:
+    """Sample ``count`` distinct-ish multi-step problems."""
+    problems = []
+    for _ in range(count):
+        operands = [int(d) for d in rng.integers(0, modulus, size=num_ops + 1)]
+        ops = [("+", "*")[b] for b in rng.integers(0, 2, size=num_ops)]
+        problems.append(render_problem(operands, ops, chain_of_thought, modulus))
+    return problems
+
+
+PROBLEM_ALPHABET = "Q0123456789+*:=\n"
+
+
+# ---------------------------------------------------------------------------
+# Diversity-controlled corpora (data pruning / diversity, E16)
+# ---------------------------------------------------------------------------
+
+
+def diversity_corpus(
+    rng: np.random.Generator, num_sentences: int, num_distinct: int
+) -> str:
+    """A corpus of ``num_sentences`` drawn from only ``num_distinct`` types.
+
+    Smaller ``num_distinct`` means a more duplicated, less diverse corpus of
+    the *same* token count — the controlled comparison behind the claim
+    that "sets of data items are worth more if they are diverse".
+    """
+    if num_distinct < 1:
+        raise ValueError("need at least one distinct sentence")
+    pool_rng = np.random.default_rng(12345)  # fixed pool shared across calls
+    pool = attribute_world_corpus(pool_rng, num_sentences=max(num_distinct, 1))
+    pool_sentences = [s.strip(" .") for s in pool.split(" . ") if s.strip(" .")]
+    pool_sentences = pool_sentences[:num_distinct]
+    picks = rng.integers(0, len(pool_sentences), size=num_sentences)
+    return " . ".join(pool_sentences[i] for i in picks) + " ."

@@ -1,0 +1,176 @@
+"""Tokenizers: character, word, and byte-pair-encoding (BPE).
+
+The paper (§5) motivates tokenization with "supersymmetrization" breaking
+into "super" + "symmetr(y)" + "ization": meaningful sub-word pieces that
+recur across many words.  :class:`BPETokenizer` learns exactly such pieces
+by greedily merging the most frequent adjacent symbol pair, the algorithm
+used (at much larger scale) by the GPT series.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable, Sequence
+
+from .vocab import Vocabulary
+
+
+class Tokenizer:
+    """Common interface: text -> tokens -> ids and back."""
+
+    vocab: Vocabulary
+
+    def tokenize(self, text: str) -> list[str]:
+        raise NotImplementedError
+
+    def detokenize(self, tokens: Sequence[str]) -> str:
+        raise NotImplementedError
+
+    def encode(self, text: str) -> list[int]:
+        return self.vocab.encode(self.tokenize(text))
+
+    def decode(self, ids: Iterable[int]) -> str:
+        return self.detokenize(self.vocab.decode(ids))
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+
+class CharTokenizer(Tokenizer):
+    """One token per character; the smallest possible token inventory."""
+
+    def __init__(self, text_or_alphabet: Iterable[str], unk_token: str | None = None):
+        alphabet = sorted(set(text_or_alphabet))
+        specials = [unk_token] if unk_token else []
+        self.vocab = Vocabulary(specials + [c for c in alphabet if c not in specials],
+                                unk_token=unk_token)
+
+    def tokenize(self, text: str) -> list[str]:
+        return list(text)
+
+    def detokenize(self, tokens: Sequence[str]) -> str:
+        return "".join(tokens)
+
+
+_WORD_RE = re.compile(r"\w+|[^\w\s]")
+
+
+class WordTokenizer(Tokenizer):
+    """Whitespace/punctuation word tokenizer (the naive |W| = words case)."""
+
+    def __init__(
+        self,
+        corpus_text: str,
+        min_count: int = 1,
+        max_size: int | None = None,
+        unk_token: str = "<unk>",
+        lowercase: bool = True,
+    ):
+        self.lowercase = lowercase
+        tokens = self._split(corpus_text)
+        self.vocab = Vocabulary.from_corpus(
+            tokens, min_count=min_count, max_size=max_size, unk_token=unk_token
+        )
+
+    def _split(self, text: str) -> list[str]:
+        if self.lowercase:
+            text = text.lower()
+        return _WORD_RE.findall(text)
+
+    def tokenize(self, text: str) -> list[str]:
+        return self._split(text)
+
+    def detokenize(self, tokens: Sequence[str]) -> str:
+        return " ".join(tokens)
+
+
+_END_OF_WORD = "</w>"
+
+
+class BPETokenizer(Tokenizer):
+    """Byte-pair encoding learned from a training text.
+
+    Words are first split on whitespace; each word becomes a sequence of
+    characters plus an end-of-word marker.  Training repeatedly merges the
+    most frequent adjacent pair into a new symbol; encoding replays the
+    merges in learned order.
+    """
+
+    def __init__(self, corpus_text: str, num_merges: int, lowercase: bool = True,
+                 unk_token: str = "<unk>"):
+        if num_merges < 0:
+            raise ValueError("num_merges must be non-negative")
+        self.lowercase = lowercase
+        self.num_merges = num_merges
+        if lowercase:
+            corpus_text = corpus_text.lower()
+        word_counts = Counter(corpus_text.split())
+        if not word_counts:
+            raise ValueError("cannot train BPE on empty text")
+
+        # Represent each distinct word as a tuple of current symbols.
+        words: dict[tuple[str, ...], int] = {
+            tuple(word) + (_END_OF_WORD,): count for word, count in word_counts.items()
+        }
+        merges: list[tuple[str, str]] = []
+        for _ in range(num_merges):
+            pair_counts: Counter[tuple[str, str]] = Counter()
+            for symbols, count in words.items():
+                for a, b in zip(symbols, symbols[1:]):
+                    pair_counts[(a, b)] += count
+            if not pair_counts:
+                break
+            # Deterministic tie-break: highest count, then lexicographic.
+            best = max(pair_counts, key=lambda p: (pair_counts[p], p[0], p[1]))
+            if pair_counts[best] < 2:
+                break
+            merges.append(best)
+            words = {self._merge_word(w, best): c for w, c in words.items()}
+
+        self.merges = merges
+        self._merge_ranks = {pair: i for i, pair in enumerate(merges)}
+        symbols: set[str] = set()
+        for symbols_tuple in words:
+            symbols.update(symbols_tuple)
+        # Always include single characters so unseen words stay encodable.
+        symbols.update(set(corpus_text) - {" ", "\n", "\t"})
+        symbols.add(_END_OF_WORD)
+        self.vocab = Vocabulary([unk_token] + sorted(symbols), unk_token=unk_token)
+
+    @staticmethod
+    def _merge_word(symbols: tuple[str, ...], pair: tuple[str, str]) -> tuple[str, ...]:
+        merged: list[str] = []
+        i = 0
+        while i < len(symbols):
+            if i + 1 < len(symbols) and (symbols[i], symbols[i + 1]) == pair:
+                merged.append(symbols[i] + symbols[i + 1])
+                i += 2
+            else:
+                merged.append(symbols[i])
+                i += 1
+        return tuple(merged)
+
+    def _encode_word(self, word: str) -> list[str]:
+        symbols = tuple(word) + (_END_OF_WORD,)
+        while len(symbols) > 1:
+            pairs = [(symbols[i], symbols[i + 1]) for i in range(len(symbols) - 1)]
+            ranked = [(self._merge_ranks[p], p) for p in pairs if p in self._merge_ranks]
+            if not ranked:
+                break
+            _, best = min(ranked)
+            symbols = self._merge_word(symbols, best)
+        return list(symbols)
+
+    def tokenize(self, text: str) -> list[str]:
+        if self.lowercase:
+            text = text.lower()
+        tokens: list[str] = []
+        for word in text.split():
+            tokens.extend(self._encode_word(word))
+        return tokens
+
+    def detokenize(self, tokens: Sequence[str]) -> str:
+        text = "".join(tokens)
+        return text.replace(_END_OF_WORD, " ").strip()

@@ -1,0 +1,84 @@
+"""Vocabulary: the bidirectional map between tokens and integer ids.
+
+This is the set W of the paper's §5; ``len(vocab)`` is |W|, and encoding a
+string of words gives the index sequence every model in this library
+consumes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+
+class Vocabulary:
+    """Immutable token <-> id mapping with optional special tokens."""
+
+    def __init__(self, tokens: Sequence[str], unk_token: str | None = None):
+        seen: dict[str, int] = {}
+        for tok in tokens:
+            if tok in seen:
+                raise ValueError(f"duplicate token {tok!r}")
+            seen[tok] = len(seen)
+        self._token_to_id = seen
+        self._id_to_token = list(tokens)
+        self.unk_token = unk_token
+        if unk_token is not None and unk_token not in seen:
+            raise ValueError(f"unk token {unk_token!r} not in vocabulary")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_corpus(
+        cls,
+        tokens: Iterable[str],
+        min_count: int = 1,
+        max_size: int | None = None,
+        specials: Sequence[str] = (),
+        unk_token: str | None = None,
+    ) -> "Vocabulary":
+        """Build a vocabulary from a token stream, most frequent first."""
+        counts = Counter(tokens)
+        items = [(tok, c) for tok, c in counts.items() if c >= min_count]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        ordered = list(specials)
+        if unk_token is not None and unk_token not in ordered:
+            ordered.append(unk_token)
+        present = set(ordered)
+        for tok, _count in items:
+            if max_size is not None and len(ordered) >= max_size:
+                break
+            if tok in present:
+                continue
+            ordered.append(tok)
+            present.add(tok)
+        return cls(ordered, unk_token=unk_token)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self):
+        return iter(self._id_to_token)
+
+    @property
+    def tokens(self) -> list[str]:
+        return list(self._id_to_token)
+
+    def token_to_id(self, token: str) -> int:
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        if self.unk_token is not None:
+            return self._token_to_id[self.unk_token]
+        raise KeyError(f"token {token!r} not in vocabulary and no unk token set")
+
+    def id_to_token(self, idx: int) -> str:
+        return self._id_to_token[idx]
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        return [self.token_to_id(t) for t in tokens]
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        return [self._id_to_token[int(i)] for i in ids]

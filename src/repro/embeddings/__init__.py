@@ -1,0 +1,24 @@
+"""Distributional word embeddings (§5): co-occurrence, PPMI, SVD, analogies."""
+
+from .analogy import (
+    AnalogyReport,
+    analogy_query,
+    evaluate_analogies,
+    nearest_words,
+)
+from .cooccurrence import cooccurrence_matrix, word_counts
+from .pca import center_rows, explained_variance, svd_embedding
+from .ppmi import pmi_matrix
+
+__all__ = [
+    "cooccurrence_matrix",
+    "word_counts",
+    "pmi_matrix",
+    "svd_embedding",
+    "explained_variance",
+    "center_rows",
+    "analogy_query",
+    "nearest_words",
+    "evaluate_analogies",
+    "AnalogyReport",
+]

@@ -1,0 +1,92 @@
+"""Word-vector arithmetic: the Eq. 9 analogy test.
+
+``iota(king) - iota(man) + iota(woman) ~ iota(queen)``: form the query
+vector, find the nearest embedding by cosine similarity (excluding the
+three query words, the standard convention), and score top-1 accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..data.vocab import Vocabulary
+
+
+def _normalise(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return matrix / norms
+
+
+def nearest_words(
+    embeddings: np.ndarray,
+    vocab: Vocabulary,
+    query: np.ndarray,
+    k: int = 5,
+    exclude: Sequence[str] = (),
+) -> list[tuple[str, float]]:
+    """Top-k words by cosine similarity to ``query``."""
+    unit = _normalise(np.asarray(embeddings, dtype=np.float64))
+    q = np.asarray(query, dtype=np.float64)
+    q_norm = np.linalg.norm(q)
+    if q_norm == 0:
+        raise ValueError("zero query vector")
+    sims = unit @ (q / q_norm)
+    for word in exclude:
+        if word in vocab:
+            sims[vocab.token_to_id(word)] = -np.inf
+    order = np.argsort(-sims)[:k]
+    return [(vocab.id_to_token(int(i)), float(sims[i])) for i in order]
+
+
+def analogy_query(
+    embeddings: np.ndarray, vocab: Vocabulary, a: str, b: str, c: str
+) -> np.ndarray:
+    """The Eq. 9 query vector v(a) - v(b) + v(c)."""
+    for word in (a, b, c):
+        if word not in vocab:
+            raise KeyError(f"{word!r} not in vocabulary")
+    e = np.asarray(embeddings, dtype=np.float64)
+    return (e[vocab.token_to_id(a)] - e[vocab.token_to_id(b)]
+            + e[vocab.token_to_id(c)])
+
+
+@dataclass
+class AnalogyReport:
+    total: int
+    correct: int
+    failures: list[tuple[str, str, str, str, str]]  # (a, b, c, expected, got)
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+
+def evaluate_analogies(
+    embeddings: np.ndarray,
+    vocab: Vocabulary,
+    questions: Sequence[tuple[str, str, str, str]],
+) -> AnalogyReport:
+    """Top-1 accuracy of a - b + c ~ d over a question set.
+
+    Questions whose words are missing from the vocabulary are skipped
+    (they cannot be asked of this embedding).
+    """
+    correct = 0
+    total = 0
+    failures: list[tuple[str, str, str, str, str]] = []
+    for a, b, c, expected in questions:
+        if any(w not in vocab for w in (a, b, c, expected)):
+            continue
+        total += 1
+        query = analogy_query(embeddings, vocab, a, b, c)
+        top = nearest_words(embeddings, vocab, query, k=1, exclude=(a, b, c))
+        got = top[0][0]
+        if got == expected:
+            correct += 1
+        else:
+            failures.append((a, b, c, expected, got))
+    return AnalogyReport(total=total, correct=correct, failures=failures)

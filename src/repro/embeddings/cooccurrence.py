@@ -1,0 +1,41 @@
+"""Co-occurrence matrices: the distributional-hypothesis workhorse (§5).
+
+"You shall know a word by the company it keeps": the (w, w') entry of the
+co-occurrence matrix counts how often the two words appear within the same
+window, and its columns are the first, |W|-dimensional word embedding
+(Eq. 7) from which PPMI/PCA refinements are derived.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cooccurrence_matrix(
+    ids: np.ndarray, vocab_size: int, window: int = 4, symmetric: bool = True
+) -> np.ndarray:
+    """Count pairs within ``window`` positions of each other.
+
+    With ``symmetric=True`` the matrix counts unordered neighbour pairs
+    (the paper's M_N with N = window + 1, up to double counting on the
+    diagonal direction); otherwise only left-contexts are counted.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if ids.size and (ids.min() < 0 or ids.max() >= vocab_size):
+        raise ValueError("token id out of range")
+    matrix = np.zeros((vocab_size, vocab_size))
+    for offset in range(1, window + 1):
+        left = ids[:-offset]
+        right = ids[offset:]
+        np.add.at(matrix, (right, left), 1.0)
+    if symmetric:
+        matrix = matrix + matrix.T
+    return matrix
+
+
+def word_counts(ids: np.ndarray, vocab_size: int) -> np.ndarray:
+    """#(w) for every word — the normaliser in the Eq. 10 ratios."""
+    ids = np.asarray(ids, dtype=np.int64)
+    return np.bincount(ids, minlength=vocab_size).astype(np.float64)

@@ -1,0 +1,43 @@
+"""Dimensionality reduction of word vectors (§5's "rank-p approximation").
+
+The raw co-occurrence columns live in |W| dimensions with many zeros; a
+truncated SVD gives the best low-rank approximation (the paper's PCA step)
+and also demonstrates the §7 "compression" point — interpretable
+high-dimensional structure survives projection to a much lower dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def svd_embedding(matrix: np.ndarray, dim: int, scale_by_singular_values: bool = True
+                  ) -> np.ndarray:
+    """Rank-``dim`` embedding of the rows of ``matrix`` via truncated SVD.
+
+    Returns a (|W|, dim) array.  With scaling on, rows are
+    ``U_d diag(s_d)^{1/2}``, the symmetric convention standard for
+    count/PPMI matrices.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if dim < 1 or dim > min(matrix.shape):
+        raise ValueError(f"dim must be in [1, {min(matrix.shape)}]")
+    u, s, _vt = np.linalg.svd(matrix, full_matrices=False)
+    if scale_by_singular_values:
+        return u[:, :dim] * np.sqrt(s[:dim])
+    return u[:, :dim]
+
+
+def explained_variance(matrix: np.ndarray, dim: int) -> float:
+    """Fraction of squared Frobenius mass captured by the top ``dim`` ranks."""
+    s = np.linalg.svd(np.asarray(matrix, dtype=np.float64), compute_uv=False)
+    total = float((s**2).sum())
+    if total == 0:
+        raise ValueError("zero matrix has no variance to explain")
+    return float((s[:dim] ** 2).sum() / total)
+
+
+def center_rows(matrix: np.ndarray) -> np.ndarray:
+    """Subtract the column mean (true PCA preprocessing)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return matrix - matrix.mean(axis=0, keepdims=True)

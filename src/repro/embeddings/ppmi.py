@@ -1,0 +1,37 @@
+"""Positive pointwise mutual information weighting.
+
+The Eq. 10 analogy identity is a statement about ratios of normalised
+co-occurrence counts — i.e. about pointwise mutual information
+``log P(w, u) / (P(w) P(u))``.  Taking logs turns the multiplicative ratio
+structure into the additive structure that vector arithmetic exploits;
+clipping at zero (PPMI) is the standard robustness fix for rare pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pmi_matrix(counts: np.ndarray, positive: bool = True,
+               smoothing: float = 0.75) -> np.ndarray:
+    """(P)PMI transform of a co-occurrence count matrix.
+
+    ``smoothing`` raises context counts to a power < 1 (the word2vec /
+    GloVe context-distribution smoothing), which damps the PMI of rare
+    contexts.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 2 or counts.shape[0] != counts.shape[1]:
+        raise ValueError("expected a square co-occurrence matrix")
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("empty co-occurrence matrix")
+    row = counts.sum(axis=1, keepdims=True)
+    col = counts.sum(axis=0, keepdims=True) ** smoothing
+    col = col / col.sum() * total  # renormalise smoothed context mass
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pmi = np.log(counts * total / (row * col))
+    pmi[~np.isfinite(pmi)] = 0.0 if positive else -np.inf
+    if positive:
+        pmi = np.maximum(pmi, 0.0)
+    return pmi

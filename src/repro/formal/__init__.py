@@ -1,0 +1,24 @@
+"""Formal-language substrate (§5/§7): DFAs, Tomita grammars, RNN->DFA
+extraction — the machinery behind "realistic RNNs are finite state
+machines"."""
+
+from .dfa import DFA
+from .extraction import (
+    ExtractionResult,
+    RNNClassifier,
+    extract_and_evaluate,
+    extract_dfa,
+    extraction_fidelity,
+)
+from .tomita import sample_language_dataset, tomita
+
+__all__ = [
+    "DFA",
+    "tomita",
+    "sample_language_dataset",
+    "RNNClassifier",
+    "extract_dfa",
+    "extraction_fidelity",
+    "extract_and_evaluate",
+    "ExtractionResult",
+]

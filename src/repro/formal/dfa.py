@@ -1,0 +1,150 @@
+"""Deterministic finite automata.
+
+§5 cites the result that under realistic (finite-precision) assumptions
+an RNN's computational class is the finite state machine, recognising
+regular languages [26, 134]; §8 makes the same point for constant-depth
+transformers iterated autoregressively.  This module provides the DFA
+substrate those claims quantify over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A complete DFA over an integer alphabet.
+
+    ``transitions[state][symbol]`` is the successor state; states are
+    ``0..num_states-1``; ``accepting`` is the set of accepting states and
+    ``start`` the initial state.
+    """
+
+    num_states: int
+    alphabet_size: int
+    transitions: tuple[tuple[int, ...], ...]
+    accepting: frozenset[int]
+    start: int = 0
+
+    def __post_init__(self):
+        if self.num_states < 1 or self.alphabet_size < 1:
+            raise ValueError("need at least one state and one symbol")
+        if len(self.transitions) != self.num_states:
+            raise ValueError("transitions must have one row per state")
+        for row in self.transitions:
+            if len(row) != self.alphabet_size:
+                raise ValueError("each state needs one transition per symbol")
+            if any(not 0 <= t < self.num_states for t in row):
+                raise ValueError("transition target out of range")
+        if not 0 <= self.start < self.num_states:
+            raise ValueError("start state out of range")
+        if any(not 0 <= s < self.num_states for s in self.accepting):
+            raise ValueError("accepting state out of range")
+
+    @classmethod
+    def from_dict(cls, transitions: Mapping[int, Mapping[int, int]],
+                  accepting: Iterable[int], start: int = 0,
+                  alphabet_size: int | None = None) -> "DFA":
+        num_states = max(transitions) + 1
+        alphabet_size = alphabet_size or (
+            max(max(row) for row in transitions.values()) + 1
+        )
+        table = tuple(
+            tuple(transitions[s][a] for a in range(alphabet_size))
+            for s in range(num_states)
+        )
+        return cls(num_states=num_states, alphabet_size=alphabet_size,
+                   transitions=table, accepting=frozenset(accepting),
+                   start=start)
+
+    # ------------------------------------------------------------------
+    def step(self, state: int, symbol: int) -> int:
+        return self.transitions[state][symbol]
+
+    def run(self, string: Sequence[int]) -> int:
+        """Final state after consuming ``string`` from the start state."""
+        state = self.start
+        for symbol in string:
+            if not 0 <= symbol < self.alphabet_size:
+                raise ValueError(f"symbol {symbol} outside alphabet")
+            state = self.transitions[state][symbol]
+        return state
+
+    def accepts(self, string: Sequence[int]) -> bool:
+        return self.run(string) in self.accepting
+
+    def state_trace(self, string: Sequence[int]) -> list[int]:
+        """States visited, including the start state (length len+1)."""
+        states = [self.start]
+        for symbol in string:
+            states.append(self.transitions[states[-1]][symbol])
+        return states
+
+    # ------------------------------------------------------------------
+    def reachable_states(self) -> set[int]:
+        seen = {self.start}
+        frontier = [self.start]
+        while frontier:
+            state = frontier.pop()
+            for symbol in range(self.alphabet_size):
+                nxt = self.transitions[state][symbol]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def minimized(self) -> "DFA":
+        """Hopcroft-style partition refinement on reachable states."""
+        reachable = sorted(self.reachable_states())
+        index = {s: i for i, s in enumerate(reachable)}
+        accepting = {index[s] for s in self.accepting if s in index}
+        n = len(reachable)
+        table = [[index[self.transitions[s][a]] for a in range(self.alphabet_size)]
+                 for s in reachable]
+
+        # initial partition: accepting vs non-accepting
+        partition = [0 if i in accepting else 1 for i in range(n)]
+        while True:
+            signature = {}
+            new_partition = []
+            for i in range(n):
+                sig = (partition[i],
+                       tuple(partition[table[i][a]] for a in range(self.alphabet_size)))
+                if sig not in signature:
+                    signature[sig] = len(signature)
+                new_partition.append(signature[sig])
+            if new_partition == partition:
+                break
+            partition = new_partition
+        num_blocks = max(partition) + 1
+        block_table = [[0] * self.alphabet_size for _ in range(num_blocks)]
+        for i in range(n):
+            for a in range(self.alphabet_size):
+                block_table[partition[i]][a] = partition[table[i][a]]
+        return DFA(
+            num_states=num_blocks,
+            alphabet_size=self.alphabet_size,
+            transitions=tuple(tuple(row) for row in block_table),
+            accepting=frozenset(partition[i] for i in accepting),
+            start=partition[index[self.start]],
+        )
+
+    def equivalent_to(self, other: "DFA", max_depth: int = 12) -> bool:
+        """Bounded-depth language equivalence via product-automaton BFS."""
+        if self.alphabet_size != other.alphabet_size:
+            return False
+        seen = set()
+        frontier = [(self.start, other.start, 0)]
+        while frontier:
+            a, b, depth = frontier.pop()
+            if (a in self.accepting) != (b in other.accepting):
+                return False
+            if (a, b) in seen or depth >= max_depth:
+                continue
+            seen.add((a, b))
+            for symbol in range(self.alphabet_size):
+                frontier.append((self.transitions[a][symbol],
+                                 other.transitions[b][symbol], depth + 1))
+        return True

@@ -1,0 +1,166 @@
+"""The Tomita grammars: the standard regular-language RNN benchmark.
+
+Seven binary-alphabet regular languages of graded difficulty, used since
+the early 90s to study what recurrent networks learn and to extract
+automata from them.  Each is given here as an explicit DFA plus a
+balanced dataset sampler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dfa import DFA
+
+_SINK = "sink"  # convention marker in the builders below
+
+
+def tomita_1() -> DFA:
+    """1*: strings with no 0."""
+    return DFA.from_dict(
+        {0: {0: 1, 1: 0}, 1: {0: 1, 1: 1}},
+        accepting=[0], alphabet_size=2,
+    )
+
+
+def tomita_2() -> DFA:
+    """(10)*: alternating 1 0 pairs."""
+    # states: 0 expect-1 (accepting), 1 expect-0, 2 sink
+    return DFA.from_dict(
+        {0: {0: 2, 1: 1}, 1: {0: 0, 1: 2}, 2: {0: 2, 1: 2}},
+        accepting=[0], alphabet_size=2,
+    )
+
+
+def tomita_3() -> DFA:
+    """No odd (maximal) run of 1s immediately followed by an odd run of 0s.
+
+    States: 0 safe zone (start / safe 0-run / after even 1-run),
+    1 current 1-run odd, 2 current 1-run even, 3 dangerous 0-run with odd
+    count (rejecting — ending here completes the pattern), 4 dangerous
+    0-run with even count, 5 dead (pattern completed by a following 1).
+    """
+    return DFA.from_dict(
+        {
+            0: {0: 0, 1: 1},
+            1: {0: 3, 1: 2},
+            2: {0: 0, 1: 1},
+            3: {0: 4, 1: 5},
+            4: {0: 3, 1: 1},
+            5: {0: 5, 1: 5},
+        },
+        accepting=[0, 1, 2, 4], alphabet_size=2,
+    )
+
+
+def tomita_4() -> DFA:
+    """No three consecutive 0s."""
+    return DFA.from_dict(
+        {
+            0: {0: 1, 1: 0},
+            1: {0: 2, 1: 0},
+            2: {0: 3, 1: 0},
+            3: {0: 3, 1: 3},  # sink after 000
+        },
+        accepting=[0, 1, 2], alphabet_size=2,
+    )
+
+
+def tomita_5() -> DFA:
+    """Even number of 0s AND even number of 1s."""
+    # state = (zeros parity, ones parity) -> 2*z + o
+    return DFA.from_dict(
+        {
+            0: {0: 2, 1: 1},
+            1: {0: 3, 1: 0},
+            2: {0: 0, 1: 3},
+            3: {0: 1, 1: 2},
+        },
+        accepting=[0], alphabet_size=2,
+    )
+
+
+def tomita_6() -> DFA:
+    """(#0s - #1s) is divisible by 3."""
+    return DFA.from_dict(
+        {
+            0: {0: 1, 1: 2},
+            1: {0: 2, 1: 0},
+            2: {0: 0, 1: 1},
+        },
+        accepting=[0], alphabet_size=2,
+    )
+
+
+def tomita_7() -> DFA:
+    """0*1*0*1*: at most three alternation blocks."""
+    return DFA.from_dict(
+        {
+            0: {0: 0, 1: 1},
+            1: {0: 2, 1: 1},
+            2: {0: 2, 1: 3},
+            3: {0: 4, 1: 3},
+            4: {0: 4, 1: 4},  # sink (fifth block)
+        },
+        accepting=[0, 1, 2, 3], alphabet_size=2,
+    )
+
+
+TOMITA: dict[int, DFA] = {}
+
+
+def tomita(index: int) -> DFA:
+    """The index-th Tomita grammar (1-7) as a DFA."""
+    if not TOMITA:
+        TOMITA.update({
+            1: tomita_1(), 2: tomita_2(), 3: tomita_3(), 4: tomita_4(),
+            5: tomita_5(), 6: tomita_6(), 7: tomita_7(),
+        })
+    if index not in TOMITA:
+        raise KeyError(f"Tomita grammars are numbered 1-7, got {index}")
+    return TOMITA[index]
+
+
+def sample_language_dataset(
+    dfa: DFA,
+    rng: np.random.Generator,
+    count: int,
+    min_len: int = 1,
+    max_len: int = 12,
+    balanced: bool = True,
+    max_attempts_factor: int = 400,
+) -> tuple[list[list[int]], np.ndarray]:
+    """Sample labelled strings; ``balanced=True`` equalises accept/reject.
+
+    Returns (strings, labels) with labels in {0, 1}.
+    """
+    if count < 2:
+        raise ValueError("count must be >= 2")
+    positives, negatives = [], []
+    want_each = count // 2
+    attempts, budget = 0, count * max_attempts_factor
+    while attempts < budget:
+        attempts += 1
+        length = int(rng.integers(min_len, max_len + 1))
+        string = rng.integers(0, dfa.alphabet_size, size=length).tolist()
+        if dfa.accepts(string):
+            if len(positives) < (want_each if balanced else count):
+                positives.append(string)
+        elif len(negatives) < (want_each if balanced else count):
+            negatives.append(string)
+        if balanced and len(positives) >= want_each and len(negatives) >= want_each:
+            break
+        if not balanced and len(positives) + len(negatives) >= count:
+            break
+    if balanced and (len(positives) < want_each or len(negatives) < want_each):
+        raise RuntimeError(
+            f"could not sample a balanced set (got {len(positives)}+, "
+            f"{len(negatives)}-); the language may be too sparse at these lengths"
+        )
+    strings = positives[:want_each] + negatives[:want_each] if balanced \
+        else (positives + negatives)[:count]
+    labels = np.array([1] * min(len(positives), want_each if balanced else count)
+                      + [0] * (len(strings) - min(len(positives),
+                                                  want_each if balanced else count)))
+    order = rng.permutation(len(strings))
+    return [strings[i] for i in order], labels[order]

@@ -1,0 +1,64 @@
+"""CFG/PCFG stack (the paper's appendix): parsing, CNF, Inside-Outside."""
+
+from .arithmetic import (
+    FIGURE3_GRAMMAR_TEXT,
+    arithmetic_cnf,
+    arithmetic_pcfg,
+    evaluate_expression,
+    evaluate_tree,
+    parse_expression,
+)
+from .cfg import CFG, Rule, Tree
+from .cnf import to_cnf
+from .cyk import (
+    ParseResult,
+    inside_chart,
+    inside_logprob,
+    recognize,
+    viterbi_parse,
+)
+from .inside_outside import (
+    EMResult,
+    expected_rule_counts,
+    inside_outside_em,
+    random_restart_grammar,
+)
+from .pcfg import PCFG, DepthLimitExceeded
+from .treebank import (
+    ENGLISH_TOY_GRAMMAR_TEXT,
+    TreebankExample,
+    english_toy_pcfg,
+    sample_treebank,
+    tree_distance_matrix,
+    treebank_text,
+)
+
+__all__ = [
+    "Rule",
+    "Tree",
+    "CFG",
+    "PCFG",
+    "DepthLimitExceeded",
+    "to_cnf",
+    "recognize",
+    "viterbi_parse",
+    "inside_chart",
+    "inside_logprob",
+    "ParseResult",
+    "expected_rule_counts",
+    "inside_outside_em",
+    "random_restart_grammar",
+    "EMResult",
+    "arithmetic_pcfg",
+    "arithmetic_cnf",
+    "parse_expression",
+    "evaluate_tree",
+    "evaluate_expression",
+    "FIGURE3_GRAMMAR_TEXT",
+    "english_toy_pcfg",
+    "ENGLISH_TOY_GRAMMAR_TEXT",
+    "sample_treebank",
+    "tree_distance_matrix",
+    "treebank_text",
+    "TreebankExample",
+]

@@ -1,0 +1,93 @@
+"""The Figure-3 arithmetic grammar and its evaluator.
+
+The appendix's worked exercise: parse ``y + 1 * x`` and check that
+multiplication takes precedence over addition.  Precedence is encoded
+structurally — ``*`` lives under TERM, which nests *inside* EXPR's ``+``
+rule — so the correct parse groups ``1 * x`` before adding ``y``.
+"""
+
+from __future__ import annotations
+
+from .cfg import Tree
+from .cnf import to_cnf
+from .cyk import ParseResult, viterbi_parse
+from .pcfg import PCFG
+
+#: Figure 3, verbatim (probabilities chosen to keep sampling shallow).
+FIGURE3_GRAMMAR_TEXT = """
+EXPR -> TERM + EXPR [0.25]
+EXPR -> ( EXPR ) [0.05]
+EXPR -> TERM [0.70]
+TERM -> VALUE * TERM [0.25]
+TERM -> ( EXPR ) [0.05]
+TERM -> VALUE [0.70]
+VALUE -> x [0.15]
+VALUE -> y [0.15]
+VALUE -> 0 [0.07]
+VALUE -> 1 [0.07]
+VALUE -> 2 [0.07]
+VALUE -> 3 [0.07]
+VALUE -> 4 [0.07]
+VALUE -> 5 [0.07]
+VALUE -> 6 [0.07]
+VALUE -> 7 [0.07]
+VALUE -> 8 [0.07]
+VALUE -> 9 [0.07]
+VALUE -> z [0.02]
+"""
+
+
+def arithmetic_pcfg() -> PCFG:
+    """The Figure-3 grammar as a PCFG over tokens x y z 0-9 + * ( )."""
+    return PCFG.from_text(FIGURE3_GRAMMAR_TEXT, start="EXPR")
+
+
+def arithmetic_cnf() -> PCFG:
+    """CNF form of the Figure-3 grammar, ready for CYK/Inside-Outside."""
+    return to_cnf(arithmetic_pcfg())
+
+
+def parse_expression(tokens: list[str] | str,
+                     grammar: PCFG | None = None) -> ParseResult | None:
+    """Parse an arithmetic token string (spaces optional if given as str)."""
+    if isinstance(tokens, str):
+        tokens = [c for c in tokens if not c.isspace()]
+    return viterbi_parse(grammar or arithmetic_cnf(), tokens)
+
+
+def evaluate_tree(tree: Tree, env: dict[str, int] | None = None) -> int:
+    """Evaluate a parse of the Figure-3 grammar.
+
+    Handles the unit-chain-collapsed shapes produced by CNF parsing:
+    ``[left, '+', right]``, ``[left, '*', right]``, ``['(', inner, ')']``,
+    a bare terminal leaf, or a single-child wrapper node.
+    """
+    env = env or {}
+    if tree.is_leaf():
+        token = tree.label
+        if token.isdigit():
+            return int(token)
+        if token in env:
+            return int(env[token])
+        raise KeyError(f"unbound variable {token!r}")
+    labels = [child.label for child in tree.children]
+    if len(tree.children) == 1:
+        return evaluate_tree(tree.children[0], env)
+    if len(tree.children) == 3:
+        left, mid, right = tree.children
+        if mid.label == "+":
+            return evaluate_tree(left, env) + evaluate_tree(right, env)
+        if mid.label == "*":
+            return evaluate_tree(left, env) * evaluate_tree(right, env)
+        if left.label == "(" and right.label == ")":
+            return evaluate_tree(mid, env)
+    raise ValueError(f"unrecognised node shape: {labels}")
+
+
+def evaluate_expression(expression: str, env: dict[str, int] | None = None,
+                        grammar: PCFG | None = None) -> int:
+    """Parse then evaluate; precedence comes from the grammar, not Python."""
+    result = parse_expression(expression, grammar)
+    if result is None:
+        raise ValueError(f"not a grammatical expression: {expression!r}")
+    return evaluate_tree(result.tree, env)

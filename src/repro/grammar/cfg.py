@@ -1,0 +1,186 @@
+"""Context-free grammars and parse trees (the paper's appendix).
+
+A grammar is a set of production rules ``lhs -> rhs`` where ``lhs`` is a
+single nonterminal (the context-free restriction) and ``rhs`` is a string
+of terminals and nonterminals.  Derivations from the start symbol generate
+the language; recording the rule applications yields a parse tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One production ``lhs -> rhs``; rhs is a tuple of symbol names."""
+
+    lhs: str
+    rhs: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.lhs:
+            raise ValueError("empty lhs")
+        if len(self.rhs) == 0:
+            raise ValueError("epsilon (empty rhs) rules are not supported")
+
+    def __str__(self) -> str:
+        return f"{self.lhs} -> {' '.join(self.rhs)}"
+
+
+class Tree:
+    """A parse tree node.  Leaves are terminal symbols (no children)."""
+
+    __slots__ = ("label", "children")
+
+    def __init__(self, label: str, children: Sequence["Tree"] = ()):
+        self.label = label
+        self.children = tuple(children)
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def leaves(self) -> list[str]:
+        if self.is_leaf():
+            return [self.label]
+        out: list[str] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def depth(self) -> int:
+        if self.is_leaf():
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def productions(self) -> list[Rule]:
+        """All rule applications in this tree, preorder."""
+        if self.is_leaf():
+            return []
+        rules = [Rule(self.label, tuple(c.label for c in self.children))]
+        for child in self.children:
+            rules.extend(child.productions())
+        return rules
+
+    def spans(self, start: int = 0) -> list[tuple[str, int, int]]:
+        """(label, start, end) for every internal node, end exclusive."""
+        if self.is_leaf():
+            return []
+        out = []
+        width = len(self.leaves())
+        out.append((self.label, start, start + width))
+        offset = start
+        for child in self.children:
+            out.extend(child.spans(offset))
+            offset += len(child.leaves())
+        return out
+
+    def unbinarize(self, helper_prefix: str = "_") -> "Tree":
+        """Splice out helper nonterminals introduced by CNF conversion.
+
+        Children of a node whose label starts with ``helper_prefix`` are
+        promoted into the parent; helper *preterminals* (one terminal
+        child) are replaced by the terminal directly.
+        """
+        if self.is_leaf():
+            return Tree(self.label)
+        new_children: list[Tree] = []
+        for child in self.children:
+            cleaned = child.unbinarize(helper_prefix)
+            if cleaned.label.startswith(helper_prefix):
+                if cleaned.is_leaf():
+                    new_children.append(cleaned)
+                else:
+                    new_children.extend(cleaned.children)
+            else:
+                new_children.append(cleaned)
+        return Tree(self.label, new_children)
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.is_leaf():
+            return f"{pad}{self.label}"
+        inner = "\n".join(child.pretty(indent + 1) for child in self.children)
+        return f"{pad}({self.label}\n{inner})"
+
+    def bracketed(self) -> str:
+        """One-line (LABEL child child) notation."""
+        if self.is_leaf():
+            return self.label
+        inner = " ".join(child.bracketed() for child in self.children)
+        return f"({self.label} {inner})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Tree)
+            and self.label == other.label
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.label, self.children))
+
+    def __repr__(self) -> str:
+        return f"Tree({self.bracketed()!r})"
+
+
+class CFG:
+    """A context-free grammar: rules, a start symbol, inferred terminals."""
+
+    def __init__(self, rules: Iterable[Rule], start: str):
+        self.rules = list(rules)
+        if not self.rules:
+            raise ValueError("grammar needs at least one rule")
+        self.start = start
+        self.nonterminals = {rule.lhs for rule in self.rules}
+        if start not in self.nonterminals:
+            raise ValueError(f"start symbol {start!r} has no rules")
+        self.terminals = {
+            symbol
+            for rule in self.rules
+            for symbol in rule.rhs
+            if symbol not in self.nonterminals
+        }
+
+    @classmethod
+    def from_text(cls, text: str, start: str | None = None) -> "CFG":
+        """Parse rules from lines like ``EXPR -> TERM + EXPR``.
+
+        The lhs of the first rule is the start symbol unless given.
+        Alternatives may be written with ``|``.
+        """
+        rules: list[Rule] = []
+        for line in text.strip().splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "->" not in line:
+                raise ValueError(f"rule line missing '->': {line!r}")
+            lhs, rhs_text = line.split("->", 1)
+            lhs = lhs.strip()
+            for alternative in rhs_text.split("|"):
+                symbols = tuple(alternative.split())
+                rules.append(Rule(lhs, symbols))
+        if not rules:
+            raise ValueError("no rules found")
+        return cls(rules, start or rules[0].lhs)
+
+    def rules_for(self, nonterminal: str) -> list[Rule]:
+        return [rule for rule in self.rules if rule.lhs == nonterminal]
+
+    def is_cnf(self) -> bool:
+        """Chomsky normal form: every rule is A -> B C or A -> a."""
+        for rule in self.rules:
+            if len(rule.rhs) == 1:
+                if rule.rhs[0] in self.nonterminals:
+                    return False
+            elif len(rule.rhs) == 2:
+                if any(s in self.terminals for s in rule.rhs):
+                    return False
+            else:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"CFG({len(self.rules)} rules, start={self.start!r})"

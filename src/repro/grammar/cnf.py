@@ -1,0 +1,95 @@
+"""Chomsky-normal-form conversion for PCFGs.
+
+CNF (every rule ``A -> B C`` or ``A -> a``) is what CYK and Inside-Outside
+require; the appendix notes any grammar can be rewritten into it "by
+introducing more nonterminals".  The probabilistic version must also
+redistribute probability correctly; unit rules ``A -> B`` are eliminated
+with the standard matrix-closure construction so that string probabilities
+are preserved exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cfg import Rule
+from .pcfg import PCFG
+
+TERMINAL_PREFIX = "_T_"
+BINARY_PREFIX = "_B_"
+
+
+def to_cnf(grammar: PCFG) -> PCFG:
+    """Return an equivalent PCFG in Chomsky normal form.
+
+    Three passes: TERM (lift terminals out of long rules), BIN (binarise
+    long rules), UNIT (eliminate nonterminal chain rules via the closure
+    ``(I - U)^{-1}``).  Helper nonterminals are prefixed with ``_`` so
+    :meth:`Tree.unbinarize` can splice them back out of parses.
+    """
+    nonterminals = set(grammar.nonterminals)
+    weighted: dict[Rule, float] = {}
+    term_cache: dict[str, str] = {}
+    bin_counter = 0
+
+    def terminal_proxy(symbol: str) -> str:
+        if symbol not in term_cache:
+            proxy = f"{TERMINAL_PREFIX}{symbol}"
+            term_cache[symbol] = proxy
+            weighted[Rule(proxy, (symbol,))] = 1.0
+        return term_cache[symbol]
+
+    # --- TERM + BIN ----------------------------------------------------
+    for rule in grammar.rules:
+        prob = grammar.probs[rule]
+        rhs = list(rule.rhs)
+        if len(rhs) >= 2:
+            rhs = [s if s in nonterminals else terminal_proxy(s) for s in rhs]
+        while len(rhs) > 2:
+            helper = f"{BINARY_PREFIX}{bin_counter}"
+            bin_counter += 1
+            weighted[Rule(helper, (rhs[-2], rhs[-1]))] = 1.0
+            rhs = rhs[:-2] + [helper]
+        new_rule = Rule(rule.lhs, tuple(rhs))
+        weighted[new_rule] = weighted.get(new_rule, 0.0) + prob
+
+    # --- UNIT ------------------------------------------------------------
+    all_nts = sorted({r.lhs for r in weighted} | {
+        s for r in weighted for s in r.rhs if s in nonterminals
+        or s.startswith((TERMINAL_PREFIX, BINARY_PREFIX))
+    })
+    nt_index = {nt: i for i, nt in enumerate(all_nts)}
+    n = len(all_nts)
+    unit = np.zeros((n, n))
+    non_unit: dict[Rule, float] = {}
+    for rule, prob in weighted.items():
+        is_unit = len(rule.rhs) == 1 and rule.rhs[0] in nt_index
+        if is_unit:
+            unit[nt_index[rule.lhs], nt_index[rule.rhs[0]]] += prob
+        else:
+            non_unit[rule] = non_unit.get(rule, 0.0) + prob
+
+    if not np.any(unit):
+        closure = np.eye(n)
+    else:
+        spectral = np.abs(np.linalg.eigvals(unit)).max()
+        if spectral >= 1.0:
+            raise ValueError("unit-rule cycle with probability mass >= 1")
+        closure = np.linalg.inv(np.eye(n) - unit)
+
+    final: dict[Rule, float] = {}
+    for rule, prob in non_unit.items():
+        b = nt_index[rule.lhs]
+        for a_sym, a in nt_index.items():
+            weight = closure[a, b]
+            if weight <= 0:
+                continue
+            new_rule = Rule(a_sym, rule.rhs)
+            final[new_rule] = final.get(new_rule, 0.0) + weight * prob
+
+    # Drop nonterminals that became unreachable/unproductive zero-mass rows.
+    final = {rule: p for rule, p in final.items() if p > 0}
+    result = PCFG(final, grammar.start, normalize=False, tolerance=1e-6)
+    if not result.cfg.is_cnf():
+        raise AssertionError("CNF conversion produced a non-CNF grammar")
+    return result

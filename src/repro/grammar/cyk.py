@@ -1,0 +1,136 @@
+"""CYK parsing and the Inside algorithm for CNF PCFGs.
+
+Given a grammar in Chomsky normal form, the CYK chart computes in
+O(n^3 |G|):
+
+* :func:`recognize` — is the string in the language?
+* :func:`viterbi_parse` — the most probable parse tree (the appendix's
+  "parser" algorithm);
+* :func:`inside_logprob` — the total probability of the string under the
+  PCFG (the alpha recursion of the Inside-Outside framework, §7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .cfg import Tree
+from .pcfg import PCFG
+
+
+@dataclass
+class ParseResult:
+    tree: Tree
+    logprob: float
+
+
+class _Index:
+    """Rule lookup tables for a CNF grammar."""
+
+    def __init__(self, grammar: PCFG):
+        if not grammar.cfg.is_cnf():
+            raise ValueError("CYK requires a grammar in Chomsky normal form; "
+                             "convert with repro.grammar.to_cnf first")
+        self.lexical: dict[str, list[tuple[str, float]]] = {}
+        self.binary: list[tuple[str, str, str, float]] = []
+        for rule, prob in grammar.probs.items():
+            if prob == 0:
+                continue
+            if len(rule.rhs) == 1:
+                self.lexical.setdefault(rule.rhs[0], []).append((rule.lhs, prob))
+            else:
+                self.binary.append((rule.lhs, rule.rhs[0], rule.rhs[1], prob))
+
+
+def _chart_cells(tokens: Sequence[str], index: _Index, mode: str):
+    """Shared CYK recursion.
+
+    ``mode="viterbi"`` keeps (best prob, backpointer); ``mode="inside"``
+    sums probabilities.  Returns the chart dict keyed by (i, j) spans
+    (j exclusive) mapping nonterminal -> cell value.
+    """
+    n = len(tokens)
+    chart: dict[tuple[int, int], dict] = {}
+    for i, token in enumerate(tokens):
+        cell: dict = {}
+        for lhs, prob in index.lexical.get(token, []):
+            if mode == "viterbi":
+                if lhs not in cell or prob > cell[lhs][0]:
+                    cell[lhs] = (prob, None)
+            else:
+                cell[lhs] = cell.get(lhs, 0.0) + prob
+        chart[(i, i + 1)] = cell
+    for width in range(2, n + 1):
+        for i in range(0, n - width + 1):
+            j = i + width
+            cell = {}
+            for k in range(i + 1, j):
+                left, right = chart[(i, k)], chart[(k, j)]
+                if not left or not right:
+                    continue
+                for lhs, b, c, prob in index.binary:
+                    if b not in left or c not in right:
+                        continue
+                    if mode == "viterbi":
+                        score = prob * left[b][0] * right[c][0]
+                        if lhs not in cell or score > cell[lhs][0]:
+                            cell[lhs] = (score, (k, b, c))
+                    else:
+                        cell[lhs] = cell.get(lhs, 0.0) + prob * left[b] * right[c]
+            chart[(i, j)] = cell
+    return chart
+
+
+def recognize(grammar: PCFG, tokens: Sequence[str]) -> bool:
+    """Membership test: does the CNF grammar generate ``tokens``?"""
+    tokens = list(tokens)
+    if not tokens:
+        return False
+    chart = _chart_cells(tokens, _Index(grammar), mode="inside")
+    return grammar.start in chart[(0, len(tokens))]
+
+
+def inside_chart(grammar: PCFG, tokens: Sequence[str]) -> dict[tuple[int, int], dict[str, float]]:
+    """The full inside (alpha) chart: alpha[i, j][A] = P(A =>* tokens[i:j])."""
+    return _chart_cells(list(tokens), _Index(grammar), mode="inside")
+
+
+def inside_logprob(grammar: PCFG, tokens: Sequence[str]) -> float:
+    """log P(string) under the PCFG; ``-inf`` if not in the language."""
+    tokens = list(tokens)
+    if not tokens:
+        return -math.inf
+    chart = inside_chart(grammar, tokens)
+    total = chart[(0, len(tokens))].get(grammar.start, 0.0)
+    return math.log(total) if total > 0 else -math.inf
+
+
+def viterbi_parse(grammar: PCFG, tokens: Sequence[str],
+                  unbinarize: bool = True) -> ParseResult | None:
+    """Most probable parse, or None if the string is not in the language.
+
+    With ``unbinarize=True`` (default) the CNF helper nonterminals are
+    spliced out, so the tree reflects the original grammar's structure
+    (modulo collapsed unit chains).
+    """
+    tokens = list(tokens)
+    if not tokens:
+        return None
+    chart = _chart_cells(tokens, _Index(grammar), mode="viterbi")
+    top = chart[(0, len(tokens))]
+    if grammar.start not in top:
+        return None
+
+    def build(i: int, j: int, symbol: str) -> Tree:
+        prob, back = chart[(i, j)][symbol]
+        if back is None:
+            return Tree(symbol, [Tree(tokens[i])])
+        k, b, c = back
+        return Tree(symbol, [build(i, k, b), build(k, j, c)])
+
+    tree = build(0, len(tokens), grammar.start)
+    if unbinarize:
+        tree = tree.unbinarize()
+    return ParseResult(tree=tree, logprob=math.log(top[grammar.start][0]))

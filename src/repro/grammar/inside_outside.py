@@ -1,0 +1,155 @@
+"""Inside-Outside expectation-maximisation for PCFGs (§7 / appendix).
+
+Given only raw strings, EM re-estimates rule probabilities: the E-step
+computes expected rule counts from the inside (alpha) and outside (beta)
+charts, the M-step renormalises per nonterminal.  Corpus log-likelihood is
+non-decreasing across iterations — a property the tests assert.
+
+This is the classical algorithm the paper cites ([87]) and the one Zhou et
+al.'s computational model implements with attention (§7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .cfg import Rule
+from .cyk import _Index, inside_chart
+from .pcfg import PCFG
+
+
+@dataclass
+class EMResult:
+    grammar: PCFG
+    log_likelihoods: list[float]  # corpus log-likelihood per iteration
+
+
+def expected_rule_counts(
+    grammar: PCFG, tokens: Sequence[str]
+) -> tuple[dict[Rule, float], float]:
+    """E-step on one sentence: expected counts and the sentence log-prob.
+
+    Returns ``({}, -inf)`` when the sentence is outside the language.
+    """
+    tokens = list(tokens)
+    n = len(tokens)
+    index = _Index(grammar)
+    alpha = inside_chart(grammar, tokens)
+    z = alpha[(0, n)].get(grammar.start, 0.0)
+    if z <= 0.0:
+        return {}, -math.inf
+
+    # Outside (beta) pass, widest spans first.
+    beta: dict[tuple[int, int], dict[str, float]] = {
+        span: {} for span in alpha
+    }
+    beta[(0, n)][grammar.start] = 1.0
+    for width in range(n, 1, -1):
+        for i in range(0, n - width + 1):
+            j = i + width
+            outer = beta[(i, j)]
+            if not outer:
+                continue
+            for k in range(i + 1, j):
+                left, right = alpha[(i, k)], alpha[(k, j)]
+                if not left or not right:
+                    continue
+                for lhs, b, c, prob in index.binary:
+                    if lhs not in outer or b not in left or c not in right:
+                        continue
+                    contribution = outer[lhs] * prob
+                    beta[(i, k)][b] = beta[(i, k)].get(b, 0.0) + contribution * right[c]
+                    beta[(k, j)][c] = beta[(k, j)].get(c, 0.0) + contribution * left[b]
+
+    counts: dict[Rule, float] = {}
+    # Binary rule expectations.
+    for width in range(2, n + 1):
+        for i in range(0, n - width + 1):
+            j = i + width
+            outer = beta[(i, j)]
+            if not outer:
+                continue
+            for k in range(i + 1, j):
+                left, right = alpha[(i, k)], alpha[(k, j)]
+                for lhs, b, c, prob in index.binary:
+                    if lhs not in outer or b not in left or c not in right:
+                        continue
+                    expected = outer[lhs] * prob * left[b] * right[c] / z
+                    if expected > 0:
+                        rule = Rule(lhs, (b, c))
+                        counts[rule] = counts.get(rule, 0.0) + expected
+    # Lexical rule expectations.
+    for i, token in enumerate(tokens):
+        outer = beta[(i, i + 1)]
+        for lhs, prob in index.lexical.get(token, []):
+            if lhs not in outer:
+                continue
+            expected = outer[lhs] * prob / z
+            if expected > 0:
+                rule = Rule(lhs, (token,))
+                counts[rule] = counts.get(rule, 0.0) + expected
+    return counts, math.log(z)
+
+
+def inside_outside_em(
+    initial: PCFG,
+    sentences: Sequence[Sequence[str]],
+    iterations: int = 10,
+    smoothing: float = 1e-6,
+) -> EMResult:
+    """Run EM from ``initial`` (must be CNF) over a corpus of sentences.
+
+    ``smoothing`` adds a tiny pseudo-count to every rule of the *initial*
+    grammar so no rule's probability collapses to exactly zero (which
+    would freeze EM out of part of the hypothesis space).
+    """
+    if not initial.cfg.is_cnf():
+        raise ValueError("inside_outside_em requires a CNF grammar")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    grammar = initial
+    log_likelihoods: list[float] = []
+    support = list(initial.probs)
+    for _ in range(iterations):
+        totals: dict[Rule, float] = {rule: smoothing for rule in support}
+        corpus_ll = 0.0
+        parsed_any = False
+        for sentence in sentences:
+            counts, ll = expected_rule_counts(grammar, sentence)
+            if math.isinf(ll):
+                continue
+            parsed_any = True
+            corpus_ll += ll
+            for rule, count in counts.items():
+                totals[rule] = totals.get(rule, 0.0) + count
+        if not parsed_any:
+            raise ValueError("no training sentence is parseable by the grammar")
+        log_likelihoods.append(corpus_ll)
+        by_lhs: dict[str, float] = {}
+        for rule, count in totals.items():
+            by_lhs[rule.lhs] = by_lhs.get(rule.lhs, 0.0) + count
+        new_probs = {rule: count / by_lhs[rule.lhs] for rule, count in totals.items()}
+        grammar = PCFG(new_probs, grammar.start, normalize=True)
+    return EMResult(grammar=grammar, log_likelihoods=log_likelihoods)
+
+
+def random_restart_grammar(template: PCFG, rng: np.random.Generator,
+                           concentration: float = 1.0) -> PCFG:
+    """Same support as ``template`` but Dirichlet-random probabilities.
+
+    Used to initialise EM away from the generating grammar so the bench
+    can demonstrate genuine learning.
+    """
+    by_lhs: dict[str, list[Rule]] = {}
+    for rule in template.rules:
+        by_lhs.setdefault(rule.lhs, []).append(rule)
+    probs: dict[Rule, float] = {}
+    for lhs, rules in by_lhs.items():
+        draw = rng.dirichlet(np.full(len(rules), concentration))
+        for rule, p in zip(rules, draw):
+            probs[rule] = float(p)
+    return PCFG(probs, template.start, normalize=True)

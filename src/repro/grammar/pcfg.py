@@ -1,0 +1,168 @@
+"""Probabilistic context-free grammars (appendix).
+
+A PCFG attaches a probability distribution to each nonterminal's rule set,
+turning the grammar into a generative model over strings: sample a
+derivation top-down, multiply rule probabilities for its likelihood.  A
+PCFG "gives zero probability to nongrammatical strings" and is the object
+the Inside-Outside algorithm learns from raw text.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from .cfg import CFG, Rule, Tree
+
+
+class DepthLimitExceeded(RuntimeError):
+    """Raised when top-down sampling fails to terminate within the limit."""
+
+
+class PCFG:
+    """A CFG plus per-nonterminal rule probabilities."""
+
+    def __init__(self, weighted_rules: Mapping[Rule, float], start: str,
+                 normalize: bool = False, tolerance: float = 1e-6):
+        rules = list(weighted_rules)
+        self.cfg = CFG(rules, start)
+        probs = {rule: float(w) for rule, w in weighted_rules.items()}
+        if any(p < 0 for p in probs.values()):
+            raise ValueError("rule probabilities must be non-negative")
+        if normalize:
+            totals: dict[str, float] = {}
+            for rule, p in probs.items():
+                totals[rule.lhs] = totals.get(rule.lhs, 0.0) + p
+            probs = {rule: p / totals[rule.lhs] for rule, p in probs.items()}
+        else:
+            totals = {}
+            for rule, p in probs.items():
+                totals[rule.lhs] = totals.get(rule.lhs, 0.0) + p
+            for lhs, total in totals.items():
+                if abs(total - 1.0) > tolerance:
+                    raise ValueError(
+                        f"probabilities for {lhs!r} sum to {total}, not 1; "
+                        "pass normalize=True to renormalise"
+                    )
+        self.probs = probs
+
+    # ------------------------------------------------------------------
+    @property
+    def start(self) -> str:
+        return self.cfg.start
+
+    @property
+    def rules(self) -> list[Rule]:
+        return self.cfg.rules
+
+    @property
+    def nonterminals(self) -> set[str]:
+        return self.cfg.nonterminals
+
+    @property
+    def terminals(self) -> set[str]:
+        return self.cfg.terminals
+
+    def rule_prob(self, rule: Rule) -> float:
+        return self.probs.get(rule, 0.0)
+
+    @classmethod
+    def from_text(cls, text: str, start: str | None = None) -> "PCFG":
+        """Parse lines like ``EXPR -> TERM + EXPR [0.3]``.
+
+        Omitted weights default to 1 before normalisation, so plain CFG
+        text yields the uniform PCFG.
+        """
+        weighted: dict[Rule, float] = {}
+        first_lhs: str | None = None
+        for line in text.strip().splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            weight = 1.0
+            if line.endswith("]") and "[" in line:
+                line, bracket = line.rsplit("[", 1)
+                weight = float(bracket[:-1])
+            lhs, rhs_text = line.split("->", 1)
+            lhs = lhs.strip()
+            if first_lhs is None:
+                first_lhs = lhs
+            rule = Rule(lhs, tuple(rhs_text.split()))
+            weighted[rule] = weight
+        return cls(weighted, start or first_lhs, normalize=True)
+
+    @classmethod
+    def uniform(cls, cfg: CFG) -> "PCFG":
+        """Equal probability to every alternative of each nonterminal."""
+        weighted = {rule: 1.0 for rule in cfg.rules}
+        return cls(weighted, cfg.start, normalize=True)
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def sample_tree(self, rng: np.random.Generator, max_depth: int = 40,
+                    symbol: str | None = None) -> Tree:
+        """Top-down sampling; raises :class:`DepthLimitExceeded` if stuck."""
+        symbol = symbol or self.start
+        return self._sample(symbol, rng, max_depth)
+
+    def _sample(self, symbol: str, rng: np.random.Generator, budget: int) -> Tree:
+        if symbol in self.cfg.terminals:
+            return Tree(symbol)
+        if budget <= 0:
+            raise DepthLimitExceeded(f"depth limit hit while expanding {symbol!r}")
+        options = self.cfg.rules_for(symbol)
+        weights = np.array([self.probs[r] for r in options])
+        rule = options[int(rng.choice(len(options), p=weights / weights.sum()))]
+        children = [self._sample(s, rng, budget - 1) for s in rule.rhs]
+        return Tree(symbol, children)
+
+    def sample_sentence(self, rng: np.random.Generator, max_depth: int = 40,
+                        max_attempts: int = 50) -> list[str]:
+        """Sample a terminal string, retrying on depth-limit failures."""
+        for _ in range(max_attempts):
+            try:
+                return self.sample_tree(rng, max_depth).leaves()
+            except DepthLimitExceeded:
+                continue
+        raise DepthLimitExceeded(
+            f"no sentence within depth {max_depth} after {max_attempts} attempts"
+        )
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def tree_logprob(self, tree: Tree) -> float:
+        """log probability of a derivation (sum of rule log-probs)."""
+        total = 0.0
+        for rule in tree.productions():
+            p = self.probs.get(rule, 0.0)
+            if p == 0.0:
+                return -math.inf
+            total += math.log(p)
+        return total
+
+    def rule_distribution(self, lhs: str) -> dict[Rule, float]:
+        return {r: self.probs[r] for r in self.cfg.rules_for(lhs)}
+
+    def kl_divergence_from(self, other: "PCFG") -> float:
+        """Mean over nonterminals of KL(self's rule dist || other's).
+
+        A convergence measure for Inside-Outside estimation (E14): zero
+        iff the two grammars assign identical rule probabilities.
+        """
+        shared = self.nonterminals & other.nonterminals
+        if not shared:
+            raise ValueError("grammars share no nonterminals")
+        total = 0.0
+        for lhs in shared:
+            for rule, p in self.rule_distribution(lhs).items():
+                if p == 0:
+                    continue
+                q = other.rule_prob(rule)
+                if q == 0:
+                    return math.inf
+                total += p * math.log(p / q)
+        return total / len(shared)

@@ -1,0 +1,135 @@
+"""Synthetic treebanks: (sentence, gold parse, tree distances) triples.
+
+Stands in for the Penn Treebank in the structural-probe experiment (E10):
+the Hewitt-Manning probe needs, for every sentence, the matrix of pairwise
+path distances between words in the gold parse tree.  A PCFG treebank
+provides exact gold trees by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cfg import Tree
+from .pcfg import PCFG, DepthLimitExceeded
+
+#: A small English-like PCFG for LM corpora and probe experiments.
+ENGLISH_TOY_GRAMMAR_TEXT = """
+S -> NP VP [1.0]
+NP -> Det N [0.55]
+NP -> Det Adj N [0.25]
+NP -> NP PP [0.20]
+VP -> V NP [0.55]
+VP -> V NP PP [0.20]
+VP -> V [0.25]
+PP -> P NP [1.0]
+Det -> the [0.6]
+Det -> a [0.4]
+N -> dog [0.14]
+N -> cat [0.14]
+N -> bird [0.14]
+N -> man [0.14]
+N -> woman [0.14]
+N -> park [0.15]
+N -> telescope [0.15]
+Adj -> big [0.34]
+Adj -> small [0.33]
+Adj -> red [0.33]
+V -> saw [0.25]
+V -> liked [0.25]
+V -> found [0.25]
+V -> chased [0.25]
+P -> in [0.34]
+P -> with [0.33]
+P -> near [0.33]
+"""
+
+
+def english_toy_pcfg() -> PCFG:
+    """The built-in English-like grammar used across experiments."""
+    return PCFG.from_text(ENGLISH_TOY_GRAMMAR_TEXT, start="S")
+
+
+def tree_distance_matrix(tree: Tree) -> np.ndarray:
+    """Pairwise path lengths between leaves in the parse tree.
+
+    ``d(i, j)`` is the number of edges on the unique path between leaf i
+    and leaf j — the quantity the structural probe regresses onto.
+    """
+    paths: list[list[int]] = []
+    counter = [0]
+
+    def walk(node: Tree, ancestry: list[int]) -> None:
+        node_id = counter[0]
+        counter[0] += 1
+        ancestry = ancestry + [node_id]
+        if node.is_leaf():
+            paths.append(ancestry)
+            return
+        for child in node.children:
+            walk(child, ancestry)
+
+    walk(tree, [])
+    n = len(paths)
+    distances = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = paths[i], paths[j]
+            common = 0
+            for x, y in zip(a, b):
+                if x != y:
+                    break
+                common += 1
+            distances[i, j] = distances[j, i] = (len(a) - common) + (len(b) - common)
+    return distances
+
+
+@dataclass
+class TreebankExample:
+    """One treebank entry: tokens, gold tree, gold leaf-distance matrix."""
+
+    tokens: list[str]
+    tree: Tree
+    distances: np.ndarray
+
+
+def sample_treebank(
+    grammar: PCFG,
+    count: int,
+    rng: np.random.Generator,
+    min_len: int = 3,
+    max_len: int = 16,
+    max_depth: int = 30,
+    max_attempts_per_example: int = 200,
+) -> list[TreebankExample]:
+    """Sample ``count`` sentences with gold trees in a length band."""
+    examples: list[TreebankExample] = []
+    attempts = 0
+    budget = count * max_attempts_per_example
+    while len(examples) < count and attempts < budget:
+        attempts += 1
+        try:
+            tree = grammar.sample_tree(rng, max_depth=max_depth)
+        except DepthLimitExceeded:
+            continue
+        tokens = tree.leaves()
+        if not min_len <= len(tokens) <= max_len:
+            continue
+        examples.append(
+            TreebankExample(tokens=tokens, tree=tree,
+                            distances=tree_distance_matrix(tree))
+        )
+    if len(examples) < count:
+        raise RuntimeError(
+            f"only sampled {len(examples)}/{count} sentences in the length "
+            f"band [{min_len}, {max_len}]"
+        )
+    return examples
+
+
+def treebank_text(examples: list[TreebankExample], end_token: str = ".") -> str:
+    """Flatten a treebank into LM training text, one sentence per period."""
+    return (f" {end_token} ".join(" ".join(ex.tokens) for ex in examples)
+            + f" {end_token}")

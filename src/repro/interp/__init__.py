@@ -1,0 +1,44 @@
+"""Interpretability toolkit (§7): probes, interventions, induction heads."""
+
+from .induction import (
+    copying_accuracy,
+    per_position_loss,
+    prefix_matching_scores,
+    repeated_sequence_batch,
+    top_induction_head,
+)
+from .intervention import (
+    forward_with_patch,
+    patch_position,
+    probe_guided_patch,
+)
+from .probes import LinearProbe, MLPProbe, MultiTargetLinearProbe
+from .viz import render_attention, strongest_attention_edges
+from .structural import (
+    ProbeExample,
+    StructuralProbe,
+    fit_distance_metric,
+    metric_rank_projection,
+    pooled_distance_spearman,
+)
+
+__all__ = [
+    "LinearProbe",
+    "MLPProbe",
+    "MultiTargetLinearProbe",
+    "StructuralProbe",
+    "ProbeExample",
+    "fit_distance_metric",
+    "metric_rank_projection",
+    "pooled_distance_spearman",
+    "forward_with_patch",
+    "patch_position",
+    "probe_guided_patch",
+    "repeated_sequence_batch",
+    "prefix_matching_scores",
+    "copying_accuracy",
+    "per_position_loss",
+    "top_induction_head",
+    "render_attention",
+    "strongest_attention_edges",
+]

@@ -1,0 +1,115 @@
+"""Induction heads (§7): detection scores and the behaviour they produce.
+
+An induction head completes the pattern "A B ... A -> B": on a repeated
+random sequence [s ; s], it attends from the second occurrence of a token
+back to the position *after* its first occurrence, and copies.  Scores
+here follow Olsson et al.: per-head prefix-matching attention mass, plus
+behavioural measures (second-half copying accuracy and the per-position
+loss drop between the two halves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..core.gpt import TransformerLM
+
+
+def repeated_sequence_batch(
+    rng: np.random.Generator, vocab_size: int, half_len: int, batch_size: int
+) -> np.ndarray:
+    """Sequences [s ; s] with s uniform-random of length ``half_len``."""
+    if half_len < 2:
+        raise ValueError("half_len must be >= 2")
+    s = rng.integers(0, vocab_size, size=(batch_size, half_len))
+    return np.concatenate([s, s], axis=1).astype(np.int64)
+
+
+def prefix_matching_scores(model: TransformerLM, x: np.ndarray) -> np.ndarray:
+    """(num_layers, num_heads) mean attention to the induction target.
+
+    For the repeated sequence of half-length k and query position
+    t in [k, 2k-1], the induction target is position t - k + 1 (the token
+    that followed the previous occurrence of the current token).
+    """
+    x = np.asarray(x, dtype=np.int64)
+    if x.ndim == 1:
+        x = x[None, :]
+    half = x.shape[1] // 2
+    if not np.array_equal(x[:, :half], x[:, half : 2 * half]):
+        raise ValueError("input is not a repeated [s; s] batch")
+    cache: dict = {}
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            model.forward(x, cache=cache)
+    finally:
+        if was_training:
+            model.train()
+    num_layers = len(model.blocks)
+    num_heads = model.config.num_heads
+    scores = np.zeros((num_layers, num_heads))
+    queries = np.arange(half, 2 * half - 1)  # last position has no target row use
+    targets = queries - half + 1
+    for layer in range(num_layers):
+        weights = cache[f"block{layer}.weights"]  # (B, H, T, T)
+        scores[layer] = weights[:, :, queries, targets].mean(axis=(0, 2))
+    return scores
+
+
+def copying_accuracy(model: TransformerLM, x: np.ndarray) -> tuple[float, float]:
+    """(first-half, second-half) next-token accuracy on [s; s] batches.
+
+    Second-half targets are fully determined by copying; first-half
+    targets are random, so the *gap* measures in-context copying.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    half = x.shape[1] // 2
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            logits = model.forward(x).data
+    finally:
+        if was_training:
+            model.train()
+    predictions = np.argmax(logits[:, :-1, :], axis=-1)
+    targets = x[:, 1:]
+    correct = predictions == targets
+    first = float(correct[:, : half - 1].mean())
+    second = float(correct[:, half - 1 :].mean())
+    return first, second
+
+
+def per_position_loss(model: TransformerLM, x: np.ndarray) -> np.ndarray:
+    """Mean cross-entropy at each predicted position (length T-1).
+
+    On repeated sequences, induction shows up as a sharp loss drop at the
+    start of the second half — the "loss on 2nd occurrence << 1st"
+    signature.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            logits = model.forward(x).data
+    finally:
+        if was_training:
+            model.train()
+    logits = logits[:, :-1, :]
+    targets = x[:, 1:]
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    b, t = targets.shape
+    nll = -log_probs[np.arange(b)[:, None], np.arange(t)[None, :], targets]
+    return nll.mean(axis=0)
+
+
+def top_induction_head(model: TransformerLM, x: np.ndarray) -> tuple[int, int, float]:
+    """(layer, head, score) of the strongest prefix-matching head."""
+    scores = prefix_matching_scores(model, x)
+    layer, head = np.unravel_index(int(np.argmax(scores)), scores.shape)
+    return int(layer), int(head), float(scores[layer, head])

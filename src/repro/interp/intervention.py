@@ -1,0 +1,90 @@
+"""Activation patching (§7's targeted interventions).
+
+"After modifying the activations so that the probe's output has flipped a
+tile colour, the model predicts legal moves for the modified board state."
+:func:`forward_with_patch` reruns a transformer with an arbitrary edit
+applied to one layer's output; :func:`probe_guided_patch` builds the edit
+from a linear probe's class directions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..core.gpt import TransformerLM
+
+PatchFn = Callable[[np.ndarray], np.ndarray]
+
+
+def forward_with_patch(
+    model: TransformerLM,
+    ids: np.ndarray,
+    layer_index: int,
+    patch_fn: PatchFn,
+    cache: dict | None = None,
+) -> np.ndarray:
+    """Forward pass with ``patch_fn`` applied to block ``layer_index`` output.
+
+    ``patch_fn`` receives and returns a (B, T, d) activation array.
+    Returns the logits as a plain array (inference only).
+    """
+    if not 0 <= layer_index < len(model.blocks):
+        raise IndexError(f"layer_index {layer_index} out of range")
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.ndim == 1:
+        ids = ids[None, :]
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            x = model.positional(model.token_embedding(ids))
+            if cache is not None:
+                cache["embed"] = x.data.copy()
+            for i, block in enumerate(model.blocks):
+                x = block(x, cache=cache, cache_key=f"block{i}")
+                if i == layer_index:
+                    patched = patch_fn(x.data.copy())
+                    if patched.shape != x.data.shape:
+                        raise ValueError("patch_fn changed the activation shape")
+                    x = Tensor(patched)
+            x = model.final_norm(x)
+            logits = model.lm_head(x)
+    finally:
+        if was_training:
+            model.train()
+    return logits.data
+
+
+def patch_position(position: int, delta: np.ndarray) -> PatchFn:
+    """A patch that adds ``delta`` to every batch row at one position."""
+    delta = np.asarray(delta, dtype=np.float64)
+
+    def fn(activations: np.ndarray) -> np.ndarray:
+        activations[:, position, :] += delta
+        return activations
+
+    return fn
+
+
+def probe_guided_patch(
+    from_direction: np.ndarray,
+    to_direction: np.ndarray,
+    position: int,
+    strength: float = 4.0,
+) -> PatchFn:
+    """Move an activation away from one probe class and towards another.
+
+    The edit ``x += strength * (w_to - w_from) / ||w_to - w_from||`` pushes
+    the probe's logit margin from ``from`` to ``to`` — the minimal-surgery
+    intervention of the Othello-GPT experiment.
+    """
+    direction = np.asarray(to_direction, dtype=np.float64) - np.asarray(
+        from_direction, dtype=np.float64
+    )
+    norm = np.linalg.norm(direction)
+    if norm == 0:
+        raise ValueError("probe directions are identical")
+    return patch_position(position, strength * direction / norm)

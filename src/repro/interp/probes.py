@@ -1,0 +1,124 @@
+"""Probing classifiers (§7).
+
+"Postulate a target for each training data item and train a probe model to
+predict it from the embeddings."  :class:`LinearProbe` is the standard
+logistic-regression probe; :class:`MLPProbe` the nonlinear variant;
+:class:`MultiTargetLinearProbe` predicts many categorical targets at once
+(one per Othello board cell).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy, no_grad
+from ..nn import MLP, Adam, Linear, Module
+
+
+class _ProbeBase(Module):
+    """Shared mini-batch training loop for probes."""
+
+    def fit(self, features: np.ndarray, targets: np.ndarray,
+            epochs: int = 30, batch_size: int = 64, lr: float = 1e-2,
+            seed: int = 0, weight_decay: float = 1e-4) -> "list[float]":
+        """Train with Adam; returns the per-epoch mean loss curve."""
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if len(features) != len(targets):
+            raise ValueError("features/targets length mismatch")
+        rng = np.random.default_rng(seed)
+        optimizer = Adam(self.parameters(), lr=lr, weight_decay=weight_decay)
+        curve: list[float] = []
+        n = len(features)
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss, batches = 0.0, 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                self.zero_grad()
+                loss = self.loss(features[idx], targets[idx])
+                loss.backward()
+                optimizer.step()
+                epoch_loss += float(loss.data)
+                batches += 1
+            curve.append(epoch_loss / batches)
+        return curve
+
+    def loss(self, features: np.ndarray, targets: np.ndarray) -> Tensor:
+        logits = self.forward(Tensor(np.asarray(features, dtype=np.float64)))
+        return cross_entropy(logits, targets)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        with no_grad():
+            logits = self.forward(Tensor(np.asarray(features, dtype=np.float64)))
+        return np.argmax(logits.data, axis=-1)
+
+    def accuracy(self, features: np.ndarray, targets: np.ndarray) -> float:
+        predictions = self.predict(features)
+        targets = np.asarray(targets, dtype=np.int64)
+        return float((predictions == targets).mean())
+
+
+class LinearProbe(_ProbeBase):
+    """Multinomial logistic regression: features (N, d) -> class logits."""
+
+    def __init__(self, in_dim: int, num_classes: int, rng: np.random.Generator | int = 0):
+        super().__init__()
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(rng)
+        self.linear = Linear(in_dim, num_classes, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.linear(x)
+
+    @property
+    def weight(self) -> np.ndarray:
+        """(in_dim, num_classes) weight matrix — class directions."""
+        return self.linear.weight.data
+
+
+class MLPProbe(_ProbeBase):
+    """One-hidden-layer probe, for targets not linearly decodable."""
+
+    def __init__(self, in_dim: int, num_classes: int, hidden: int = 64,
+                 rng: np.random.Generator | int = 0):
+        super().__init__()
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(rng)
+        self.mlp = MLP([in_dim, hidden, num_classes], rng, activation="relu")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.mlp(x)
+
+
+class MultiTargetLinearProbe(_ProbeBase):
+    """One linear probe per target, trained jointly.
+
+    Maps features (N, d) to logits (N, num_targets, num_classes) — e.g.
+    one 3-way (empty/mine/theirs) classification per board cell.
+    """
+
+    def __init__(self, in_dim: int, num_targets: int, num_classes: int,
+                 rng: np.random.Generator | int = 0):
+        super().__init__()
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(rng)
+        self.num_targets = num_targets
+        self.num_classes = num_classes
+        self.linear = Linear(in_dim, num_targets * num_classes, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        logits = self.linear(x)
+        return logits.reshape(x.shape[0], self.num_targets, self.num_classes)
+
+    def loss(self, features: np.ndarray, targets: np.ndarray) -> Tensor:
+        """``targets`` has shape (N, num_targets)."""
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.shape[-1] != self.num_targets:
+            raise ValueError(f"expected (N, {self.num_targets}) targets")
+        logits = self.forward(Tensor(np.asarray(features, dtype=np.float64)))
+        return cross_entropy(logits, targets)
+
+    def class_direction(self, target: int, klass: int) -> np.ndarray:
+        """The probe's weight vector for one (target, class) logit."""
+        return self.linear.weight.data[:, target * self.num_classes + klass]

@@ -1,0 +1,63 @@
+"""Plain-text rendering of attention patterns.
+
+A terminal-friendly stand-in for the heat-map figures interpretability
+papers use: rows are query positions, columns key positions, and each
+cell's glyph encodes the attention weight.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_GLYPHS = " .:-=+*#%@"
+
+
+def render_attention(weights: np.ndarray, tokens: Sequence[str] | None = None,
+                     max_label: int = 6) -> str:
+    """ASCII heat map of a (T, T) attention matrix.
+
+    Weights are assumed in [0, 1] (rows of a softmax); each cell maps to
+    one of ten density glyphs.  Token labels, if given, annotate rows and
+    columns (truncated to ``max_label`` characters).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+        raise ValueError("expected a square (T, T) attention matrix")
+    if weights.min() < -1e-9 or weights.max() > 1 + 1e-9:
+        raise ValueError("attention weights must lie in [0, 1]")
+    t = weights.shape[0]
+    if tokens is not None and len(tokens) != t:
+        raise ValueError("token labels must match the matrix size")
+    labels = [str(tok)[:max_label] for tok in tokens] if tokens else [""] * t
+    width = max((len(label) for label in labels), default=0)
+
+    lines = []
+    for i in range(t):
+        cells = "".join(
+            _GLYPHS[min(int(weights[i, j] * (len(_GLYPHS) - 1) + 0.5),
+                        len(_GLYPHS) - 1)]
+            for j in range(t)
+        )
+        lines.append(f"{labels[i]:>{width}} |{cells}|")
+    return "\n".join(lines)
+
+
+def strongest_attention_edges(weights: np.ndarray, top_k: int = 5,
+                              exclude_self: bool = True
+                              ) -> list[tuple[int, int, float]]:
+    """The top-k (query, key, weight) pairs — the 'circuit edges' view."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2:
+        raise ValueError("expected a (T, T) matrix")
+    masked = weights.copy()
+    if exclude_self:
+        np.fill_diagonal(masked, -np.inf)
+    flat = np.argsort(-masked, axis=None)[:top_k]
+    edges = []
+    for index in flat:
+        q, k = np.unravel_index(int(index), masked.shape)
+        if np.isfinite(masked[q, k]):
+            edges.append((int(q), int(k), float(weights[q, k])))
+    return edges

@@ -1,0 +1,21 @@
+"""Simpler language models (§5) and the shared LanguageModel interface."""
+
+from .base import LanguageModel, bits_per_token
+from .ffn import FFNLM, make_windows
+from .kneser_ney import KneserNeyLM
+from .ngram import InterpolatedNGramLM, NGramLM
+from .rnn import LSTMLM, RNNLM
+from .unigram import UnigramLM
+
+__all__ = [
+    "LanguageModel",
+    "bits_per_token",
+    "UnigramLM",
+    "NGramLM",
+    "InterpolatedNGramLM",
+    "KneserNeyLM",
+    "FFNLM",
+    "make_windows",
+    "RNNLM",
+    "LSTMLM",
+]

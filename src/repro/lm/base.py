@@ -1,0 +1,127 @@
+"""The common language-model interface.
+
+Every model in this library — from the 1-gram frequency model (Eq. 1) to
+the transformer — encodes a distribution over token strings via its
+next-token conditionals (Eq. 2).  This base class derives everything else
+(sequence log-probability, the Eq. 3 cross-entropy, perplexity, and
+autoregressive generation) from a single method,
+:meth:`next_token_logprobs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LanguageModel:
+    """Abstract autoregressive language model over integer token ids."""
+
+    vocab_size: int
+
+    def next_token_logprobs(self, context: np.ndarray) -> np.ndarray:
+        """log P(w | context) for every w; ``context`` is a 1-D id array.
+
+        An empty context must also be accepted (the unconditional first-
+        token distribution).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def sequence_logprob(self, ids: np.ndarray) -> float:
+        """log P(w_1 ... w_L) via the autoregressive factorisation."""
+        ids = np.asarray(ids, dtype=np.int64)
+        total = 0.0
+        for i in range(len(ids)):
+            total += float(self.next_token_logprobs(ids[:i])[ids[i]])
+        return total
+
+    def cross_entropy(self, ids: np.ndarray) -> float:
+        """Eq. 3: mean negative log-likelihood per token (nats)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) == 0:
+            raise ValueError("cannot evaluate cross-entropy on empty ids")
+        return -self.sequence_logprob(ids) / len(ids)
+
+    def perplexity(self, ids: np.ndarray) -> float:
+        """exp of the Eq. 3 loss — the paper's standard quality measure."""
+        return float(np.exp(self.cross_entropy(ids)))
+
+    def generate(
+        self,
+        prompt: list[int] | np.ndarray,
+        max_new_tokens: int,
+        rng: np.random.Generator | None = None,
+        temperature: float = 1.0,
+        top_k: int | None = None,
+        top_p: float | None = None,
+        greedy: bool = False,
+        stop_token: int | None = None,
+    ) -> list[int]:
+        """Extend ``prompt`` one sampled token at a time (§3's recipe)."""
+        # Imported lazily: repro.core depends on this module for the
+        # LanguageModel interface, so a top-level import would be circular.
+        from ..core.sampling import sample_token
+
+        ids = list(int(i) for i in prompt)
+        for _ in range(max_new_tokens):
+            logprobs = self.next_token_logprobs(np.asarray(ids, dtype=np.int64))
+            token = sample_token(
+                logprobs, rng=rng, temperature=temperature,
+                top_k=top_k, top_p=top_p, greedy=greedy,
+            )
+            ids.append(token)
+            if stop_token is not None and token == stop_token:
+                break
+        return ids
+
+
+    def beam_search(
+        self,
+        prompt: list[int] | np.ndarray,
+        max_new_tokens: int,
+        beam_width: int = 4,
+        stop_token: int | None = None,
+        length_penalty: float = 0.0,
+    ) -> list[int]:
+        """Search for a high-probability continuation (§8's missing piece).
+
+        Greedy decoding commits to one token at a time and "cannot go back
+        to revise"; beam search keeps ``beam_width`` partial continuations
+        and returns the one with the best total log-probability (plus an
+        optional per-token ``length_penalty`` bonus that discourages early
+        stopping).  This is the simplest instance of adding search on top
+        of an autoregressive model.
+        """
+        if beam_width < 1:
+            raise ValueError("beam_width must be >= 1")
+        prompt = [int(i) for i in prompt]
+        # (ids, logprob, finished)
+        beams: list[tuple[list[int], float, bool]] = [(prompt, 0.0, False)]
+        for _ in range(max_new_tokens):
+            candidates: list[tuple[list[int], float, bool]] = []
+            for ids, score, finished in beams:
+                if finished:
+                    candidates.append((ids, score, True))
+                    continue
+                logprobs = self.next_token_logprobs(np.asarray(ids, dtype=np.int64))
+                top = np.argsort(-logprobs)[:beam_width]
+                for token in top:
+                    token = int(token)
+                    done = stop_token is not None and token == stop_token
+                    candidates.append(
+                        (ids + [token],
+                         score + float(logprobs[token]) + length_penalty,
+                         done)
+                    )
+            candidates.sort(key=lambda c: -c[1])
+            beams = candidates[:beam_width]
+            if all(finished for _ids, _s, finished in beams):
+                break
+        return beams[0][0]
+
+
+def bits_per_token(cross_entropy_nats: float) -> float:
+    """Convert an Eq. 3 loss from nats to bits."""
+    return cross_entropy_nats / np.log(2.0)

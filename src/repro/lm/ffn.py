@@ -1,0 +1,82 @@
+"""Fixed-window feed-forward language model (Bengio et al., §5).
+
+"A very natural deep learning version of the L-gram models": embed the k
+most recent tokens (Eq. 7), concatenate the embedding vectors into one
+long vector (the "direct sum"), and apply an FFN (Eq. 11) to produce the
+prediction vector, decoded by Eq. 8.  Its defining limitation — no memory
+beyond the window — is what the RNN and the transformer each fix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy, no_grad
+from ..nn import MLP, Embedding, Module
+from .base import LanguageModel
+
+
+def make_windows(ids: np.ndarray, window: int) -> tuple[np.ndarray, np.ndarray]:
+    """All (context window, next token) pairs from a contiguous stream."""
+    ids = np.asarray(ids, dtype=np.int64)
+    if len(ids) <= window:
+        raise ValueError(f"stream of {len(ids)} tokens too short for window={window}")
+    contexts = np.stack([ids[i : i + window] for i in range(len(ids) - window)])
+    targets = ids[window:]
+    return contexts, targets
+
+
+class FFNLM(Module, LanguageModel):
+    """Embedding + concatenation + MLP over a fixed context window."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        window: int,
+        embed_dim: int = 16,
+        hidden_dim: int = 64,
+        rng: np.random.Generator | int = 0,
+        activation: str = "relu",
+    ):
+        super().__init__()
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(rng)
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.vocab_size = vocab_size
+        self.window = window
+        self.embed_dim = embed_dim
+        self.embedding = Embedding(vocab_size, embed_dim, rng)
+        self.mlp = MLP([window * embed_dim, hidden_dim, vocab_size], rng,
+                       activation=activation)
+
+    def forward(self, contexts: np.ndarray) -> Tensor:
+        """(B, window) int contexts -> (B, V) next-token logits."""
+        contexts = np.asarray(contexts, dtype=np.int64)
+        if contexts.ndim != 2 or contexts.shape[1] != self.window:
+            raise ValueError(f"expected (B, {self.window}) contexts, got {contexts.shape}")
+        emb = self.embedding(contexts)  # (B, window, d)
+        flat = emb.reshape(contexts.shape[0], self.window * self.embed_dim)
+        return self.mlp(flat)
+
+    def loss(self, contexts: np.ndarray, targets: np.ndarray) -> Tensor:
+        return cross_entropy(self.forward(contexts), np.asarray(targets, dtype=np.int64))
+
+    def next_token_logprobs(self, context: np.ndarray) -> np.ndarray:
+        context = np.asarray(context, dtype=np.int64)
+        # Left-pad short contexts with token 0 (a documented convention;
+        # corpora here reserve low ids for frequent/special tokens).
+        if len(context) < self.window:
+            pad = np.zeros(self.window - len(context), dtype=np.int64)
+            context = np.concatenate([pad, context])
+        window = context[-self.window :][None, :]
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                logits = self.forward(window).data[0]
+        finally:
+            if was_training:
+                self.train()
+        logits = logits - logits.max()
+        return logits - np.log(np.exp(logits).sum())

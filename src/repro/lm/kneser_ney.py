@@ -1,0 +1,93 @@
+"""Interpolated Kneser-Ney smoothing — the strongest classical N-gram.
+
+§5 notes that N-gram models "can be improved a bit by simple statistical
+tricks (smoothing)"; Kneser-Ney is the trick that matters.  Two ideas on
+top of plain interpolation: absolute discounting (subtract a fixed ``d``
+from every seen count and hand the freed mass to the lower order), and
+continuation counts at the lower orders (a word's back-off score is the
+number of *distinct contexts* it follows, not its raw frequency — the
+classic "San Francisco" fix: "Francisco" is frequent but only ever
+follows "San", so it should back off weakly).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from .base import LanguageModel
+
+
+class KneserNeyLM(LanguageModel):
+    """Interpolated Kneser-Ney of a given order with absolute discount."""
+
+    def __init__(self, vocab_size: int, order: int = 3, discount: float = 0.75):
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if not 0.0 < discount < 1.0:
+            raise ValueError("discount must be in (0, 1)")
+        self.vocab_size = vocab_size
+        self.order = order
+        self.discount = discount
+        # _tables[k] maps a length-k context tuple to Counter(next -> count).
+        # The top order uses raw counts; lower orders use continuation
+        # counts (number of distinct left extensions of the (k+1)-gram).
+        self._tables: list[dict[tuple[int, ...], Counter]] = [
+            defaultdict(Counter) for _ in range(order)
+        ]
+        self._fitted = False
+
+    def fit(self, ids: Sequence[int]) -> "KneserNeyLM":
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.vocab_size):
+            raise ValueError("token id out of range")
+        tokens = ids.tolist()
+        n = self.order
+        # Raw counts at the top order.
+        top = self._tables[n - 1]
+        for i in range(n - 1, len(tokens)):
+            context = tuple(tokens[i - n + 1 : i])
+            top[context][tokens[i]] += 1
+        # Continuation counts for each lower order k (context length k-1):
+        # count_k(h, w) = |{v : the (k+1)-gram (v, h, w) appears}|.  Each
+        # distinct extended gram contributes exactly one count.
+        for k in range(n - 1, 0, -1):
+            table = self._tables[k - 1]
+            seen: set[tuple[int, ...]] = set()
+            for i in range(k, len(tokens)):
+                gram = tuple(tokens[i - k : i + 1])  # (v, h..., w), len k+1
+                if gram in seen:
+                    continue
+                seen.add(gram)
+                table[gram[1:-1]][gram[-1]] += 1
+        self._fitted = True
+        return self
+
+    def _prob(self, word: int, context: tuple[int, ...], k: int) -> float:
+        """P_k(word | context) with ``k`` the current order (1..order)."""
+        if k == 0:
+            return 1.0 / self.vocab_size
+        table = self._tables[k - 1]
+        counter = table.get(context, None)
+        shorter = context[1:] if context else ()
+        if not counter:
+            return self._prob(word, shorter, k - 1)
+        total = sum(counter.values())
+        distinct = len(counter)
+        d = self.discount
+        discounted = max(counter.get(word, 0) - d, 0.0) / total
+        backoff_weight = d * distinct / total
+        return discounted + backoff_weight * self._prob(word, shorter, k - 1)
+
+    def next_token_logprobs(self, context: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("KneserNeyLM must be fit before evaluation")
+        context = tuple(int(t) for t in np.asarray(context)[-(self.order - 1):]) \
+            if self.order > 1 else ()
+        probs = np.array([self._prob(w, context, self.order)
+                          for w in range(self.vocab_size)])
+        probs /= probs.sum()  # exact renormalisation against float drift
+        with np.errstate(divide="ignore"):
+            return np.log(probs)

@@ -1,0 +1,118 @@
+"""N-gram language models (Eqs. 5-6) with smoothing.
+
+The maximum-likelihood estimator of Eq. 6 assigns zero probability to any
+continuation unseen after a given (N-1)-word context, so practical N-gram
+models smooth.  Two classic schemes are implemented:
+
+* add-k ("Laplace") smoothing on the conditional counts;
+* Jelinek-Mercer interpolation, mixing every lower order down to the
+  unigram — the "simple statistical tricks" of §5.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from .base import LanguageModel
+
+
+class NGramLM(LanguageModel):
+    """Order-``n`` model: P(w_n | w_1 .. w_{n-1}) from context counts."""
+
+    def __init__(self, vocab_size: int, order: int, add_k: float = 1.0):
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if add_k < 0:
+            raise ValueError("add_k must be non-negative")
+        self.vocab_size = vocab_size
+        self.order = order
+        self.add_k = add_k
+        # context tuple (length order-1) -> Counter of next-token counts
+        self._counts: dict[tuple[int, ...], Counter] = defaultdict(Counter)
+        self._context_totals: dict[tuple[int, ...], int] = defaultdict(int)
+
+    def fit(self, ids: Sequence[int]) -> "NGramLM":
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.vocab_size):
+            raise ValueError("token id out of range")
+        k = self.order - 1
+        ids_list = ids.tolist()
+        for i in range(k, len(ids_list)):
+            context = tuple(ids_list[i - k : i])
+            token = ids_list[i]
+            self._counts[context][token] += 1
+            self._context_totals[context] += 1
+        return self
+
+    def num_contexts(self) -> int:
+        """Number of distinct contexts observed (grows ~ |W|^{n-1})."""
+        return len(self._counts)
+
+    def conditional_probs(self, context: Sequence[int]) -> np.ndarray:
+        """Eq. 6 with add-k smoothing, as a dense length-|W| vector."""
+        key = tuple(int(t) for t in context[-(self.order - 1):]) if self.order > 1 else ()
+        probs = np.full(self.vocab_size, self.add_k, dtype=np.float64)
+        counter = self._counts.get(key)
+        total = self._context_totals.get(key, 0)
+        if counter:
+            for token, count in counter.items():
+                probs[token] += count
+        denom = total + self.add_k * self.vocab_size
+        if denom == 0:
+            # Unseen context with add_k = 0: no mass anywhere.  Callers that
+            # need a proper distribution (next_token_logprobs) fall back to
+            # uniform; the interpolated model simply drops this order.
+            return np.zeros(self.vocab_size)
+        return probs / denom
+
+    def next_token_logprobs(self, context: np.ndarray) -> np.ndarray:
+        probs = self.conditional_probs(np.asarray(context, dtype=np.int64))
+        if probs.sum() == 0:
+            probs = np.full(self.vocab_size, 1.0 / self.vocab_size)
+        with np.errstate(divide="ignore"):
+            return np.log(probs)
+
+
+class InterpolatedNGramLM(LanguageModel):
+    """Jelinek-Mercer mixture of orders 1..n with fixed weights.
+
+    ``lambdas[i]`` weights the order-(i+1) model; they must sum to 1.  The
+    lowest order is add-1 smoothed so the mixture never assigns zero mass.
+    """
+
+    def __init__(self, vocab_size: int, order: int, lambdas: Sequence[float] | None = None):
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.vocab_size = vocab_size
+        self.order = order
+        if lambdas is None:
+            # Geometric weights favouring higher orders.
+            raw = np.array([2.0**i for i in range(order)])
+            lambdas = raw / raw.sum()
+        lambdas = np.asarray(lambdas, dtype=np.float64)
+        if lambdas.shape != (order,) or not np.isclose(lambdas.sum(), 1.0):
+            raise ValueError("lambdas must be length-order and sum to 1")
+        self.lambdas = lambdas
+        self._models = [
+            NGramLM(vocab_size, order=i + 1, add_k=1.0 if i == 0 else 0.0)
+            for i in range(order)
+        ]
+
+    def fit(self, ids: Sequence[int]) -> "InterpolatedNGramLM":
+        for model in self._models:
+            model.fit(ids)
+        return self
+
+    def next_token_logprobs(self, context: np.ndarray) -> np.ndarray:
+        context = np.asarray(context, dtype=np.int64)
+        mixture = np.zeros(self.vocab_size)
+        for weight, model in zip(self.lambdas, self._models):
+            if len(context) < model.order - 1:
+                continue  # not enough context for this order
+            mixture += weight * model.conditional_probs(context)
+        mixture /= mixture.sum()
+        with np.errstate(divide="ignore"):
+            return np.log(mixture)

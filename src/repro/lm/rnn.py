@@ -1,0 +1,126 @@
+"""Recurrent language models: the Eq. 12 dynamical system, and the LSTM.
+
+The RNN threads a state vector s_i through the sequence:
+``(v_{i+1}, s_{i+1}) = F(s_i, v_i)`` — memory without a fixed window, at
+the cost of strictly sequential computation (the O(L) depth the paper
+contrasts with the transformer's parallel attention, §6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy, no_grad, stack
+from ..nn import Embedding, Linear, Module
+from .base import LanguageModel
+
+
+class _RecurrentLM(Module, LanguageModel):
+    """Shared training/eval plumbing for RNN and LSTM variants."""
+
+    vocab_size: int
+    hidden_dim: int
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        """(B, T) ids -> (B, T, V) logits, scanning left to right."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim == 1:
+            ids = ids[None, :]
+        batch, seq_len = ids.shape
+        state = self._initial_state(batch)
+        outputs = []
+        for t in range(seq_len):
+            emb = self.embedding(ids[:, t])  # (B, d)
+            state, hidden = self._step(emb, state)
+            outputs.append(self.head(hidden))  # (B, V)
+        return stack(outputs, axis=1)
+
+    def loss(self, x: np.ndarray, y: np.ndarray) -> Tensor:
+        return cross_entropy(self.forward(x), np.asarray(y, dtype=np.int64))
+
+    def next_token_logprobs(self, context: np.ndarray) -> np.ndarray:
+        context = np.asarray(context, dtype=np.int64)
+        if context.size == 0:
+            context = np.zeros(1, dtype=np.int64)
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                logits = self.forward(context[None, :]).data[0, -1]
+        finally:
+            if was_training:
+                self.train()
+        logits = logits - logits.max()
+        return logits - np.log(np.exp(logits).sum())
+
+    def sequential_steps(self, seq_len: int) -> int:
+        """Number of inherently serial state updates for a length-L input.
+
+        For the E12 complexity comparison: an RNN needs L serial steps
+        while a transformer's depth is independent of L.
+        """
+        return seq_len
+
+    # Subclass hooks -----------------------------------------------------
+    def _initial_state(self, batch: int):
+        raise NotImplementedError
+
+    def _step(self, emb: Tensor, state):
+        """Advance one token; returns (new_state, hidden_for_output)."""
+        raise NotImplementedError
+
+
+class RNNLM(_RecurrentLM):
+    """Vanilla (Elman) RNN: s' = tanh(W_x v + W_h s + b)."""
+
+    def __init__(self, vocab_size: int, embed_dim: int = 16, hidden_dim: int = 32,
+                 rng: np.random.Generator | int = 0):
+        super().__init__()
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(rng)
+        self.vocab_size = vocab_size
+        self.hidden_dim = hidden_dim
+        self.embedding = Embedding(vocab_size, embed_dim, rng)
+        self.w_x = Linear(embed_dim, hidden_dim, rng)
+        self.w_h = Linear(hidden_dim, hidden_dim, rng, bias=False)
+        self.head = Linear(hidden_dim, vocab_size, rng)
+
+    def _initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_dim)))
+
+    def _step(self, emb: Tensor, state: Tensor):
+        new_state = (self.w_x(emb) + self.w_h(state)).tanh()
+        return new_state, new_state
+
+
+class LSTMLM(_RecurrentLM):
+    """LSTM [Hochreiter & Schmidhuber]: gated cell state for long memory."""
+
+    def __init__(self, vocab_size: int, embed_dim: int = 16, hidden_dim: int = 32,
+                 rng: np.random.Generator | int = 0):
+        super().__init__()
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(rng)
+        self.vocab_size = vocab_size
+        self.hidden_dim = hidden_dim
+        self.embedding = Embedding(vocab_size, embed_dim, rng)
+        # Fused gate projections: [input, forget, cell, output].
+        self.w_x = Linear(embed_dim, 4 * hidden_dim, rng)
+        self.w_h = Linear(hidden_dim, 4 * hidden_dim, rng, bias=False)
+        self.head = Linear(hidden_dim, vocab_size, rng)
+
+    def _initial_state(self, batch: int):
+        zeros = np.zeros((batch, self.hidden_dim))
+        return (Tensor(zeros), Tensor(zeros.copy()))  # (h, c)
+
+    def _step(self, emb: Tensor, state):
+        h, c = state
+        gates = self.w_x(emb) + self.w_h(h)  # (B, 4H)
+        H = self.hidden_dim
+        i = gates[:, 0 * H : 1 * H].sigmoid()
+        f = gates[:, 1 * H : 2 * H].sigmoid()
+        g = gates[:, 2 * H : 3 * H].tanh()
+        o = gates[:, 3 * H : 4 * H].sigmoid()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return (h_new, c_new), h_new

@@ -1,0 +1,49 @@
+"""The 1-gram (frequency) model of Eq. 1: words drawn independently."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import LanguageModel
+
+
+class UnigramLM(LanguageModel):
+    """P(w) = count(w) / total, optionally add-k smoothed.
+
+    Smoothing keeps held-out tokens that never appeared in training from
+    receiving probability zero (infinite cross-entropy).
+    """
+
+    def __init__(self, vocab_size: int, add_k: float = 1.0):
+        if vocab_size < 1:
+            raise ValueError("vocab_size must be positive")
+        if add_k < 0:
+            raise ValueError("add_k must be non-negative")
+        self.vocab_size = vocab_size
+        self.add_k = add_k
+        self._counts = np.zeros(vocab_size)
+        self._logprobs: np.ndarray | None = None
+
+    def fit(self, ids: np.ndarray) -> "UnigramLM":
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.vocab_size):
+            raise ValueError("token id out of range")
+        self._counts += np.bincount(ids, minlength=self.vocab_size)
+        smoothed = self._counts + self.add_k
+        total = smoothed.sum()
+        if total == 0:
+            raise ValueError("cannot fit on empty data with add_k=0")
+        with np.errstate(divide="ignore"):
+            self._logprobs = np.log(smoothed / total)
+        return self
+
+    def next_token_logprobs(self, context: np.ndarray) -> np.ndarray:
+        if self._logprobs is None:
+            raise RuntimeError("UnigramLM must be fit before evaluation")
+        return self._logprobs.copy()
+
+    @property
+    def probs(self) -> np.ndarray:
+        if self._logprobs is None:
+            raise RuntimeError("UnigramLM must be fit before evaluation")
+        return np.exp(self._logprobs)

@@ -1,0 +1,37 @@
+"""Neural-network building blocks: layers, initializers, optimizers, schedules."""
+
+from . import init
+from .layers import (
+    MLP,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Sequential,
+    get_activation,
+)
+from .module import Module
+from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from .schedule import Constant, Schedule, StepDecay, WarmupCosine, WarmupLinear
+
+__all__ = [
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "get_activation",
+    "init",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "Schedule",
+    "Constant",
+    "WarmupCosine",
+    "WarmupLinear",
+    "StepDecay",
+]

@@ -1,0 +1,43 @@
+"""Parameter initializers.
+
+The paper (§6) notes that parameters are drawn from a normal distribution
+"with mean zero and variance chosen so that the linear maps have expected
+norm independent of the hyperparameters ... typically var(W_ij) ~ 1/p".
+:func:`scaled_normal` implements exactly that; Xavier/He variants are
+provided for the FFN/RNN models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def scaled_normal(
+    rng: np.random.Generator, shape: tuple[int, ...], fan_in: int | None = None
+) -> np.ndarray:
+    """N(0, 1/fan_in) initialisation (the paper's var(W_ij) ~ 1/p rule)."""
+    if fan_in is None:
+        fan_in = shape[0] if len(shape) >= 1 else 1
+    std = 1.0 / np.sqrt(max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    """Glorot uniform initialisation for (fan_in, fan_out) matrices."""
+    fan_in, fan_out = shape[0], shape[-1]
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def he_normal(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    """He/Kaiming normal initialisation, suited to ReLU networks."""
+    fan_in = shape[0]
+    return rng.normal(0.0, np.sqrt(2.0 / max(fan_in, 1)), size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)

@@ -1,0 +1,161 @@
+"""Core neural-network layers built on the autograd engine.
+
+These are the ingredients the paper's recipe (§5-§6) composes: linear maps
+(the W_i of Eq. 11), embeddings (the map iota of Eq. 7), layer norm, and a
+generic MLP/FFN (Eq. 11 itself: alternating linear maps and pointwise
+nonlinearities).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor, dropout as dropout_fn, gelu, layer_norm
+from . import init
+from .module import Module
+
+Activation = Callable[[Tensor], Tensor]
+
+_ACTIVATIONS: dict[str, Activation] = {
+    "relu": lambda x: x.relu(),
+    "tanh": lambda x: x.tanh(),
+    "gelu": gelu,
+    "sigmoid": lambda x: x.sigmoid(),
+    "identity": lambda x: x,
+    "square": lambda x: x.square(),
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation by name; raises ``KeyError`` if unknown."""
+    try:
+        return _ACTIVATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown activation {name!r}; available: {sorted(_ACTIVATIONS)}"
+        ) from None
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with var(W_ij) = 1/fan_in init (§6)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        init_scale: float = 1.0,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        weight = init.scaled_normal(rng, (in_features, out_features)) * init_scale
+        self.weight = Tensor(weight, requires_grad=True)
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token-id -> vector lookup table (the word embedding map, Eq. 7)."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Tensor(rng.normal(0.0, 0.02, size=(num_embeddings, dim)),
+                             requires_grad=True)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.intp)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise IndexError(
+                f"token id out of range [0, {self.num_embeddings}): "
+                f"min={ids.min()}, max={ids.max()}"
+            )
+        return self.weight[ids]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the final feature axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Tensor(np.ones(dim), requires_grad=True)
+        self.bias = Tensor(np.zeros(dim), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_fn(x, self.p, self._rng, training=self.training)
+
+
+class Sequential(Module):
+    """Apply submodules in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self):
+        return len(self.layers)
+
+
+class MLP(Module):
+    """A fully connected feed-forward network (the paper's FFN, Eq. 11).
+
+    ``sizes`` lists the layer widths, e.g. ``[in, hidden, out]``.  The
+    nonlinearity is applied between consecutive linear maps but not after
+    the final one, matching Eq. 11's ``W_d o theta o ... o theta o W_0``.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: np.random.Generator,
+        activation: str = "relu",
+        bias: bool = True,
+    ):
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        self.sizes = list(sizes)
+        self.activation_name = activation
+        self._activation = get_activation(activation)
+        self.linears = [
+            Linear(a, b, rng, bias=bias) for a, b in zip(sizes[:-1], sizes[1:])
+        ]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for i, linear in enumerate(self.linears):
+            x = linear(x)
+            if i < len(self.linears) - 1:
+                x = self._activation(x)
+        return x

@@ -1,0 +1,126 @@
+"""First-order optimizers implementing the paper's Eq. 16 and refinements.
+
+Eq. 16 is plain SGD: ``theta <- theta - eta * dL/dtheta``.  Adam/AdamW are
+the "many enhancements described in the literature" that every real LLM
+training run uses; AdamW's decoupled weight decay is the ingredient the
+grokking experiment (E6) depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+
+
+def clip_grad_norm(parameters: list[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging).
+    """
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for g in grads:
+        total += float((g * g).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for g in grads:
+            g *= scale
+    return norm
+
+
+class Optimizer:
+    """Base optimizer: holds parameters and a mutable learning rate."""
+
+    def __init__(self, parameters: list[Tensor], lr: float):
+        if not parameters:
+            raise ValueError("optimizer received no parameters")
+        self.parameters = list(parameters)
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum (Eq. 16)."""
+
+    def __init__(
+        self,
+        parameters: list[Tensor],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam with the standard bias correction (L2 decay coupled into grad)."""
+
+    def __init__(
+        self,
+        parameters: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, decoupled: bool) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bc1 = 1.0 - self.beta1**t
+        bc2 = 1.0 - self.beta2**t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay and not decoupled:
+                g = g + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g * g
+            update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            if self.weight_decay and decoupled:
+                update = update + self.weight_decay * p.data
+            p.data -= self.lr * update
+
+    def step(self) -> None:
+        self._update(decoupled=False)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def step(self) -> None:
+        self._update(decoupled=True)

@@ -1,0 +1,77 @@
+"""Learning-rate schedules (the "varying the learning rate" of §3)."""
+
+from __future__ import annotations
+
+import math
+
+
+class Schedule:
+    """Maps a step index to a learning rate; call ``apply`` each step."""
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def apply(self, optimizer, step: int) -> float:
+        lr = self.lr_at(step)
+        optimizer.lr = lr
+        return lr
+
+
+class Constant(Schedule):
+    def __init__(self, lr: float):
+        self.lr = lr
+
+    def lr_at(self, step: int) -> float:
+        return self.lr
+
+
+class WarmupCosine(Schedule):
+    """Linear warmup to ``peak_lr`` then cosine decay to ``final_lr``."""
+
+    def __init__(self, peak_lr: float, warmup_steps: int, total_steps: int,
+                 final_lr: float = 0.0):
+        if total_steps <= warmup_steps:
+            raise ValueError("total_steps must exceed warmup_steps")
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.final_lr = final_lr
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.peak_lr * (step + 1) / self.warmup_steps
+        progress = (step - self.warmup_steps) / (self.total_steps - self.warmup_steps)
+        progress = min(max(progress, 0.0), 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.final_lr + (self.peak_lr - self.final_lr) * cosine
+
+
+class WarmupLinear(Schedule):
+    """Linear warmup then linear decay to zero."""
+
+    def __init__(self, peak_lr: float, warmup_steps: int, total_steps: int):
+        if total_steps <= warmup_steps:
+            raise ValueError("total_steps must exceed warmup_steps")
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.peak_lr * (step + 1) / self.warmup_steps
+        remaining = (self.total_steps - step) / (self.total_steps - self.warmup_steps)
+        return self.peak_lr * max(remaining, 0.0)
+
+
+class StepDecay(Schedule):
+    """Multiply the base LR by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, base_lr: float, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.base_lr = base_lr
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)

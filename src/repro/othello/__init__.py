@@ -1,0 +1,19 @@
+"""Othello substrate for the §7 world-model probing experiment."""
+
+from .board import BLACK, EMPTY, WHITE, OthelloBoard
+from .dataset import OthelloDataset, generate_dataset, legal_move_rate
+from .game import GameRecord, MoveVocab, random_game, replay
+
+__all__ = [
+    "OthelloBoard",
+    "BLACK",
+    "WHITE",
+    "EMPTY",
+    "MoveVocab",
+    "GameRecord",
+    "random_game",
+    "replay",
+    "OthelloDataset",
+    "generate_dataset",
+    "legal_move_rate",
+]

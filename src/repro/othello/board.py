@@ -1,0 +1,128 @@
+"""Othello rules engine.
+
+The §7 world-model experiment (Li et al.'s Othello-GPT) needs a full
+implementation of the game: the map from move sequences to board states is
+"easily computable yet very nonlocal and nonlinear", which is exactly why
+probing for it is interesting.  The engine supports any even board size;
+experiments default to 6x6 to keep CPU training cheap while preserving the
+mechanics (8x8 is the paper's setting and fully supported).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BLACK = 1
+WHITE = -1
+EMPTY = 0
+
+_DIRECTIONS = [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)]
+
+
+class OthelloBoard:
+    """Mutable board state with legal-move generation and move application."""
+
+    def __init__(self, size: int = 8):
+        if size < 4 or size % 2 != 0:
+            raise ValueError("board size must be an even number >= 4")
+        self.size = size
+        self.grid = np.zeros((size, size), dtype=np.int8)
+        mid = size // 2
+        self.grid[mid - 1, mid - 1] = WHITE
+        self.grid[mid, mid] = WHITE
+        self.grid[mid - 1, mid] = BLACK
+        self.grid[mid, mid - 1] = BLACK
+        self.to_move = BLACK
+
+    def copy(self) -> "OthelloBoard":
+        clone = OthelloBoard.__new__(OthelloBoard)
+        clone.size = self.size
+        clone.grid = self.grid.copy()
+        clone.to_move = self.to_move
+        return clone
+
+    # ------------------------------------------------------------------
+    def _captures(self, row: int, col: int, player: int) -> list[tuple[int, int]]:
+        """All opponent stones flipped by playing at (row, col); [] if illegal."""
+        if self.grid[row, col] != EMPTY:
+            return []
+        flips: list[tuple[int, int]] = []
+        for dr, dc in _DIRECTIONS:
+            line: list[tuple[int, int]] = []
+            r, c = row + dr, col + dc
+            while 0 <= r < self.size and 0 <= c < self.size and self.grid[r, c] == -player:
+                line.append((r, c))
+                r, c = r + dr, c + dc
+            if line and 0 <= r < self.size and 0 <= c < self.size \
+                    and self.grid[r, c] == player:
+                flips.extend(line)
+        return flips
+
+    def legal_moves(self, player: int | None = None) -> list[tuple[int, int]]:
+        """All squares where ``player`` (default: side to move) may play."""
+        player = self.to_move if player is None else player
+        moves = []
+        for row in range(self.size):
+            for col in range(self.size):
+                if self.grid[row, col] == EMPTY and self._captures(row, col, player):
+                    moves.append((row, col))
+        return moves
+
+    def is_legal(self, row: int, col: int, player: int | None = None) -> bool:
+        player = self.to_move if player is None else player
+        return bool(self._captures(row, col, player))
+
+    def play(self, row: int, col: int) -> None:
+        """Apply a move for the side to move; advances the turn.
+
+        If the opponent then has no move, the turn passes back
+        automatically (the pass is implicit, as in the Othello-GPT data).
+        Raises ``ValueError`` on illegal moves.
+        """
+        player = self.to_move
+        flips = self._captures(row, col, player)
+        if not flips:
+            raise ValueError(f"illegal move ({row}, {col}) for player {player}")
+        self.grid[row, col] = player
+        for r, c in flips:
+            self.grid[r, c] = player
+        opponent = -player
+        if self._has_any_move(opponent):
+            self.to_move = opponent
+        elif self._has_any_move(player):
+            self.to_move = player  # opponent passes
+        else:
+            self.to_move = EMPTY  # game over
+
+    def _has_any_move(self, player: int) -> bool:
+        for row in range(self.size):
+            for col in range(self.size):
+                if self.grid[row, col] == EMPTY and self._captures(row, col, player):
+                    return True
+        return False
+
+    @property
+    def game_over(self) -> bool:
+        return self.to_move == EMPTY
+
+    def score(self) -> tuple[int, int]:
+        """(black stones, white stones)."""
+        return int((self.grid == BLACK).sum()), int((self.grid == WHITE).sum())
+
+    def relative_state(self, player: int) -> np.ndarray:
+        """Board from ``player``'s perspective: 0 empty, 1 mine, 2 theirs.
+
+        Li et al. found this "mine/theirs" encoding (rather than
+        black/white) is what transformer activations encode linearly.
+        """
+        out = np.zeros_like(self.grid, dtype=np.int64)
+        out[self.grid == player] = 1
+        out[self.grid == -player] = 2
+        return out
+
+    def render(self) -> str:
+        symbols = {EMPTY: ".", BLACK: "X", WHITE: "O"}
+        rows = []
+        for row in range(self.size):
+            rows.append(" ".join(symbols[int(v)] for v in self.grid[row]))
+        return "\n".join(rows)

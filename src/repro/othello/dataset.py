@@ -1,0 +1,103 @@
+"""Batched Othello-GPT training data: token sequences + probe targets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .game import GameRecord, MoveVocab, random_game
+
+
+@dataclass
+class OthelloDataset:
+    """Fixed-length, BOS-prefixed game tensors ready for the transformer.
+
+    ``tokens[i]`` = [BOS, m_1, ..., m_T, PAD...]; positions beyond a
+    game's length are padded with BOS (and masked out of all targets via
+    ``lengths``).  ``board_states[i, t]`` is the flattened relative board
+    after move t+1 (aligned with the input position holding move t+1, i.e.
+    the transformer sees moves 1..t+1 and should know this state).
+    """
+
+    vocab: MoveVocab
+    tokens: np.ndarray        # (N, L+1) int64
+    lengths: np.ndarray       # (N,) moves per game
+    board_states: np.ndarray  # (N, L, size*size) int64 in {0, 1, 2}
+    legal_next: list[list[set[int]]]
+
+    @property
+    def seq_len(self) -> int:
+        return self.tokens.shape[1]
+
+    def lm_batch(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(x, y) where y is x shifted; padded target positions repeat BOS.
+
+        Padding targets are BOS, which never occurs as a genuine target,
+        so its loss contribution just teaches "emit BOS after game end" —
+        harmless for the legal-move and probing analyses.
+        """
+        x = self.tokens[indices, :-1]
+        y = self.tokens[indices, 1:]
+        return x, y
+
+
+def generate_dataset(
+    rng: np.random.Generator, num_games: int, size: int = 6,
+    max_moves: int | None = None,
+) -> OthelloDataset:
+    """Sample ``num_games`` random games and tensorise them."""
+    vocab = MoveVocab(size)
+    records: list[GameRecord] = [random_game(rng, size, vocab) for _ in range(num_games)]
+    longest = max(len(r.moves) for r in records)
+    limit = min(longest, max_moves) if max_moves else longest
+    n = len(records)
+    tokens = np.full((n, limit + 1), vocab.bos_id, dtype=np.int64)
+    lengths = np.zeros(n, dtype=np.int64)
+    boards = np.zeros((n, limit, size * size), dtype=np.int64)
+    legal: list[list[set[int]]] = []
+    for i, record in enumerate(records):
+        moves = record.moves[:limit]
+        tokens[i, 1 : len(moves) + 1] = moves
+        lengths[i] = len(moves)
+        for t in range(len(moves)):
+            boards[i, t] = record.states[t].reshape(-1)
+        legal.append(record.legal_next[:limit])
+    return OthelloDataset(vocab=vocab, tokens=tokens, lengths=lengths,
+                          board_states=boards, legal_next=legal)
+
+
+def legal_move_rate(model, dataset: OthelloDataset, num_games: int | None = None,
+                    positions_per_game: int | None = None,
+                    rng: np.random.Generator | None = None) -> float:
+    """Fraction of model argmax predictions that are legal next moves.
+
+    The headline Othello-GPT sanity metric: a model with a working world
+    model predicts (almost) only legal moves.
+    """
+    from ..autograd import no_grad
+
+    n = dataset.tokens.shape[0] if num_games is None else min(num_games, len(dataset.tokens))
+    hits, total = 0, 0
+    with no_grad():
+        for i in range(n):
+            length = int(dataset.lengths[i])
+            if length < 2:
+                continue
+            x = dataset.tokens[i : i + 1, :length]  # BOS + moves[:length-1]
+            logits = model.forward(x).data[0]
+            positions = range(1, length)
+            if positions_per_game is not None and rng is not None:
+                count = min(positions_per_game, length - 1)
+                positions = sorted(rng.choice(np.arange(1, length), size=count,
+                                              replace=False).tolist())
+            for t in positions:
+                legal = dataset.legal_next[i][t - 1]
+                if not legal:
+                    continue
+                prediction = int(np.argmax(logits[t]))
+                hits += prediction in legal
+                total += 1
+    if total == 0:
+        raise ValueError("no scoreable positions")
+    return hits / total

@@ -1,0 +1,94 @@
+"""Random Othello game generation and the move-token vocabulary.
+
+Othello-GPT is trained on synthetic games of uniformly random legal moves;
+the token inventory is the set of playable squares (every cell except the
+four pre-filled centre ones) plus a beginning-of-game token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .board import BLACK, OthelloBoard
+
+
+class MoveVocab:
+    """Token ids for playable squares on a ``size`` x ``size`` board."""
+
+    def __init__(self, size: int = 8):
+        self.size = size
+        mid = size // 2
+        centre = {(mid - 1, mid - 1), (mid - 1, mid), (mid, mid - 1), (mid, mid)}
+        self.cells = [
+            (r, c) for r in range(size) for c in range(size) if (r, c) not in centre
+        ]
+        self._cell_to_id = {cell: i for i, cell in enumerate(self.cells)}
+        self.bos_id = len(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells) + 1  # + BOS
+
+    def move_to_id(self, row: int, col: int) -> int:
+        return self._cell_to_id[(row, col)]
+
+    def id_to_move(self, token: int) -> tuple[int, int]:
+        if token == self.bos_id:
+            raise ValueError("BOS token is not a move")
+        return self.cells[token]
+
+    def notation(self, token: int) -> str:
+        """Algebraic-ish notation, e.g. token for (2, 4) on 8x8 -> 'E3'."""
+        row, col = self.id_to_move(token)
+        return f"{chr(ord('A') + col)}{row + 1}"
+
+
+@dataclass
+class GameRecord:
+    """One full game: moves, per-step relative board states, legal sets.
+
+    ``states[t]`` is the board after ``moves[:t + 1]``, encoded relative to
+    the player about to make move ``t + 1`` (1 = that player's stones,
+    2 = opponent's) — the encoding that probes decode linearly.
+    ``legal_next[t]`` is the set of legal *token ids* for move ``t + 1``
+    (empty at the final position).
+    """
+
+    moves: list[int]                  # token ids
+    states: list[np.ndarray]          # (size, size) int64 arrays
+    legal_next: list[set[int]]
+
+
+def random_game(rng: np.random.Generator, size: int = 8,
+                vocab: MoveVocab | None = None) -> GameRecord:
+    """Play uniformly random legal moves until neither side can move."""
+    vocab = vocab or MoveVocab(size)
+    board = OthelloBoard(size)
+    moves: list[int] = []
+    states: list[np.ndarray] = []
+    legal_next: list[set[int]] = []
+    last_player = BLACK
+    while not board.game_over:
+        options = board.legal_moves()
+        row, col = options[int(rng.integers(len(options)))]
+        last_player = board.to_move
+        board.play(row, col)
+        moves.append(vocab.move_to_id(row, col))
+        perspective = board.to_move if not board.game_over else -last_player
+        states.append(board.relative_state(perspective))
+        if board.game_over:
+            legal_next.append(set())
+        else:
+            legal_next.append({vocab.move_to_id(r, c) for r, c in board.legal_moves()})
+    return GameRecord(moves=moves, states=states, legal_next=legal_next)
+
+
+def replay(moves: list[int], size: int = 8, vocab: MoveVocab | None = None) -> OthelloBoard:
+    """Reconstruct the board after a token-id move sequence."""
+    vocab = vocab or MoveVocab(size)
+    board = OthelloBoard(size)
+    for token in moves:
+        row, col = vocab.id_to_move(token)
+        board.play(row, col)
+    return board

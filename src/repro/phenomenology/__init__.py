@@ -1,0 +1,63 @@
+"""Phenomenology toolkit (§3-§4): scaling, compute, grokking, ICL."""
+
+from .compute import (
+    attention_flops,
+    compute_optimal_tokens,
+    inference_flops,
+    training_flops,
+    transformer_param_estimate,
+)
+from .grokking import GrokkingResult, modular_addition_dataset, run_grokking
+from .icl import (
+    ICLBatch,
+    encode_sequences,
+    gradient_descent_profile,
+    icl_loss,
+    make_icl_batch,
+    ols_profile,
+    ridge_profile,
+    sample_tasks,
+    train_icl_transformer,
+    transformer_mse_profile,
+    zero_profile,
+)
+from .scaling import (
+    JointFit,
+    PowerLawFit,
+    SweepPoint,
+    data_size_sweep,
+    fit_joint_ansatz,
+    fit_power_law,
+    model_size_sweep,
+    train_point,
+)
+
+__all__ = [
+    "transformer_param_estimate",
+    "training_flops",
+    "inference_flops",
+    "attention_flops",
+    "compute_optimal_tokens",
+    "PowerLawFit",
+    "JointFit",
+    "SweepPoint",
+    "fit_power_law",
+    "fit_joint_ansatz",
+    "train_point",
+    "model_size_sweep",
+    "data_size_sweep",
+    "GrokkingResult",
+    "modular_addition_dataset",
+    "run_grokking",
+    "ICLBatch",
+    "encode_sequences",
+    "sample_tasks",
+    "make_icl_batch",
+    "icl_loss",
+    "train_icl_transformer",
+    "transformer_mse_profile",
+    "ols_profile",
+    "ridge_profile",
+    "gradient_descent_profile",
+    "zero_profile",
+]

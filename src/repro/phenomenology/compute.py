@@ -1,0 +1,50 @@
+"""Parameter and FLOP accounting (§3/§6).
+
+Two rules of thumb from the paper and the scaling-law literature:
+the §6 parameter count ``P ~ 12 D p^2`` (D blocks of width p), and the
+training cost ``C ~ 6 P D_tokens`` FLOPs (forward 2PD + backward 4PD).
+Exact per-module counts are available via ``Module.num_parameters``.
+"""
+
+from __future__ import annotations
+
+from ..core.config import TransformerConfig
+
+
+def transformer_param_estimate(config: TransformerConfig,
+                               include_embeddings: bool = True) -> int:
+    """The 12 * blocks * p^2 estimate (optionally plus embedding tables)."""
+    blocks = 12 * config.num_layers * config.d_model**2
+    if not include_embeddings:
+        return blocks
+    embed = config.vocab_size * config.d_model  # token table
+    unembed = config.vocab_size * config.d_model  # LM head
+    positions = config.max_seq_len * config.d_model if config.positional == "learned" else 0
+    return blocks + embed + unembed + positions
+
+
+def training_flops(num_params: int, num_tokens: int) -> float:
+    """C ~ 6 P D: the standard compute estimate for one pass over D tokens."""
+    if num_params < 0 or num_tokens < 0:
+        raise ValueError("counts must be non-negative")
+    return 6.0 * num_params * num_tokens
+
+
+def inference_flops(num_params: int, num_tokens: int) -> float:
+    """~2 P per generated/scored token (forward pass only)."""
+    return 2.0 * num_params * num_tokens
+
+
+def attention_flops(seq_len: int, d_model: int, num_layers: int) -> float:
+    """The O(L^2) attention term the paper flags as the window bottleneck.
+
+    Per layer: scores (L^2 d) + weighted sum (L^2 d), ignoring constants.
+    """
+    return float(2 * num_layers * seq_len**2 * d_model)
+
+
+def compute_optimal_tokens(flop_budget: float, num_params: int) -> float:
+    """Tokens trainable within a budget at 6PD cost (Chinchilla-style)."""
+    if num_params <= 0:
+        raise ValueError("num_params must be positive")
+    return flop_budget / (6.0 * num_params)

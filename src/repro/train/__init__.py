@@ -1,0 +1,28 @@
+"""Training loops, evaluation metrics, and checkpointing."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .metrics import (
+    accuracy,
+    cross_entropy_of,
+    distribution_entropy,
+    exact_match,
+    perplexity_of,
+    rouge_l,
+    rouge_n,
+)
+from .trainer import History, Trainer, train_lm_on_stream
+
+__all__ = [
+    "Trainer",
+    "History",
+    "train_lm_on_stream",
+    "accuracy",
+    "exact_match",
+    "rouge_n",
+    "rouge_l",
+    "cross_entropy_of",
+    "perplexity_of",
+    "distribution_entropy",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,37 @@
+"""Checkpointing: model state dicts saved as .npz archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..nn import Module
+
+_CONFIG_KEY = "__config_json__"
+
+
+def save_checkpoint(path: str | Path, model: Module, config: dict | None = None) -> Path:
+    """Save a model's parameters (and optional JSON-able config) to .npz."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = dict(model.state_dict())
+    if config is not None:
+        arrays[_CONFIG_KEY] = np.frombuffer(
+            json.dumps(config).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(path: str | Path, model: Module) -> dict | None:
+    """Load parameters into ``model``; returns the stored config, if any."""
+    with np.load(Path(path)) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    config = None
+    if _CONFIG_KEY in arrays:
+        raw = arrays.pop(_CONFIG_KEY)
+        config = json.loads(raw.tobytes().decode("utf-8"))
+    model.load_state_dict(arrays)
+    return config

@@ -1,0 +1,91 @@
+"""Evaluation metrics: Eq. 3 cross-entropy/perplexity, accuracy, ROUGE.
+
+ROUGE is the "text comparison metric" §4 mentions for scoring freeform
+generations against references; exact-match and accuracy cover the
+multiple-choice / single-answer cases.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+
+def cross_entropy_of(lm, ids: np.ndarray) -> float:
+    """Eq. 3 for any LanguageModel, preferring its batched path if present."""
+    if hasattr(lm, "cross_entropy_on"):
+        return float(lm.cross_entropy_on(np.asarray(ids)))
+    return float(lm.cross_entropy(np.asarray(ids)))
+
+
+def perplexity_of(lm, ids: np.ndarray) -> float:
+    """exp(Eq. 3); the paper's headline LM quality number."""
+    return float(np.exp(cross_entropy_of(lm, ids)))
+
+
+def accuracy(predictions: Sequence, targets: Sequence) -> float:
+    """Fraction of positions where prediction equals target."""
+    predictions, targets = list(predictions), list(targets)
+    if len(predictions) != len(targets):
+        raise ValueError("length mismatch")
+    if not targets:
+        raise ValueError("empty inputs")
+    return sum(p == t for p, t in zip(predictions, targets)) / len(targets)
+
+
+def exact_match(candidate: str, reference: str) -> bool:
+    """Whitespace-normalised string equality."""
+    return " ".join(candidate.split()) == " ".join(reference.split())
+
+
+def _ngrams(tokens: Sequence[str], n: int) -> Counter:
+    return Counter(tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1))
+
+
+def rouge_n(candidate: Sequence[str], reference: Sequence[str], n: int = 1) -> float:
+    """ROUGE-N recall: clipped n-gram overlap / reference n-gram count."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    ref_counts = _ngrams(reference, n)
+    if not ref_counts:
+        return 0.0
+    cand_counts = _ngrams(candidate, n)
+    overlap = sum(min(count, cand_counts.get(gram, 0)) for gram, count in ref_counts.items())
+    return overlap / sum(ref_counts.values())
+
+
+def _lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+    """Classic O(len(a) * len(b)) longest-common-subsequence DP."""
+    if not a or not b:
+        return 0
+    prev = [0] * (len(b) + 1)
+    for x in a:
+        current = [0]
+        for j, y in enumerate(b, start=1):
+            if x == y:
+                current.append(prev[j - 1] + 1)
+            else:
+                current.append(max(prev[j], current[-1]))
+        prev = current
+    return prev[-1]
+
+
+def rouge_l(candidate: Sequence[str], reference: Sequence[str]) -> float:
+    """ROUGE-L F1 based on longest common subsequence."""
+    lcs = _lcs_length(list(candidate), list(reference))
+    if lcs == 0:
+        return 0.0
+    precision = lcs / len(candidate)
+    recall = lcs / len(reference)
+    return 2 * precision * recall / (precision + recall)
+
+
+def distribution_entropy(probs: np.ndarray) -> float:
+    """Shannon entropy in nats of a probability vector."""
+    probs = np.asarray(probs, dtype=np.float64)
+    if not np.isclose(probs.sum(), 1.0, atol=1e-6):
+        raise ValueError("probabilities must sum to 1")
+    nonzero = probs[probs > 0]
+    return float(-(nonzero * np.log(nonzero)).sum())

@@ -1,0 +1,144 @@
+"""A small generic training loop with history recording.
+
+Works with any model exposing ``loss(x, y) -> Tensor`` plus the
+:class:`~repro.nn.Module` parameter API.  The recorded history (loss per
+step, periodic evaluations) is what the phenomenology experiments — loss
+curves, grokking, scaling sweeps — consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..nn import Module, Optimizer, Schedule, clip_grad_norm
+
+
+@dataclass
+class History:
+    """Per-step training record plus periodic evaluation snapshots."""
+
+    steps: list[int] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    lrs: list[float] = field(default_factory=list)
+    eval_steps: list[int] = field(default_factory=list)
+    eval_values: list[dict[str, float]] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("no steps recorded")
+        return self.losses[-1]
+
+    def smoothed_losses(self, window: int = 10) -> np.ndarray:
+        """Trailing-mean loss curve (plateaus-and-drops viewing aid, §4)."""
+        losses = np.asarray(self.losses)
+        if window <= 1 or len(losses) < window:
+            return losses
+        kernel = np.ones(window) / window
+        return np.convolve(losses, kernel, mode="valid")
+
+    def eval_series(self, key: str) -> tuple[list[int], list[float]]:
+        """Extract one named metric across evaluation snapshots."""
+        return self.eval_steps, [snap[key] for snap in self.eval_values]
+
+
+class Trainer:
+    """Drives gradient-descent training (Eq. 16) for a fixed step budget.
+
+    Parameters
+    ----------
+    model:
+        Any Module with a ``loss(x, y)`` method returning a scalar Tensor.
+    optimizer:
+        An :class:`~repro.nn.Optimizer` over the model's parameters.
+    batch_fn:
+        ``batch_fn(step) -> (x, y)`` supplies each training batch.
+    schedule:
+        Optional learning-rate schedule applied before every step.
+    clip_norm:
+        Optional global gradient-norm clip.
+    eval_fn:
+        Optional ``eval_fn(model, step) -> dict[str, float]`` run every
+        ``eval_every`` steps (and at the final step).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        batch_fn: Callable[[int], tuple[np.ndarray, np.ndarray]],
+        schedule: Schedule | None = None,
+        clip_norm: float | None = None,
+        eval_fn: Callable[[Module, int], dict[str, float]] | None = None,
+        eval_every: int = 0,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.batch_fn = batch_fn
+        self.schedule = schedule
+        self.clip_norm = clip_norm
+        self.eval_fn = eval_fn
+        self.eval_every = eval_every
+
+    def run(self, num_steps: int) -> History:
+        if num_steps < 1:
+            raise ValueError("num_steps must be positive")
+        history = History()
+        start = time.perf_counter()
+        self.model.train()
+        for step in range(num_steps):
+            if self.schedule is not None:
+                self.schedule.apply(self.optimizer, step)
+            x, y = self.batch_fn(step)
+            self.model.zero_grad()
+            loss = self.model.loss(x, y)
+            loss.backward()
+            if self.clip_norm is not None:
+                clip_grad_norm(self.optimizer.parameters, self.clip_norm)
+            self.optimizer.step()
+
+            history.steps.append(step)
+            history.losses.append(float(loss.data))
+            history.lrs.append(self.optimizer.lr)
+            is_eval_step = self.eval_every and (step + 1) % self.eval_every == 0
+            if self.eval_fn is not None and (is_eval_step or step == num_steps - 1):
+                history.eval_steps.append(step)
+                history.eval_values.append(self.eval_fn(self.model, step))
+                self.model.train()
+        history.wall_time = time.perf_counter() - start
+        return history
+
+
+def train_lm_on_stream(
+    model,
+    train_ids: np.ndarray,
+    num_steps: int,
+    batch_size: int = 16,
+    seq_len: int = 32,
+    lr: float = 3e-3,
+    seed: int = 0,
+    weight_decay: float = 0.01,
+    clip_norm: float | None = 1.0,
+    eval_fn: Callable | None = None,
+    eval_every: int = 0,
+) -> History:
+    """Convenience wrapper: AdamW + random-window batches from a stream."""
+    from ..data.corpus import sample_batch
+    from ..nn import AdamW
+
+    rng = np.random.default_rng(seed)
+    optimizer = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
+    trainer = Trainer(
+        model,
+        optimizer,
+        batch_fn=lambda step: sample_batch(train_ids, batch_size, seq_len, rng),
+        clip_norm=clip_norm,
+        eval_fn=eval_fn,
+        eval_every=eval_every,
+    )
+    return trainer.run(num_steps)

@@ -1,0 +1,32 @@
+"""Shared fixtures: deterministic RNGs, tiny corpora, small models."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransformerConfig, TransformerLM
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_stream():
+    """A near-deterministic token stream a small model can learn."""
+    rng = np.random.default_rng(0)
+    tokens = []
+    state = 0
+    for _ in range(2000):
+        state = (state + 1) % 5 if rng.random() < 0.95 else int(rng.integers(0, 8))
+        tokens.append(state)
+    return np.array(tokens, dtype=np.int64)
+
+
+@pytest.fixture
+def tiny_transformer():
+    config = TransformerConfig(
+        vocab_size=8, max_seq_len=16, d_model=16, num_heads=2,
+        num_layers=2, d_ff=32,
+    )
+    return TransformerLM(config, rng=0)

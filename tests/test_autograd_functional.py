@@ -1,0 +1,185 @@
+"""Unit tests for the fused functional ops (softmax, CE, layernorm, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    check_gradients,
+    cross_entropy,
+    dropout,
+    gelu,
+    layer_norm,
+    log_softmax,
+    relu,
+    softmax,
+)
+
+
+def _t(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        y = softmax(_t((4, 7))).data
+        assert np.allclose(y.sum(axis=-1), 1.0)
+        assert (y > 0).all()
+
+    def test_shift_invariance(self):
+        x = _t((3, 5))
+        shifted = Tensor(x.data + 1000.0)
+        assert np.allclose(softmax(x).data, softmax(shifted).data)
+
+    def test_gradient(self):
+        x = _t((3, 5))
+        check_gradients(lambda x: softmax(x, axis=-1).square().sum(), [x])
+        check_gradients(lambda x: softmax(x, axis=0).square().sum(), [x])
+
+    def test_extreme_logits_stable(self):
+        x = Tensor(np.array([[1e9, 0.0, -1e9]]))
+        y = softmax(x).data
+        assert np.isfinite(y).all()
+        assert y[0, 0] == pytest.approx(1.0)
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self):
+        x = _t((4, 6))
+        assert np.allclose(log_softmax(x).data, np.log(softmax(x).data))
+
+    def test_gradient(self):
+        x = _t((3, 4))
+        check_gradients(lambda x: log_softmax(x).square().sum(), [x], atol=1e-5)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_nll(self):
+        x = _t((5, 4))
+        targets = np.array([0, 1, 2, 3, 0])
+        manual = -log_softmax(x).data[np.arange(5), targets].mean()
+        assert float(cross_entropy(x, targets).data) == pytest.approx(manual)
+
+    def test_reductions(self):
+        x = _t((5, 4))
+        targets = np.array([0, 1, 2, 3, 0])
+        none = cross_entropy(x, targets, reduction="none")
+        assert none.shape == (5,)
+        total = cross_entropy(x, targets, reduction="sum")
+        assert float(total.data) == pytest.approx(none.data.sum())
+        mean = cross_entropy(x, targets, reduction="mean")
+        assert float(mean.data) == pytest.approx(none.data.mean())
+
+    def test_3d_logits(self):
+        x = _t((2, 3, 4))
+        targets = np.array([[0, 1, 2], [3, 0, 1]])
+        check_gradients(lambda x: cross_entropy(x, targets), [x])
+
+    def test_gradient_none_reduction(self):
+        x = _t((4, 3))
+        targets = np.array([0, 1, 2, 0])
+        check_gradients(lambda x: cross_entropy(x, targets, reduction="none").square().sum(), [x])
+
+    def test_perfect_prediction_loss_near_zero(self):
+        logits = np.full((3, 4), -100.0)
+        logits[np.arange(3), [1, 2, 3]] = 100.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2, 3]))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-10)
+
+    def test_out_of_range_target_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(_t((2, 3)), np.array([0, 3]))
+        with pytest.raises(ValueError):
+            cross_entropy(_t((2, 3)), np.array([-1, 0]))
+
+    def test_bad_reduction_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(_t((2, 3)), np.array([0, 1]), reduction="bogus")
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(_t((2, 3)), np.array([0, 1, 2]))
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        x = _t((6, 8))
+        w = Tensor(np.ones(8), requires_grad=True)
+        b = Tensor(np.zeros(8), requires_grad=True)
+        y = layer_norm(x, w, b).data
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(y.var(axis=-1), 1.0, atol=1e-3)
+
+    def test_affine_params_apply(self):
+        x = _t((2, 4))
+        w = Tensor(np.full(4, 2.0), requires_grad=True)
+        b = Tensor(np.full(4, 7.0), requires_grad=True)
+        y = layer_norm(x, w, b).data
+        assert np.allclose(y.mean(axis=-1), 7.0, atol=1e-6)
+
+    def test_gradients(self):
+        x = _t((3, 5))
+        w = _t((5,), seed=1)
+        b = _t((5,), seed=2)
+        check_gradients(lambda x, w, b: layer_norm(x, w, b).square().sum(),
+                        [x, w, b], atol=1e-5)
+
+    def test_3d_input(self):
+        x = _t((2, 3, 4))
+        w = _t((4,), seed=1)
+        b = _t((4,), seed=2)
+        check_gradients(lambda x, w, b: layer_norm(x, w, b).square().sum(),
+                        [x, w, b], atol=1e-5)
+
+
+class TestActivations:
+    def test_gelu_known_values(self):
+        x = Tensor(np.array([0.0, 100.0, -100.0]))
+        y = gelu(x).data
+        assert y[0] == pytest.approx(0.0)
+        assert y[1] == pytest.approx(100.0, rel=1e-6)
+        assert y[2] == pytest.approx(0.0, abs=1e-6)
+
+    def test_gelu_gradient(self):
+        x = _t((4, 4))
+        check_gradients(lambda x: gelu(x).square().sum(), [x], atol=1e-5)
+
+    def test_relu_alias(self):
+        x = _t((4,))
+        assert np.array_equal(relu(x).data, x.relu().data)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = _t((10, 10))
+        out = dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_zero_p_is_identity(self):
+        x = _t((10,))
+        assert dropout(x, 0.0, np.random.default_rng(0)) is x
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(7)
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.3, rng).data
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+        # surviving entries are scaled by 1/(1-p)
+        survivors = out[out > 0]
+        assert np.allclose(survivors, 1.0 / 0.7)
+
+    def test_gradient_uses_same_mask(self):
+        rng = np.random.default_rng(3)
+        x = _t((5, 5))
+        out = dropout(x, 0.4, rng)
+        out.sum().backward()
+        mask = out.data != 0
+        assert np.array_equal(x.grad != 0, mask)
+
+    def test_invalid_p_raises(self):
+        x = _t((3,))
+        with pytest.raises(ValueError):
+            dropout(x, 1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            dropout(x, -0.1, np.random.default_rng(0))

@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, check_gradients, cross_entropy, softmax
+
+_FINITE = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False,
+                    allow_infinity=False)
+
+
+def _arrays(max_side=4):
+    return st.lists(
+        st.lists(_FINITE, min_size=1, max_size=max_side),
+        min_size=1, max_size=max_side,
+    ).filter(lambda rows: len({len(r) for r in rows}) == 1).map(np.array)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_arrays())
+def test_add_mul_linearity_gradients(data):
+    """d/dx of (a*x + b).sum() is exactly a, independent of x."""
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=data.shape)
+    x = Tensor(data, requires_grad=True)
+    (Tensor(a) * x + 3.0).sum().backward()
+    assert np.allclose(x.grad, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_arrays())
+def test_sum_gradient_is_ones(data):
+    x = Tensor(data, requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, np.ones_like(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_arrays())
+def test_softmax_is_distribution(data):
+    probs = softmax(Tensor(data)).data
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_arrays())
+def test_softmax_shift_invariance(data):
+    shift = 7.3
+    assert np.allclose(
+        softmax(Tensor(data)).data,
+        softmax(Tensor(data + shift)).data,
+        atol=1e-10,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(_arrays(max_side=3))
+def test_chain_rule_matches_finite_differences(data):
+    x = Tensor(data, requires_grad=True)
+    check_gradients(lambda x: (x.tanh() * x + x.exp()).sum(), [x],
+                    atol=1e-4, rtol=1e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_cross_entropy_nonnegative_and_bounded_by_log_v(n, v, seed):
+    """0 <= CE and CE(uniform logits) == log V exactly."""
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.normal(size=(n, v)))
+    targets = rng.integers(0, v, size=n)
+    loss = float(cross_entropy(logits, targets).data)
+    assert loss >= 0.0
+    uniform = float(cross_entropy(Tensor(np.zeros((n, v))), targets).data)
+    assert uniform == np.log(v) or abs(uniform - np.log(v)) < 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_matmul_grad_matches_transpose_identity(seed):
+    """For f = sum(A @ B): dA = ones @ B^T, dB = A^T @ ones."""
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+    b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+    (a @ b).sum().backward()
+    ones = np.ones((3, 2))
+    assert np.allclose(a.grad, ones @ b.data.T)
+    assert np.allclose(b.grad, a.data.T @ ones)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_arrays())
+def test_reshape_roundtrip_gradient_identity(data):
+    x = Tensor(data, requires_grad=True)
+    x.reshape(-1).reshape(data.shape).sum().backward()
+    assert np.allclose(x.grad, np.ones_like(data))

@@ -1,0 +1,274 @@
+"""Unit tests for the Tensor primitives and the backward pass."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    as_tensor,
+    check_gradients,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    stack,
+    where,
+)
+
+
+def _t(shape, seed=0, requires_grad=True):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.data.dtype == np.float64
+
+    def test_from_tensor_copies_reference(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert np.array_equal(a.data, b.data)
+
+    def test_scalar_item(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+    def test_repr_mentions_grad_flag(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_detach_cuts_graph(self):
+        a = _t((3,))
+        b = (a * 2).detach()
+        assert not b.requires_grad
+        assert b._parents == ()
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_seeds_one(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * a).backward()
+        assert a.grad == pytest.approx(4.0)
+
+    def test_backward_requires_scalar_without_seed(self):
+        a = _t((3,))
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_seed_shape_mismatch_raises(self):
+        a = _t((3,))
+        out = a * 2
+        with pytest.raises(ValueError):
+            out.backward(np.ones(4))
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = Tensor(1.0, requires_grad=True)
+        (a * 3).backward()
+        (a * 3).backward()
+        assert a.grad == pytest.approx(6.0)
+
+    def test_zero_grad(self):
+        a = Tensor(1.0, requires_grad=True)
+        (a * 3).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # f = (a + a) * a => df/da = 4a
+        a = Tensor(3.0, requires_grad=True)
+        ((a + a) * a).backward()
+        assert a.grad == pytest.approx(12.0)
+
+    def test_reused_node_deep_graph(self):
+        a = Tensor(2.0, requires_grad=True)
+        b = a * a         # 4
+        c = b + b         # 8, uses b twice
+        (c * a).backward()  # f = 2a^3, f' = 6a^2 = 24
+        assert a.grad == pytest.approx(24.0)
+
+
+class TestNoGrad:
+    def test_no_grad_disables_recording(self):
+        a = _t((3,))
+        with no_grad():
+            assert not is_grad_enabled()
+            out = a * 2
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+    def test_tensor_created_under_no_grad_is_constant(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self):
+        a, b = _t((3, 4)), _t((4,), seed=1)
+        check_gradients(lambda a, b: (a + b).square().sum(), [a, b])
+
+    def test_scalar_broadcast(self):
+        a = _t((2, 3))
+        check_gradients(lambda a: (a + 5.0).square().sum(), [a])
+        check_gradients(lambda a: (5.0 - a).square().sum(), [a])
+
+    def test_mul_div(self):
+        a, b = _t((3, 4)), _t((3, 4), seed=1)
+        b.data += 3.0  # keep denominators away from zero
+        check_gradients(lambda a, b: (a * b).sum(), [a, b])
+        check_gradients(lambda a, b: (a / b).sum(), [a, b])
+
+    def test_rdiv(self):
+        a = _t((4,))
+        a.data += 3.0
+        check_gradients(lambda a: (1.0 / a).sum(), [a])
+
+    def test_pow(self):
+        a = _t((3,))
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda a: (a**3).sum(), [a])
+        check_gradients(lambda a: (a**0.5).sum(), [a], atol=1e-5)
+
+    def test_pow_tensor_exponent_rejected(self):
+        a = _t((3,))
+        with pytest.raises(TypeError):
+            a ** Tensor(2.0)
+
+    def test_matmul_2d(self):
+        a, b = _t((3, 4)), _t((4, 5), seed=1)
+        check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched_broadcast(self):
+        a, b = _t((2, 3, 4)), _t((4, 5), seed=1)
+        check_gradients(lambda a, b: (a @ b).tanh().sum(), [a, b])
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError):
+            _t((3,)) @ _t((3,), seed=1)
+
+    def test_neg_sub(self):
+        a, b = _t((3,)), _t((3,), seed=1)
+        check_gradients(lambda a, b: (-a - b).square().sum(), [a, b])
+
+
+class TestElementwiseGradients:
+    def test_exp_log(self):
+        a = _t((4,))
+        check_gradients(lambda a: a.exp().sum(), [a])
+        b = _t((4,), seed=2)
+        b.data = np.abs(b.data) + 0.5
+        check_gradients(lambda b: b.log().sum(), [b])
+
+    def test_tanh_sigmoid(self):
+        a = _t((3, 3))
+        check_gradients(lambda a: a.tanh().sum(), [a])
+        check_gradients(lambda a: a.sigmoid().sum(), [a])
+
+    def test_relu_subgradient_at_masked_region(self):
+        a = Tensor(np.array([-1.0, 2.0, -0.5, 3.0]), requires_grad=True)
+        a.relu().sum().backward()
+        assert np.array_equal(a.grad, [0.0, 1.0, 0.0, 1.0])
+
+    def test_abs(self):
+        a = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        a.abs().sum().backward()
+        assert np.array_equal(a.grad, [-1.0, 1.0])
+
+    def test_square_sqrt(self):
+        a = _t((4,))
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda a: a.square().sum(), [a])
+        check_gradients(lambda a: a.sqrt().sum(), [a], atol=1e-5)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = _t((3, 4, 5))
+        check_gradients(lambda a: a.sum(axis=1).square().sum(), [a])
+        check_gradients(lambda a: a.sum(axis=(0, 2), keepdims=True).square().sum(), [a])
+
+    def test_mean(self):
+        a = _t((3, 4))
+        check_gradients(lambda a: a.mean().square().sum(), [a])
+        check_gradients(lambda a: a.mean(axis=0).square().sum(), [a])
+
+    def test_max_gradient_routes_to_argmax(self):
+        a = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.array_equal(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([3.0, 3.0]), requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [0.5, 0.5])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        a = _t((2, 6))
+        check_gradients(lambda a: a.reshape(3, 4).square().sum(), [a])
+        check_gradients(lambda a: a.reshape((4, 3)).square().sum(), [a])
+
+    def test_transpose_and_default(self):
+        a = _t((2, 3, 4))
+        check_gradients(lambda a: a.transpose(2, 0, 1).square().sum(), [a])
+        check_gradients(lambda a: a.transpose().square().sum(), [a])
+
+    def test_swapaxes(self):
+        a = _t((2, 3, 4))
+        check_gradients(lambda a: a.swapaxes(0, 2).square().sum(), [a])
+
+    def test_getitem_slices(self):
+        a = _t((5, 6))
+        check_gradients(lambda a: a[1:4, ::2].square().sum(), [a])
+
+    def test_getitem_integer_array_with_duplicates(self):
+        a = _t((5, 3))
+        idx = np.array([0, 2, 2, 4])
+        check_gradients(lambda a: a[idx].square().sum(), [a])
+
+    def test_pad_last(self):
+        a = _t((2, 3))
+        check_gradients(lambda a: a.pad_last(1, 2).square().sum(), [a])
+        out = a.pad_last(1, 2)
+        assert out.shape == (2, 6)
+
+
+class TestCombinators:
+    def test_concatenate(self):
+        a, b = _t((2, 3)), _t((4, 3), seed=1)
+        check_gradients(lambda a, b: concatenate([a, b], axis=0).square().sum(), [a, b])
+
+    def test_stack(self):
+        a, b = _t((2, 3)), _t((2, 3), seed=1)
+        check_gradients(lambda a, b: stack([a, b], axis=1).square().sum(), [a, b])
+        assert stack([a, b], axis=1).shape == (2, 2, 3)
+
+    def test_where(self):
+        a, b = _t((4,)), _t((4,), seed=1)
+        cond = np.array([True, False, True, False])
+        check_gradients(lambda a, b: where(cond, a, b).square().sum(), [a, b])
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)

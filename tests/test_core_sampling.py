@@ -1,0 +1,117 @@
+"""Unit tests for Eq. 8 sampling: temperature, top-k, top-p, greedy."""
+
+import numpy as np
+import pytest
+
+from repro.core import filter_top_k, filter_top_p, logits_to_probs, sample_token
+
+
+class TestLogitsToProbs:
+    def test_is_distribution(self):
+        probs = logits_to_probs(np.array([1.0, 2.0, 3.0]))
+        assert np.isclose(probs.sum(), 1.0)
+        assert (probs > 0).all()
+
+    def test_temperature_one_is_softmax(self):
+        logits = np.array([0.0, np.log(3.0)])
+        probs = logits_to_probs(logits, temperature=1.0)
+        assert probs[1] / probs[0] == pytest.approx(3.0)
+
+    def test_low_temperature_sharpens(self):
+        logits = np.array([1.0, 2.0, 3.0])
+        cold = logits_to_probs(logits, temperature=0.1)
+        hot = logits_to_probs(logits, temperature=10.0)
+        assert cold.max() > hot.max()
+        assert cold[2] > 0.99
+
+    def test_high_temperature_flattens_to_uniform(self):
+        probs = logits_to_probs(np.array([1.0, 5.0, 9.0]), temperature=1e6)
+        assert np.allclose(probs, 1 / 3, atol=1e-4)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            logits_to_probs(np.zeros(3), temperature=0.0)
+        with pytest.raises(ValueError):
+            logits_to_probs(np.zeros(3), temperature=-1.0)
+
+    def test_numerical_stability(self):
+        probs = logits_to_probs(np.array([1e9, 0.0]))
+        assert np.isfinite(probs).all()
+
+
+class TestTopK:
+    def test_keeps_k_largest(self):
+        out = filter_top_k(np.array([1.0, 5.0, 3.0, 2.0]), k=2)
+        assert out[1] == 5.0 and out[2] == 3.0
+        assert out[0] == -np.inf and out[3] == -np.inf
+
+    def test_k_geq_size_is_identity(self):
+        logits = np.array([1.0, 2.0])
+        assert np.array_equal(filter_top_k(logits, k=5), logits)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            filter_top_k(np.zeros(3), k=0)
+
+    def test_ties_at_threshold_survive(self):
+        out = filter_top_k(np.array([2.0, 2.0, 1.0]), k=1)
+        assert (out[:2] == 2.0).all()  # both ties kept (threshold rule)
+
+
+class TestTopP:
+    def test_keeps_minimal_nucleus(self):
+        logits = np.log(np.array([0.5, 0.3, 0.15, 0.05]))
+        out = filter_top_p(logits, p=0.7)
+        assert np.isfinite(out[0]) and np.isfinite(out[1])
+        assert out[2] == -np.inf and out[3] == -np.inf
+
+    def test_p_one_keeps_everything(self):
+        logits = np.array([1.0, 2.0, 3.0])
+        assert np.isfinite(filter_top_p(logits, p=1.0)).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            filter_top_p(np.zeros(3), p=0.0)
+        with pytest.raises(ValueError):
+            filter_top_p(np.zeros(3), p=1.5)
+
+
+class TestSampleToken:
+    def test_greedy_is_argmax(self):
+        assert sample_token(np.array([1.0, 9.0, 3.0]), greedy=True) == 1
+
+    def test_greedy_matches_cold_temperature(self):
+        rng = np.random.default_rng(0)
+        logits = np.array([1.0, 4.0, 2.0])
+        cold_samples = {sample_token(logits, rng, temperature=0.01)
+                        for _ in range(20)}
+        assert cold_samples == {sample_token(logits, greedy=True)}
+
+    def test_stochastic_needs_rng(self):
+        with pytest.raises(ValueError):
+            sample_token(np.zeros(3))
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            sample_token(np.zeros((2, 3)), greedy=True)
+
+    def test_empirical_frequencies_match_softmax(self):
+        rng = np.random.default_rng(0)
+        logits = np.log(np.array([0.6, 0.3, 0.1]))
+        counts = np.zeros(3)
+        n = 3000
+        for _ in range(n):
+            counts[sample_token(logits, rng)] += 1
+        assert np.allclose(counts / n, [0.6, 0.3, 0.1], atol=0.04)
+
+    def test_top_k_restricts_support(self):
+        rng = np.random.default_rng(0)
+        logits = np.array([5.0, 4.0, -1.0, -2.0])
+        samples = {sample_token(logits, rng, top_k=2) for _ in range(100)}
+        assert samples <= {0, 1}
+
+    def test_top_p_restricts_support(self):
+        rng = np.random.default_rng(0)
+        logits = np.log(np.array([0.7, 0.2, 0.07, 0.03]))
+        samples = {sample_token(logits, rng, top_p=0.65) for _ in range(100)}
+        assert samples == {0}

@@ -1,0 +1,285 @@
+"""Unit + integration tests for the §6 transformer stack."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.core import (
+    LearnedPositional,
+    MultiHeadSelfAttention,
+    NoPositional,
+    SinusoidalPositional,
+    TransformerConfig,
+    TransformerLM,
+    causal_mask,
+    sinusoidal_positions,
+)
+from repro.data import sample_batch
+from repro.nn import AdamW
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = TransformerConfig(vocab_size=10)
+        assert cfg.d_ff == 4 * cfg.d_model
+        assert cfg.head_dim * cfg.num_heads == cfg.d_model
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(vocab_size=10, d_model=10, num_heads=3)
+        with pytest.raises(ValueError):
+            TransformerConfig(vocab_size=10, positional="fourier")
+        with pytest.raises(ValueError):
+            TransformerConfig(vocab_size=0)
+
+    def test_roundtrip_dict(self):
+        cfg = TransformerConfig(vocab_size=11, d_model=16, num_heads=4)
+        assert TransformerConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_param_estimate_tracks_actual(self):
+        cfg = TransformerConfig(vocab_size=50, max_seq_len=32, d_model=32,
+                                num_heads=4, num_layers=2)
+        model = TransformerLM(cfg, rng=0)
+        estimate = cfg.approx_num_parameters()
+        actual = model.num_parameters()
+        assert 0.5 < estimate / actual < 2.0
+
+
+class TestPositional:
+    def test_sinusoidal_table_matches_eq15(self):
+        table = sinusoidal_positions(10, 8)
+        # pair (cos, sin) layout, position 0 -> cos=1, sin=0
+        assert np.allclose(table[0, 0::2], 1.0)
+        assert np.allclose(table[0, 1::2], 0.0)
+        # unit norm per (cos, sin) pair
+        pairs = table[:, 0::2] ** 2 + table[:, 1::2] ** 2
+        assert np.allclose(pairs, 1.0)
+
+    def test_sinusoidal_positions_distinct(self):
+        table = sinusoidal_positions(20, 16)
+        gram = table @ table.T
+        off_diag = gram - np.diag(np.diag(gram))
+        assert off_diag.max() < gram[0, 0]  # no two positions identical
+
+    def test_odd_dim_rejected(self):
+        with pytest.raises(ValueError):
+            sinusoidal_positions(10, 7)
+
+    def test_module_adds_table(self):
+        pos = SinusoidalPositional(8, 4)
+        x = Tensor(np.zeros((2, 5, 4)))
+        out = pos(x)
+        assert np.allclose(out.data[0], sinusoidal_positions(8, 4)[:5])
+
+    def test_length_overflow_raises(self):
+        pos = SinusoidalPositional(4, 4)
+        with pytest.raises(ValueError):
+            pos(Tensor(np.zeros((1, 5, 4))))
+        lp = LearnedPositional(4, 4, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            lp(Tensor(np.zeros((1, 5, 4))))
+
+    def test_no_positional_is_identity(self):
+        x = Tensor(np.ones((1, 3, 4)))
+        assert np.array_equal(NoPositional()(x).data, x.data)
+
+
+class TestAttention:
+    def test_causal_mask_shape_and_values(self):
+        mask = causal_mask(4)
+        assert mask.shape == (1, 1, 4, 4)
+        assert mask[0, 0, 0, 1] < -1e8
+        assert mask[0, 0, 3, 0] == 0.0
+
+    def test_output_shape(self):
+        attn = MultiHeadSelfAttention(8, 2, np.random.default_rng(0))
+        out = attn(Tensor(np.random.default_rng(1).normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_causality_future_tokens_do_not_affect_past(self):
+        """Changing input at position t must not change outputs before t."""
+        rng = np.random.default_rng(0)
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        attn.eval()
+        x = rng.normal(size=(1, 6, 8))
+        base = attn(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 4, :] += 10.0
+        out = attn(Tensor(x2)).data
+        assert np.allclose(out[0, :4], base[0, :4])
+        assert not np.allclose(out[0, 4:], base[0, 4:])
+
+    def test_attention_weights_rows_sum_to_one_and_causal(self):
+        attn = MultiHeadSelfAttention(8, 2, np.random.default_rng(0))
+        cache = {}
+        attn(Tensor(np.random.default_rng(1).normal(size=(1, 5, 8))),
+             cache=cache, cache_key="a")
+        w = cache["a.weights"]
+        assert w.shape == (1, 2, 5, 5)
+        assert np.allclose(w.sum(axis=-1), 1.0)
+        assert np.allclose(np.triu(w[0, 0], k=1), 0.0)
+
+    def test_invalid_heads_rejected(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(8, 3, np.random.default_rng(0))
+
+    def test_non_causal_mode_attends_forward(self):
+        attn = MultiHeadSelfAttention(8, 2, np.random.default_rng(0), causal=False)
+        cache = {}
+        attn(Tensor(np.random.default_rng(1).normal(size=(1, 4, 8))),
+             cache=cache, cache_key="a")
+        assert np.triu(cache["a.weights"][0, 0], k=1).sum() > 0
+
+
+class TestTransformerLM:
+    def test_logits_shape(self, tiny_transformer):
+        logits = tiny_transformer.forward(np.zeros((3, 10), dtype=int))
+        assert logits.shape == (3, 10, 8)
+
+    def test_1d_input_promoted(self, tiny_transformer):
+        logits = tiny_transformer.forward(np.zeros(6, dtype=int))
+        assert logits.shape == (1, 6, 8)
+
+    def test_window_overflow_raises(self, tiny_transformer):
+        with pytest.raises(ValueError):
+            tiny_transformer.forward(np.zeros((1, 17), dtype=int))
+
+    def test_bad_ndim_raises(self, tiny_transformer):
+        with pytest.raises(ValueError):
+            tiny_transformer.forward(np.zeros((1, 2, 3), dtype=int))
+
+    def test_whole_model_causality(self, tiny_transformer):
+        x = np.array([[1, 2, 3, 4, 5, 6]])
+        with no_grad():
+            base = tiny_transformer.forward(x).data.copy()
+            x2 = x.copy()
+            x2[0, 3] = 7
+            out = tiny_transformer.forward(x2).data
+        assert np.allclose(out[0, :3], base[0, :3], atol=1e-10)
+        assert not np.allclose(out[0, 3:], base[0, 3:])
+
+    def test_cache_contains_all_layers(self, tiny_transformer):
+        cache = {}
+        tiny_transformer.forward(np.zeros((1, 5), dtype=int), cache=cache)
+        assert "embed" in cache and "final" in cache
+        for i in range(2):
+            assert f"block{i}.out" in cache
+            assert f"block{i}.weights" in cache
+        assert cache["block0.out"].shape == (1, 5, 16)
+
+    def test_loss_decreases_when_overfitting(self, tiny_transformer):
+        data = np.array([1, 2, 3, 4, 5, 6, 7] * 30)
+        rng = np.random.default_rng(0)
+        opt = AdamW(tiny_transformer.parameters(), lr=3e-3)
+        first = None
+        for step in range(120):
+            x, y = sample_batch(data, 8, 7, rng)
+            tiny_transformer.zero_grad()
+            loss = tiny_transformer.loss(x, y)
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = float(loss.data)
+        assert float(loss.data) < 0.2 < first
+
+    def test_greedy_generation_continues_pattern(self, tiny_transformer):
+        data = np.array([1, 2, 3, 4, 5, 6, 7] * 30)
+        rng = np.random.default_rng(0)
+        opt = AdamW(tiny_transformer.parameters(), lr=3e-3)
+        for _ in range(150):
+            x, y = sample_batch(data, 8, 7, rng)
+            tiny_transformer.zero_grad()
+            tiny_transformer.loss(x, y).backward()
+            opt.step()
+        out = tiny_transformer.generate([1, 2, 3], 4, greedy=True)
+        assert out == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_next_token_logprobs_normalised(self, tiny_transformer):
+        lp = tiny_transformer.next_token_logprobs(np.array([1, 2, 3]))
+        assert np.isclose(np.exp(lp).sum(), 1.0)
+
+    def test_next_token_logprobs_truncates_long_context(self, tiny_transformer):
+        long_ctx = np.ones(100, dtype=int)
+        lp = tiny_transformer.next_token_logprobs(long_ctx)
+        assert np.isfinite(lp).all()
+
+    def test_cross_entropy_on_matches_loss_scale(self, tiny_transformer, tiny_stream):
+        ce = tiny_transformer.cross_entropy_on(tiny_stream[:200], seq_len=16)
+        assert 0 < ce < np.log(8) + 1.0  # near-uniform untrained model
+
+    def test_perplexity_on(self, tiny_transformer, tiny_stream):
+        ppl = tiny_transformer.perplexity_on(tiny_stream[:200], seq_len=16)
+        assert 1.0 < ppl < 20.0
+
+    def test_eval_mode_restored_after_scoring(self, tiny_transformer, tiny_stream):
+        tiny_transformer.train()
+        tiny_transformer.cross_entropy_on(tiny_stream[:100], seq_len=16)
+        assert tiny_transformer.training
+
+    def test_sinusoidal_variant_runs(self):
+        cfg = TransformerConfig(vocab_size=8, max_seq_len=16, d_model=16,
+                                num_heads=2, num_layers=1,
+                                positional="sinusoidal")
+        model = TransformerLM(cfg, rng=0)
+        assert model.forward(np.zeros((1, 8), dtype=int)).shape == (1, 8, 8)
+
+    def test_permutation_invariance_without_positions(self):
+        """§6: attention alone is permutation-invariant on the context set.
+
+        For a single layer with no positional encoding, the final
+        position's logits see only the *multiset* of context embeddings,
+        so permuting the context cannot change them.  (Deeper stacks break
+        this only via the causal mask's prefix structure.)"""
+        cfg = TransformerConfig(vocab_size=8, max_seq_len=16, d_model=16,
+                                num_heads=2, num_layers=1, positional="none")
+        model = TransformerLM(cfg, rng=0)
+        x1 = np.array([[3, 1, 4, 1, 5, 2]])
+        x2 = np.array([[1, 4, 3, 5, 1, 2]])  # same multiset, same last token
+        with no_grad():
+            a = model.forward(x1).data[0, -1]
+            b = model.forward(x2).data[0, -1]
+        assert np.allclose(a, b, atol=1e-8)
+
+    def test_learned_positions_break_permutation_invariance(self):
+        cfg = TransformerConfig(vocab_size=8, max_seq_len=16, d_model=16,
+                                num_heads=2, num_layers=2, positional="learned")
+        model = TransformerLM(cfg, rng=0)
+        x1 = np.array([[3, 1, 4, 1, 5, 2]])
+        x2 = np.array([[1, 4, 3, 5, 1, 2]])
+        with no_grad():
+            a = model.forward(x1).data[0, -1]
+            b = model.forward(x2).data[0, -1]
+        assert not np.allclose(a, b)
+
+    def test_post_ln_ablation_runs(self):
+        cfg = TransformerConfig(vocab_size=8, max_seq_len=8, d_model=16,
+                                num_heads=2, num_layers=1, pre_layernorm=False)
+        model = TransformerLM(cfg, rng=0)
+        assert np.isfinite(model.forward(np.zeros((1, 4), dtype=int)).data).all()
+
+    def test_no_residual_ablation_runs(self):
+        cfg = TransformerConfig(vocab_size=8, max_seq_len=8, d_model=16,
+                                num_heads=2, num_layers=1, use_residual=False)
+        model = TransformerLM(cfg, rng=0)
+        assert np.isfinite(model.forward(np.zeros((1, 4), dtype=int)).data).all()
+
+    def test_gradcheck_full_model(self):
+        """End-to-end finite-difference check on a micro transformer."""
+        cfg = TransformerConfig(vocab_size=5, max_seq_len=4, d_model=8,
+                                num_heads=2, num_layers=1, d_ff=8)
+        model = TransformerLM(cfg, rng=0)
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 5, size=(2, 4))
+        y = rng.integers(0, 5, size=(2, 4))
+        loss = model.loss(x, y)
+        loss.backward()
+        p = model.blocks[0].ffn.fc_in.weight
+        eps = 1e-6
+        for idx in [(0, 0), (3, 5), (7, 2)]:
+            orig = p.data[idx]
+            p.data[idx] = orig + eps
+            hi = float(model.loss(x, y).data)
+            p.data[idx] = orig - eps
+            lo = float(model.loss(x, y).data)
+            p.data[idx] = orig
+            assert (hi - lo) / (2 * eps) == pytest.approx(p.grad[idx], abs=1e-5)

@@ -1,0 +1,146 @@
+"""Unit tests for corpus batching and the synthetic corpora."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CAPITAL_TRIPLES,
+    GENDER_TRIPLES,
+    Corpus,
+    attribute_world_corpus,
+    capital_analogy_questions,
+    diversity_corpus,
+    gender_analogy_questions,
+    iterate_batches,
+    math_word_problems,
+    render_problem,
+    sample_batch,
+    sequential_batches,
+    solve_left_to_right,
+    train_test_split,
+)
+
+
+class TestSplitsAndBatches:
+    def test_split_is_contiguous_tail(self):
+        ids = np.arange(100)
+        train, test = train_test_split(ids, test_fraction=0.2)
+        assert len(train) == 80 and len(test) == 20
+        assert np.array_equal(test, np.arange(80, 100))
+
+    def test_split_fraction_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(100), test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(4), test_fraction=0.1)
+
+    def test_sample_batch_targets_shifted(self):
+        ids = np.arange(50)
+        x, y = sample_batch(ids, batch_size=4, seq_len=8,
+                            rng=np.random.default_rng(0))
+        assert x.shape == y.shape == (4, 8)
+        assert np.array_equal(y, x + 1)  # arange stream: next = current + 1
+
+    def test_sample_batch_too_short_raises(self):
+        with pytest.raises(ValueError):
+            sample_batch(np.arange(5), 1, 10, np.random.default_rng(0))
+
+    def test_iterate_batches_count(self):
+        batches = list(iterate_batches(np.arange(100), 2, 5, 7,
+                                       np.random.default_rng(0)))
+        assert len(batches) == 7
+
+    def test_sequential_batches_cover_stream(self):
+        ids = np.arange(33)
+        seen = []
+        for x, y in sequential_batches(ids, batch_size=2, seq_len=8):
+            assert np.array_equal(y, x + 1)
+            seen.extend(x.reshape(-1).tolist())
+        assert seen == list(range(32))  # 4 windows of 8
+
+    def test_corpus_from_ids(self):
+        c = Corpus.from_ids(list(range(100)), vocab_size=100, test_fraction=0.1)
+        assert c.num_train_tokens == 90
+        sub = c.subset(10)
+        assert sub.num_train_tokens == 10
+        assert np.array_equal(sub.test_ids, c.test_ids)
+
+    def test_corpus_subset_validation(self):
+        c = Corpus.from_ids(list(range(100)), vocab_size=100)
+        with pytest.raises(ValueError):
+            c.subset(1)
+
+
+class TestAttributeWorld:
+    def test_contains_all_target_words(self):
+        rng = np.random.default_rng(0)
+        text = attribute_world_corpus(rng, num_sentences=3000)
+        for _, male, female in GENDER_TRIPLES:
+            assert f" {male} " in text
+            assert f" {female} " in text
+        for _, country, capital in CAPITAL_TRIPLES:
+            assert country in text and capital in text
+
+    def test_question_sets_are_well_formed(self):
+        gq = gender_analogy_questions()
+        assert len(gq) == len(GENDER_TRIPLES) * (len(GENDER_TRIPLES) - 1)
+        assert ("king", "man", "woman", "queen") in gq
+        cq = capital_analogy_questions()
+        assert ("paris", "france", "italy", "rome") in cq
+        for a, b, c, d in gq + cq:
+            assert len({a, b, c, d}) == 4
+
+
+class TestWordProblems:
+    def test_solver_left_to_right(self):
+        # 3 + 4 = 7; 7 * 2 = 14 -> 4 (mod 10)
+        assert solve_left_to_right([3, 4, 2], ["+", "*"]) == [7, 4]
+
+    def test_solver_validates(self):
+        with pytest.raises(ValueError):
+            solve_left_to_right([1, 2], ["+", "*"])
+        with pytest.raises(ValueError):
+            solve_left_to_right([1, 2], ["/"])
+
+    def test_direct_rendering(self):
+        p = render_problem([3, 4, 2], ["+", "*"], chain_of_thought=False)
+        assert p.prompt == "Q3+4*2="
+        assert p.completion == "4\n"
+        assert p.answer == 4
+
+    def test_cot_rendering_contains_intermediates(self):
+        p = render_problem([3, 4, 2], ["+", "*"], chain_of_thought=True)
+        assert p.prompt == "Q3+4*2:"
+        assert p.completion == "7:=4\n"
+        assert p.text == "Q3+4*2:7:=4\n"
+
+    def test_single_op_cot_has_no_chain(self):
+        p = render_problem([3, 4], ["+"], chain_of_thought=True)
+        assert p.completion == "=7\n"
+
+    def test_generated_answers_match_solver(self):
+        rng = np.random.default_rng(1)
+        for p in math_word_problems(rng, 50, num_ops=3, chain_of_thought=True):
+            expr = p.prompt[1:-1]
+            operands = [int(c) for c in expr[::2]]
+            ops = list(expr[1::2])
+            assert p.answer == solve_left_to_right(operands, ops)[-1]
+
+
+class TestDiversityCorpus:
+    def test_distinct_sentence_budget_respected(self):
+        rng = np.random.default_rng(0)
+        text = diversity_corpus(rng, num_sentences=200, num_distinct=5)
+        sentences = {s.strip(" .") for s in text.split(" . ") if s.strip(" .")}
+        assert len(sentences) <= 5
+
+    def test_same_length_regardless_of_diversity(self):
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        low = diversity_corpus(rng1, 100, num_distinct=2)
+        high = diversity_corpus(rng2, 100, num_distinct=100)
+        # token counts should be comparable (same sentence templates)
+        assert abs(len(low.split()) - len(high.split())) < len(high.split()) * 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diversity_corpus(np.random.default_rng(0), 10, num_distinct=0)

@@ -1,0 +1,137 @@
+"""Unit tests for Vocabulary and the three tokenizers."""
+
+import numpy as np
+import pytest
+
+from repro.data import BPETokenizer, CharTokenizer, Vocabulary, WordTokenizer
+
+
+class TestVocabulary:
+    def test_roundtrip(self):
+        v = Vocabulary(["a", "b", "c"])
+        assert v.encode(["c", "a"]) == [2, 0]
+        assert v.decode([2, 0]) == ["c", "a"]
+        assert len(v) == 3
+        assert "b" in v and "z" not in v
+
+    def test_duplicate_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary(["a", "a"])
+
+    def test_unknown_token_without_unk_raises(self):
+        v = Vocabulary(["a"])
+        with pytest.raises(KeyError):
+            v.token_to_id("b")
+
+    def test_unk_fallback(self):
+        v = Vocabulary(["<unk>", "a"], unk_token="<unk>")
+        assert v.token_to_id("zzz") == 0
+
+    def test_unk_must_be_member(self):
+        with pytest.raises(ValueError):
+            Vocabulary(["a"], unk_token="<unk>")
+
+    def test_from_corpus_frequency_order(self):
+        v = Vocabulary.from_corpus("a b b c c c".split())
+        assert v.tokens == ["c", "b", "a"]
+
+    def test_from_corpus_min_count_and_max_size(self):
+        tokens = "a a a b b c".split()
+        v = Vocabulary.from_corpus(tokens, min_count=2)
+        assert "c" not in v
+        v2 = Vocabulary.from_corpus(tokens, max_size=1)
+        assert len(v2) == 1 and v2.tokens == ["a"]
+
+    def test_from_corpus_specials_first(self):
+        v = Vocabulary.from_corpus("x y".split(), specials=["<pad>"], unk_token="<unk>")
+        assert v.tokens[0] == "<pad>"
+        assert v.tokens[1] == "<unk>"
+
+    def test_iteration(self):
+        v = Vocabulary(["a", "b"])
+        assert list(v) == ["a", "b"]
+
+
+class TestCharTokenizer:
+    def test_roundtrip(self):
+        tok = CharTokenizer("hello world")
+        text = "low hold"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_alphabet_is_sorted_unique(self):
+        tok = CharTokenizer("banana")
+        assert tok.vocab.tokens == ["a", "b", "n"]
+
+    def test_unk_token(self):
+        tok = CharTokenizer("abc", unk_token="?")
+        ids = tok.encode("axc")
+        assert tok.decode(ids) == "a?c"
+
+
+class TestWordTokenizer:
+    def test_splits_words_and_punctuation(self):
+        tok = WordTokenizer("The cat sat. The dog ran!")
+        assert tok.tokenize("The cat.") == ["the", "cat", "."]
+
+    def test_unk_for_unseen(self):
+        tok = WordTokenizer("a b c")
+        assert tok.vocab.id_to_token(tok.encode("zebra")[0]) == "<unk>"
+
+    def test_case_preservation_option(self):
+        tok = WordTokenizer("The THE the", lowercase=False)
+        assert "The" in tok.vocab and "THE" in tok.vocab
+
+    def test_detokenize_joins_with_spaces(self):
+        tok = WordTokenizer("a b")
+        assert tok.detokenize(["a", "b"]) == "a b"
+
+
+class TestBPETokenizer:
+    CORPUS = ("low low low low low lower lower newest newest newest "
+              "newest newest newest widest widest widest")
+
+    def test_learns_frequent_merges(self):
+        tok = BPETokenizer(self.CORPUS, num_merges=30)
+        # 'est</w>' should have been merged (appears in newest/widest x9)
+        merged_symbols = {a + b for a, b in tok.merges}
+        assert any("est" in s for s in merged_symbols)
+
+    def test_roundtrip_seen_words(self):
+        tok = BPETokenizer(self.CORPUS, num_merges=20)
+        assert tok.decode(tok.encode("low newest")) == "low newest"
+
+    def test_unseen_word_falls_back_to_chars(self):
+        tok = BPETokenizer(self.CORPUS, num_merges=10)
+        tokens = tok.tokenize("lot")  # 't' seen, merges may not apply
+        assert "".join(tokens).replace("</w>", "") == "lot"
+
+    def test_zero_merges_is_character_level(self):
+        tok = BPETokenizer("ab ba", num_merges=0)
+        assert tok.tokenize("ab") == ["a", "b", "</w>"]
+
+    def test_more_merges_means_fewer_tokens(self):
+        few = BPETokenizer(self.CORPUS, num_merges=2)
+        many = BPETokenizer(self.CORPUS, num_merges=50)
+        text = "newest lower widest"
+        assert len(many.tokenize(text)) <= len(few.tokenize(text))
+
+    def test_subword_decomposition_is_meaningful(self):
+        """The paper's motivating example: shared stems become tokens."""
+        corpus = " ".join(["symmetry"] * 8 + ["symmetric"] * 8 + ["symmetrize"] * 8
+                          + ["super"] * 8 + ["ization"] * 8)
+        tok = BPETokenizer(corpus, num_merges=60)
+        pieces = tok.tokenize("symmetry")
+        assert len(pieces) <= 3  # stem has been merged into few units
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            BPETokenizer("", num_merges=5)
+
+    def test_negative_merges_rejected(self):
+        with pytest.raises(ValueError):
+            BPETokenizer("a b", num_merges=-1)
+
+    def test_deterministic(self):
+        t1 = BPETokenizer(self.CORPUS, num_merges=25)
+        t2 = BPETokenizer(self.CORPUS, num_merges=25)
+        assert t1.merges == t2.merges

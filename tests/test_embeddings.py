@@ -1,0 +1,176 @@
+"""Unit tests for co-occurrence, PPMI, SVD, and analogy evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.data import Vocabulary, WordTokenizer, attribute_world_corpus, gender_analogy_questions
+from repro.embeddings import (
+    AnalogyReport,
+    analogy_query,
+    center_rows,
+    cooccurrence_matrix,
+    evaluate_analogies,
+    explained_variance,
+    nearest_words,
+    pmi_matrix,
+    svd_embedding,
+    word_counts,
+)
+
+
+class TestCooccurrence:
+    def test_simple_window_counts(self):
+        # stream a b a: window 1 pairs (a,b), (b,a) -> symmetric counts
+        m = cooccurrence_matrix(np.array([0, 1, 0]), vocab_size=2, window=1)
+        assert m[0, 1] == m[1, 0] == 2.0
+        assert m[0, 0] == 0.0
+
+    def test_wider_window_sees_further(self):
+        ids = np.array([0, 2, 1])
+        narrow = cooccurrence_matrix(ids, 3, window=1)
+        wide = cooccurrence_matrix(ids, 3, window=2)
+        assert narrow[0, 1] == 0.0
+        assert wide[0, 1] == 1.0  # one unordered (0, 1) pair at offset 2
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 6, size=300)
+        m = cooccurrence_matrix(ids, 6, window=3)
+        assert np.array_equal(m, m.T)
+
+    def test_asymmetric_mode(self):
+        m = cooccurrence_matrix(np.array([0, 1]), 2, window=1, symmetric=False)
+        assert m[1, 0] == 1.0 and m[0, 1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cooccurrence_matrix(np.array([0]), 2, window=0)
+        with pytest.raises(ValueError):
+            cooccurrence_matrix(np.array([5]), 2)
+
+    def test_word_counts(self):
+        counts = word_counts(np.array([0, 0, 2]), 4)
+        assert np.array_equal(counts, [2, 0, 1, 0])
+
+
+class TestPMI:
+    def test_independent_words_have_zero_pmi(self):
+        # counts proportional to outer product of marginals -> PMI ~ 0
+        marginal = np.array([4.0, 6.0])
+        counts = np.outer(marginal, marginal)
+        pmi = pmi_matrix(counts, smoothing=1.0)
+        assert np.allclose(pmi, 0.0, atol=1e-10)
+
+    def test_positive_association_positive_pmi(self):
+        counts = np.array([[10.0, 0.1], [0.1, 10.0]])
+        pmi = pmi_matrix(counts, smoothing=1.0)
+        assert pmi[0, 0] > 0 and pmi[1, 1] > 0
+
+    def test_ppmi_clips_negatives(self):
+        counts = np.array([[10.0, 0.1], [0.1, 10.0]])
+        assert (pmi_matrix(counts, positive=True) >= 0).all()
+
+    def test_zero_counts_map_to_zero(self):
+        counts = np.array([[5.0, 0.0], [0.0, 5.0]])
+        pmi = pmi_matrix(counts)
+        assert pmi[0, 1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pmi_matrix(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            pmi_matrix(np.zeros((2, 2)))
+
+
+class TestSVD:
+    def test_embedding_shape(self):
+        m = np.random.default_rng(0).normal(size=(10, 10))
+        e = svd_embedding(m, dim=4)
+        assert e.shape == (10, 4)
+
+    def test_full_rank_reconstruction_possible(self):
+        m = np.random.default_rng(0).normal(size=(6, 6))
+        assert explained_variance(m, 6) == pytest.approx(1.0)
+
+    def test_explained_variance_monotone(self):
+        m = np.random.default_rng(0).normal(size=(8, 8))
+        fractions = [explained_variance(m, d) for d in (1, 3, 5, 8)]
+        assert fractions == sorted(fractions)
+
+    def test_low_rank_matrix_captured_exactly(self):
+        rng = np.random.default_rng(0)
+        low = rng.normal(size=(10, 2)) @ rng.normal(size=(2, 10))
+        assert explained_variance(low, 2) == pytest.approx(1.0)
+
+    def test_dim_validation(self):
+        m = np.zeros((4, 4))
+        with pytest.raises(ValueError):
+            svd_embedding(m, dim=0)
+        with pytest.raises(ValueError):
+            svd_embedding(np.ones((4, 4)), dim=5)
+
+    def test_center_rows(self):
+        m = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(center_rows(m).mean(axis=0), 0.0)
+
+
+class TestAnalogies:
+    def _toy_embedding(self):
+        # Perfect additive structure: v(word) = concept + attribute.
+        vocab = Vocabulary(["king", "queen", "man", "woman"])
+        royal, person = np.array([1.0, 0.0]), np.array([0.0, 0.0])
+        male, female = np.array([0.0, 1.0]), np.array([0.0, -1.0])
+        e = np.stack([royal + male, royal + female, person + male, person + female])
+        return e, vocab
+
+    def test_analogy_query_vector(self):
+        e, vocab = self._toy_embedding()
+        q = analogy_query(e, vocab, "king", "man", "woman")
+        assert np.allclose(q, e[vocab.token_to_id("queen")])
+
+    def test_nearest_words_excludes(self):
+        e, vocab = self._toy_embedding()
+        q = analogy_query(e, vocab, "king", "man", "woman")
+        top = nearest_words(e, vocab, q, k=1, exclude=("king", "man", "woman"))
+        assert top[0][0] == "queen"
+
+    def test_evaluate_analogies_perfect_on_toy(self):
+        e, vocab = self._toy_embedding()
+        report = evaluate_analogies(e, vocab, [("king", "man", "woman", "queen"),
+                                               ("queen", "woman", "man", "king")])
+        assert report.accuracy == 1.0
+        assert report.failures == []
+
+    def test_missing_words_are_skipped(self):
+        e, vocab = self._toy_embedding()
+        report = evaluate_analogies(e, vocab, [("king", "man", "woman", "queen"),
+                                               ("zzz", "man", "woman", "queen")])
+        assert report.total == 1
+
+    def test_unknown_word_raises_in_query(self):
+        e, vocab = self._toy_embedding()
+        with pytest.raises(KeyError):
+            analogy_query(e, vocab, "zzz", "man", "woman")
+
+    def test_zero_query_raises(self):
+        e, vocab = self._toy_embedding()
+        with pytest.raises(ValueError):
+            nearest_words(e, vocab, np.zeros(2))
+
+    def test_empty_report_accuracy_zero(self):
+        assert AnalogyReport(total=0, correct=0, failures=[]).accuracy == 0.0
+
+
+class TestEndToEndAnalogies:
+    def test_pipeline_solves_gender_analogies(self):
+        """Integration: corpus -> co-occurrence -> PPMI -> SVD -> Eq. 9."""
+        rng = np.random.default_rng(0)
+        text = attribute_world_corpus(rng, num_sentences=4000)
+        tok = WordTokenizer(text)
+        ids = np.array(tok.encode(text))
+        matrix = pmi_matrix(cooccurrence_matrix(ids, tok.vocab_size, window=5))
+        embeddings = svd_embedding(matrix, dim=40)
+        report = evaluate_analogies(embeddings, tok.vocab,
+                                    gender_analogy_questions())
+        assert report.total >= 80
+        assert report.accuracy > 0.9

@@ -1,0 +1,175 @@
+"""Tests for the extension features: local attention and beam search."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.core import TransformerConfig, TransformerLM, causal_mask
+from repro.lm import NGramLM
+
+
+class TestLocalAttention:
+    def test_banded_mask_values(self):
+        mask = causal_mask(6, window=3)[0, 0]
+        assert mask[5, 5] == 0 and mask[5, 4] == 0 and mask[5, 3] == 0
+        assert mask[5, 2] < -1e8  # out of window
+        assert mask[2, 0] == 0  # short prefixes unaffected
+        assert mask[0, 1] < -1e8  # still causal
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            causal_mask(4, window=0)
+        with pytest.raises(ValueError):
+            TransformerConfig(vocab_size=4, attention_window=0)
+
+    def test_attention_weights_respect_window(self):
+        cfg = TransformerConfig(vocab_size=8, max_seq_len=16, d_model=16,
+                                num_heads=2, num_layers=1, attention_window=2)
+        model = TransformerLM(cfg, rng=0)
+        cache = {}
+        with no_grad():
+            model.forward(np.zeros((1, 8), dtype=int), cache=cache)
+        weights = cache["block0.weights"][0, 0]
+        assert np.allclose(np.tril(weights, -2), 0.0)
+        assert np.allclose(weights.sum(axis=-1), 1.0)
+
+    def test_local_model_ignores_distant_context(self):
+        """With window w and 1 layer, logits at t depend only on the last
+        w tokens — changing older tokens has no effect."""
+        cfg = TransformerConfig(vocab_size=8, max_seq_len=16, d_model=16,
+                                num_heads=2, num_layers=1, attention_window=2)
+        model = TransformerLM(cfg, rng=0)
+        a = np.array([[1, 2, 3, 4, 5]])
+        b = np.array([[7, 7, 3, 4, 5]])  # differs only at positions 0-1
+        with no_grad():
+            la = model.forward(a).data[0, -1]
+            lb = model.forward(b).data[0, -1]
+        assert np.allclose(la, lb, atol=1e-10)
+
+    def test_full_attention_does_not_ignore_distant_context(self):
+        cfg = TransformerConfig(vocab_size=8, max_seq_len=16, d_model=16,
+                                num_heads=2, num_layers=1)
+        model = TransformerLM(cfg, rng=0)
+        a = np.array([[1, 2, 3, 4, 5]])
+        b = np.array([[7, 7, 3, 4, 5]])
+        with no_grad():
+            la = model.forward(a).data[0, -1]
+            lb = model.forward(b).data[0, -1]
+        assert not np.allclose(la, lb)
+
+    def test_local_model_trains(self):
+        from repro.train import train_lm_on_stream
+
+        cfg = TransformerConfig(vocab_size=5, max_seq_len=12, d_model=16,
+                                num_heads=2, num_layers=2, attention_window=4)
+        model = TransformerLM(cfg, rng=0)
+        stream = np.array([0, 1, 2, 3, 4] * 60)
+        history = train_lm_on_stream(model, stream, num_steps=80,
+                                     batch_size=8, seq_len=10)
+        assert history.final_loss < 0.8
+
+
+class TestBeamSearch:
+    @pytest.fixture
+    def bigram(self):
+        # deterministic-ish chain 0 -> 1 -> 2 -> 3 -> 0 with noise
+        rng = np.random.default_rng(0)
+        stream = []
+        s = 0
+        for _ in range(2000):
+            s = (s + 1) % 4 if rng.random() < 0.9 else int(rng.integers(0, 4))
+            stream.append(s)
+        return NGramLM(4, order=2, add_k=0.01).fit(np.array(stream))
+
+    def test_beam_matches_greedy_on_peaked_model(self, bigram):
+        greedy = bigram.generate([0], 6, greedy=True)
+        beam = bigram.beam_search([0], 6, beam_width=3)
+        assert beam == greedy == [0, 1, 2, 3, 0, 1, 2]
+
+    def test_wider_beam_never_worse_in_logprob(self, bigram):
+        narrow = bigram.beam_search([0], 8, beam_width=1)
+        wide = bigram.beam_search([0], 8, beam_width=5)
+        assert bigram.sequence_logprob(np.array(wide)) >= \
+            bigram.sequence_logprob(np.array(narrow)) - 1e-9
+
+    def test_beam_finds_delayed_reward_path(self):
+        """A model where the greedy first step leads to a bad second step;
+        beam search must pick the globally better two-step path."""
+
+        from repro.lm.base import LanguageModel
+
+        # Explicit trap: P(1|start)=0.55 then P(anything|1)<=0.4;
+        # P(2|start)=0.45 then P(2|2)=0.98.  Greedy takes 1; beam takes 2.
+        class Trap2(LanguageModel):
+            vocab_size = 3
+
+            def next_token_logprobs(self, context):
+                context = list(context)
+                if not context:
+                    return np.log(np.array([1e-9, 0.55, 0.45]))
+                if context[-1] == 1:
+                    return np.log(np.array([0.4, 0.3, 0.3]))
+                return np.log(np.array([0.01, 0.01, 0.98]))
+
+        model = Trap2()
+        greedy = model.generate([], 2, greedy=True)
+        beam = model.beam_search([], 2, beam_width=3)
+        assert greedy[0] == 1
+        assert beam[0] == 2  # 0.45 * 0.98 > 0.55 * 0.4
+        assert model.sequence_logprob(np.array(beam)) > \
+            model.sequence_logprob(np.array(greedy))
+
+    def test_stop_token_halts_beam(self, bigram):
+        out = bigram.beam_search([0], 10, beam_width=2, stop_token=2)
+        assert out[-1] == 2
+        assert len(out) <= 11
+
+    def test_beam_width_validated(self, bigram):
+        with pytest.raises(ValueError):
+            bigram.beam_search([0], 3, beam_width=0)
+
+
+class TestKVCacheGeneration:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        from repro.train import train_lm_on_stream
+
+        cfg = TransformerConfig(vocab_size=9, max_seq_len=64, d_model=32,
+                                num_heads=4, num_layers=2)
+        model = TransformerLM(cfg, rng=0)
+        stream = np.array(list(range(9)) * 60)
+        train_lm_on_stream(model, stream, num_steps=80, batch_size=8,
+                           seq_len=32)
+        return model
+
+    def test_greedy_parity_with_full_forward(self, trained):
+        for prompt in ([1, 2, 3], [0], [4, 5, 6, 7, 8, 0, 1]):
+            assert trained.generate(prompt, 20, greedy=True) == \
+                trained.generate_fast(prompt, 20, greedy=True)
+
+    def test_stochastic_parity_with_same_rng(self, trained):
+        a = trained.generate([1, 2], 15, rng=np.random.default_rng(7),
+                             temperature=1.3, top_k=5)
+        b = trained.generate_fast([1, 2], 15, rng=np.random.default_rng(7),
+                                  temperature=1.3, top_k=5)
+        assert a == b
+
+    def test_parity_across_architectures(self):
+        for kwargs in ({"pre_layernorm": False, "positional": "sinusoidal"},
+                       {"attention_window": 4},
+                       {"use_residual": False}):
+            cfg = TransformerConfig(vocab_size=9, max_seq_len=32, d_model=16,
+                                    num_heads=2, num_layers=1, **kwargs)
+            model = TransformerLM(cfg, rng=0)
+            assert model.generate([1, 2, 3], 10, greedy=True) == \
+                model.generate_fast([1, 2, 3], 10, greedy=True)
+
+    def test_window_overflow_rejected(self, trained):
+        with pytest.raises(ValueError):
+            trained.generate_fast([1] * 60, 10, greedy=True)
+        with pytest.raises(ValueError):
+            trained.generate_fast([], 5, greedy=True)
+
+    def test_stop_token(self, trained):
+        out = trained.generate_fast([1], 30, greedy=True, stop_token=5)
+        assert out[-1] == 5 or len(out) == 31

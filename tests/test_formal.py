@@ -1,0 +1,157 @@
+"""Tests for DFAs, the Tomita grammars, and RNN -> DFA extraction."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formal import (
+    DFA,
+    RNNClassifier,
+    extract_and_evaluate,
+    sample_language_dataset,
+    tomita,
+)
+
+
+def _brute_force_strings(max_len: int):
+    for length in range(max_len + 1):
+        yield from (list(s) for s in itertools.product([0, 1], repeat=length))
+
+
+# Ground-truth predicates for the seven Tomita languages.
+def _runs(s):
+    out = []
+    for symbol in s:
+        if out and out[-1][0] == symbol:
+            out[-1][1] += 1
+        else:
+            out.append([symbol, 1])
+    return out
+
+
+_PREDICATES = {
+    1: lambda s: 0 not in s,
+    2: lambda s: s == [1, 0] * (len(s) // 2) and len(s) % 2 == 0,
+    3: lambda s: not any(
+        a == 1 and la % 2 == 1 and b == 0 and lb % 2 == 1
+        for (a, la), (b, lb) in zip(_runs(s), _runs(s)[1:])
+    ),
+    4: lambda s: "000" not in "".join(map(str, s)),
+    5: lambda s: s.count(0) % 2 == 0 and s.count(1) % 2 == 0,
+    6: lambda s: (s.count(0) - s.count(1)) % 3 == 0,
+    7: lambda s: [r[0] for r in _runs(s)] in (
+        [], [0], [1], [0, 1], [1, 0], [0, 1, 0], [1, 0, 1], [0, 1, 0, 1]
+    ),
+}
+
+
+class TestDFA:
+    def test_basic_run_and_accept(self):
+        parity = tomita(5)
+        assert parity.accepts([])
+        assert parity.accepts([0, 0, 1, 1])
+        assert not parity.accepts([0])
+        assert parity.run([0, 1]) != parity.start
+
+    def test_symbol_range_checked(self):
+        with pytest.raises(ValueError):
+            tomita(1).run([2])
+
+    def test_state_trace_length(self):
+        trace = tomita(4).state_trace([0, 1, 0])
+        assert len(trace) == 4
+        assert trace[0] == tomita(4).start
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DFA(num_states=0, alphabet_size=2, transitions=(),
+                accepting=frozenset())
+        with pytest.raises(ValueError):
+            DFA(num_states=1, alphabet_size=1, transitions=((5,),),
+                accepting=frozenset())
+
+    def test_minimization_preserves_language(self):
+        # build a redundant DFA for "ends with 1" with duplicated states
+        dfa = DFA.from_dict(
+            {0: {0: 2, 1: 1}, 1: {0: 2, 1: 3}, 2: {0: 2, 1: 1},
+             3: {0: 2, 1: 3}},
+            accepting=[1, 3], alphabet_size=2,
+        )
+        small = dfa.minimized()
+        assert small.num_states == 2
+        for s in _brute_force_strings(7):
+            assert dfa.accepts(s) == small.accepts(s)
+
+    def test_equivalence_check(self):
+        assert tomita(5).equivalent_to(tomita(5))
+        assert not tomita(5).equivalent_to(tomita(6))
+
+    def test_reachability(self):
+        # states 2 and 3 unreachable from 0
+        dfa = DFA.from_dict(
+            {0: {0: 0, 1: 1}, 1: {0: 0, 1: 1}, 2: {0: 3, 1: 3},
+             3: {0: 3, 1: 3}},
+            accepting=[1], alphabet_size=2,
+        )
+        assert dfa.reachable_states() == {0, 1}
+        assert dfa.minimized().num_states <= 2
+
+
+class TestTomita:
+    @pytest.mark.parametrize("index", [1, 2, 3, 4, 5, 6, 7])
+    def test_dfa_matches_predicate(self, index):
+        dfa = tomita(index)
+        predicate = _PREDICATES[index]
+        for s in _brute_force_strings(9):
+            assert dfa.accepts(s) == predicate(s), (index, s)
+
+    def test_unknown_index(self):
+        with pytest.raises(KeyError):
+            tomita(8)
+
+    def test_balanced_sampling(self):
+        rng = np.random.default_rng(0)
+        strings, labels = sample_language_dataset(tomita(4), rng, 60)
+        assert len(strings) == 60
+        assert labels.sum() == 30
+        for s, l in zip(strings, labels):
+            assert tomita(4).accepts(s) == bool(l)
+
+    def test_sampling_impossible_language_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(RuntimeError):
+            # Tomita 1 positives are vanishingly rare at long lengths
+            sample_language_dataset(tomita(1), rng, 40, min_len=14,
+                                    max_len=16, max_attempts_factor=5)
+
+
+class TestExtraction:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        rng = np.random.default_rng(0)
+        dfa = tomita(4)
+        strings, labels = sample_language_dataset(dfa, rng, 120, max_len=10)
+        model = RNNClassifier(2, hidden_dim=12, rng=0)
+        model.fit(strings, labels, epochs=12, lr=1e-2)
+        return model, dfa, strings, labels
+
+    def test_rnn_learns_language(self, trained):
+        model, dfa, strings, labels = trained
+        assert model.accuracy(strings, labels) > 0.9
+
+    def test_extracted_dfa_is_faithful(self, trained):
+        model, dfa, strings, _labels = trained
+        rng = np.random.default_rng(9)
+        eval_strings, _ = sample_language_dataset(dfa, rng, 60, max_len=10)
+        result = extract_and_evaluate(model, dfa, strings, eval_strings,
+                                      num_clusters=12)
+        assert result.fidelity > 0.85
+        assert result.language_accuracy > 0.85
+        assert result.dfa.num_states <= 12
+
+    def test_hidden_trace_shape(self, trained):
+        model, *_ = trained
+        trace = model.hidden_trace([0, 1, 0])
+        assert trace.shape == (4, 12)

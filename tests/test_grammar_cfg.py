@@ -1,0 +1,162 @@
+"""Unit tests for CFG, Rule, Tree, and PCFG basics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.grammar import CFG, PCFG, DepthLimitExceeded, Rule, Tree
+
+
+class TestRule:
+    def test_str(self):
+        assert str(Rule("S", ("NP", "VP"))) == "S -> NP VP"
+
+    def test_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            Rule("S", ())
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(ValueError):
+            Rule("", ("a",))
+
+    def test_hashable_and_equal(self):
+        assert Rule("A", ("b",)) == Rule("A", ("b",))
+        assert len({Rule("A", ("b",)), Rule("A", ("b",))}) == 1
+
+
+class TestTree:
+    def _tree(self):
+        return Tree("S", [
+            Tree("NP", [Tree("the"), Tree("cat")]),
+            Tree("VP", [Tree("sat")]),
+        ])
+
+    def test_leaves_in_order(self):
+        assert self._tree().leaves() == ["the", "cat", "sat"]
+
+    def test_depth(self):
+        assert self._tree().depth() == 2
+        assert Tree("a").depth() == 0
+
+    def test_productions(self):
+        rules = self._tree().productions()
+        assert Rule("S", ("NP", "VP")) in rules
+        assert Rule("NP", ("the", "cat")) in rules
+        assert len(rules) == 3
+
+    def test_spans(self):
+        spans = self._tree().spans()
+        assert ("S", 0, 3) in spans
+        assert ("NP", 0, 2) in spans
+        assert ("VP", 2, 3) in spans
+
+    def test_bracketed_and_pretty(self):
+        t = self._tree()
+        assert t.bracketed() == "(S (NP the cat) (VP sat))"
+        assert "NP" in t.pretty()
+
+    def test_unbinarize_splices_helpers(self):
+        t = Tree("S", [Tree("A", [Tree("a")]),
+                       Tree("_B_0", [Tree("B", [Tree("b")]),
+                                     Tree("C", [Tree("c")])])])
+        clean = t.unbinarize()
+        assert clean.bracketed() == "(S (A a) (B b) (C c))"
+
+    def test_equality_and_hash(self):
+        assert self._tree() == self._tree()
+        assert hash(self._tree()) == hash(self._tree())
+
+
+class TestCFG:
+    GRAMMAR = """
+    S -> NP VP
+    NP -> det n
+    VP -> v NP | v
+    """
+
+    def test_from_text(self):
+        g = CFG.from_text(self.GRAMMAR)
+        assert g.start == "S"
+        assert g.nonterminals == {"S", "NP", "VP"}
+        assert g.terminals == {"det", "n", "v"}
+        assert len(g.rules) == 4  # alternatives expanded
+
+    def test_rules_for(self):
+        g = CFG.from_text(self.GRAMMAR)
+        assert len(g.rules_for("VP")) == 2
+
+    def test_start_must_have_rules(self):
+        with pytest.raises(ValueError):
+            CFG([Rule("A", ("a",))], start="S")
+
+    def test_missing_arrow_raises(self):
+        with pytest.raises(ValueError):
+            CFG.from_text("S NP VP")
+
+    def test_is_cnf(self):
+        cnf = CFG.from_text("S -> A B\nA -> a\nB -> b")
+        assert cnf.is_cnf()
+        assert not CFG.from_text("S -> A B C\nA -> a\nB -> b\nC -> c").is_cnf()
+        assert not CFG.from_text("S -> A\nA -> a").is_cnf()  # unit rule
+        assert not CFG.from_text("S -> A b\nA -> a").is_cnf()  # mixed binary
+
+
+class TestPCFG:
+    def test_probabilities_validated(self):
+        rules = {Rule("S", ("a",)): 0.6, Rule("S", ("b",)): 0.3}
+        with pytest.raises(ValueError):
+            PCFG(rules, "S")
+        g = PCFG(rules, "S", normalize=True)
+        assert g.rule_prob(Rule("S", ("a",))) == pytest.approx(2 / 3)
+
+    def test_negative_prob_rejected(self):
+        with pytest.raises(ValueError):
+            PCFG({Rule("S", ("a",)): -1.0}, "S")
+
+    def test_from_text_weights(self):
+        g = PCFG.from_text("S -> a [3]\nS -> b [1]")
+        assert g.rule_prob(Rule("S", ("a",))) == pytest.approx(0.75)
+
+    def test_uniform(self):
+        cfg = CFG.from_text("S -> a | b | c")
+        g = PCFG.uniform(cfg)
+        assert g.rule_prob(Rule("S", ("a",))) == pytest.approx(1 / 3)
+
+    def test_sampling_respects_grammar(self):
+        g = PCFG.from_text("S -> a S [0.3]\nS -> a [0.7]")
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            sentence = g.sample_sentence(rng, max_depth=30)
+            assert set(sentence) == {"a"}
+
+    def test_depth_limit_raised(self):
+        g = PCFG.from_text("S -> S S [0.95]\nS -> a [0.05]")
+        rng = np.random.default_rng(0)
+        with pytest.raises(DepthLimitExceeded):
+            g.sample_tree(rng, max_depth=2)
+
+    def test_tree_logprob(self):
+        g = PCFG.from_text("S -> a [0.25]\nS -> b [0.75]")
+        assert g.tree_logprob(Tree("S", [Tree("a")])) == pytest.approx(math.log(0.25))
+
+    def test_tree_logprob_unknown_rule_is_minus_inf(self):
+        g = PCFG.from_text("S -> a [1.0]")
+        assert g.tree_logprob(Tree("S", [Tree("zzz")])) == -math.inf
+
+    def test_kl_divergence(self):
+        a = PCFG.from_text("S -> a [0.5]\nS -> b [0.5]")
+        b = PCFG.from_text("S -> a [0.9]\nS -> b [0.1]")
+        assert a.kl_divergence_from(a) == pytest.approx(0.0)
+        assert a.kl_divergence_from(b) > 0
+
+    def test_kl_divergence_infinite_on_missing_support(self):
+        a = PCFG.from_text("S -> a [0.5]\nS -> b [0.5]")
+        c = PCFG.from_text("S -> a [1.0]")
+        assert a.kl_divergence_from(c) == math.inf
+
+    def test_sample_statistics_match_probs(self):
+        g = PCFG.from_text("S -> a [0.8]\nS -> b [0.2]")
+        rng = np.random.default_rng(0)
+        draws = [g.sample_sentence(rng)[0] for _ in range(500)]
+        assert draws.count("a") / 500 == pytest.approx(0.8, abs=0.05)

@@ -1,0 +1,156 @@
+"""Tests for Inside-Outside EM and the synthetic treebank."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.grammar import (
+    PCFG,
+    Tree,
+    english_toy_pcfg,
+    expected_rule_counts,
+    inside_outside_em,
+    random_restart_grammar,
+    sample_treebank,
+    to_cnf,
+    tree_distance_matrix,
+    treebank_text,
+)
+
+
+@pytest.fixture(scope="module")
+def english_cnf():
+    return to_cnf(english_toy_pcfg())
+
+
+@pytest.fixture(scope="module")
+def sentences():
+    rng = np.random.default_rng(0)
+    grammar = english_toy_pcfg()
+    return [grammar.sample_sentence(rng, max_depth=25) for _ in range(30)]
+
+
+class TestExpectedCounts:
+    def test_unparseable_sentence_returns_neg_inf(self, english_cnf):
+        counts, ll = expected_rule_counts(english_cnf, ["zzz"])
+        assert counts == {} and ll == -math.inf
+
+    def test_counts_sum_to_tree_size_for_unambiguous(self):
+        # Unambiguous grammar: every expected count is exactly its usage.
+        g = to_cnf(PCFG.from_text("S -> A B [1.0]\nA -> a [1.0]\nB -> b [1.0]"))
+        counts, ll = expected_rule_counts(g, ["a", "b"])
+        assert ll == pytest.approx(0.0)
+        assert sum(counts.values()) == pytest.approx(3.0)  # S->AB, A->a, B->b
+        for value in counts.values():
+            assert value == pytest.approx(1.0)
+
+    def test_counts_fractional_under_ambiguity(self):
+        from repro.grammar import Rule
+
+        g = PCFG(
+            {
+                Rule("S", ("A", "A")): 0.5,
+                Rule("S", ("B", "A")): 0.5,
+                Rule("A", ("a",)): 1.0,
+                Rule("B", ("a",)): 1.0,
+            },
+            "S",
+        )
+        counts, _ll = expected_rule_counts(g, ["a", "a"])
+        assert counts[Rule("S", ("A", "A"))] == pytest.approx(0.5)
+        assert counts[Rule("B", ("a",))] == pytest.approx(0.5)
+        assert counts[Rule("A", ("a",))] == pytest.approx(1.5)
+
+
+class TestInsideOutsideEM:
+    def test_log_likelihood_monotone(self, english_cnf, sentences):
+        rng = np.random.default_rng(1)
+        start = random_restart_grammar(english_cnf, rng)
+        result = inside_outside_em(start, sentences, iterations=6)
+        lls = result.log_likelihoods
+        assert len(lls) == 6
+        for earlier, later in zip(lls, lls[1:]):
+            assert later >= earlier - 1e-6
+
+    def test_em_improves_towards_generator(self, english_cnf, sentences):
+        rng = np.random.default_rng(2)
+        start = random_restart_grammar(english_cnf, rng)
+        result = inside_outside_em(start, sentences, iterations=8)
+        before = english_cnf.kl_divergence_from(start)
+        after = english_cnf.kl_divergence_from(result.grammar)
+        assert after < before
+
+    def test_requires_cnf(self, sentences):
+        with pytest.raises(ValueError):
+            inside_outside_em(english_toy_pcfg(), sentences)
+
+    def test_requires_parseable_corpus(self, english_cnf):
+        with pytest.raises(ValueError):
+            inside_outside_em(english_cnf, [["zzz", "qqq"]])
+
+    def test_iterations_validated(self, english_cnf, sentences):
+        with pytest.raises(ValueError):
+            inside_outside_em(english_cnf, sentences, iterations=0)
+
+    def test_random_restart_same_support(self, english_cnf):
+        rng = np.random.default_rng(0)
+        restart = random_restart_grammar(english_cnf, rng)
+        assert set(restart.probs) == set(english_cnf.probs)
+        by_lhs = {}
+        for rule, p in restart.probs.items():
+            by_lhs[rule.lhs] = by_lhs.get(rule.lhs, 0.0) + p
+        for total in by_lhs.values():
+            assert total == pytest.approx(1.0)
+
+
+class TestTreeDistances:
+    def test_two_leaf_tree(self):
+        t = Tree("S", [Tree("a"), Tree("b")])
+        d = tree_distance_matrix(t)
+        assert d[0, 1] == 2.0  # a -> S -> b
+
+    def test_deeper_tree(self):
+        t = Tree("S", [Tree("NP", [Tree("the"), Tree("cat")]), Tree("sat")])
+        d = tree_distance_matrix(t)
+        assert d[0, 1] == 2.0  # the <-> cat via NP
+        assert d[0, 2] == 3.0  # the -> NP -> S -> sat
+
+    def test_metric_properties(self):
+        rng = np.random.default_rng(0)
+        examples = sample_treebank(english_toy_pcfg(), 5, rng, min_len=4, max_len=10)
+        for ex in examples:
+            d = ex.distances
+            n = d.shape[0]
+            assert np.array_equal(d, d.T)
+            assert (np.diag(d) == 0).all()
+            assert (d[~np.eye(n, dtype=bool)] >= 2).all()
+            # triangle inequality
+            for i in range(n):
+                for j in range(n):
+                    assert (d[i, :] + d[:, j] >= d[i, j] - 1e-9).all()
+
+
+class TestTreebank:
+    def test_length_band_respected(self):
+        rng = np.random.default_rng(0)
+        examples = sample_treebank(english_toy_pcfg(), 10, rng,
+                                   min_len=4, max_len=8)
+        assert all(4 <= len(ex.tokens) <= 8 for ex in examples)
+
+    def test_tokens_match_tree_leaves(self):
+        rng = np.random.default_rng(0)
+        for ex in sample_treebank(english_toy_pcfg(), 5, rng):
+            assert ex.tokens == ex.tree.leaves()
+
+    def test_impossible_band_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(RuntimeError):
+            sample_treebank(english_toy_pcfg(), 5, rng, min_len=500,
+                            max_len=600, max_attempts_per_example=5)
+
+    def test_treebank_text_format(self):
+        rng = np.random.default_rng(0)
+        examples = sample_treebank(english_toy_pcfg(), 3, rng)
+        text = treebank_text(examples)
+        assert text.count(" . ") == 2 and text.endswith(" .")

@@ -1,0 +1,179 @@
+"""Tests for CNF conversion, CYK parsing, Inside probabilities, and the
+Figure-3 arithmetic grammar."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.grammar import (
+    PCFG,
+    Rule,
+    arithmetic_cnf,
+    arithmetic_pcfg,
+    evaluate_expression,
+    evaluate_tree,
+    inside_logprob,
+    parse_expression,
+    recognize,
+    to_cnf,
+    viterbi_parse,
+)
+
+
+class TestCNF:
+    def test_output_is_cnf(self):
+        g = PCFG.from_text("S -> A b C [1.0]\nA -> a [1.0]\nC -> c [1.0]")
+        cnf = to_cnf(g)
+        assert cnf.cfg.is_cnf()
+
+    def test_string_probability_preserved(self):
+        """CNF conversion must preserve the distribution over strings."""
+        g = PCFG.from_text(
+            "S -> A B [0.6]\nS -> A [0.4]\n"
+            "A -> a [1.0]\nB -> b b c [1.0]"
+        )
+        cnf = to_cnf(g)
+        assert inside_logprob(cnf, ["a"]) == pytest.approx(math.log(0.4))
+        assert inside_logprob(cnf, ["a", "b", "b", "c"]) == pytest.approx(math.log(0.6))
+
+    def test_unit_chain_elimination_preserves_probability(self):
+        g = PCFG.from_text(
+            "S -> A [0.5]\nS -> b [0.5]\nA -> B [0.5]\nA -> a [0.5]\nB -> c [1.0]"
+        )
+        cnf = to_cnf(g)
+        # P(c) = 0.5 * 0.5 * 1.0
+        assert inside_logprob(cnf, ["c"]) == pytest.approx(math.log(0.25))
+        assert inside_logprob(cnf, ["a"]) == pytest.approx(math.log(0.25))
+        assert inside_logprob(cnf, ["b"]) == pytest.approx(math.log(0.5))
+
+    def test_unit_cycle_with_full_mass_rejected(self):
+        g = PCFG.from_text("S -> A [1.0]\nA -> S [1.0]")
+        with pytest.raises(ValueError):
+            to_cnf(g)
+
+    def test_convergent_unit_cycle_is_handled(self):
+        """A cycle with mass < 1 is a geometric series the closure sums."""
+        g = PCFG.from_text("S -> A [1.0]\nA -> S [0.5]\nA -> a [0.5]")
+        cnf = to_cnf(g)
+        # P(a) = 0.5 + 0.5^2 * 0.5 + ... = 0.5 / (1 - 0.5) = 1.0
+        assert inside_logprob(cnf, ["a"]) == pytest.approx(0.0)
+
+    def test_long_rule_binarized(self):
+        g = PCFG.from_text("S -> a b c d e [1.0]")
+        cnf = to_cnf(g)
+        assert recognize(cnf, list("abcde"))
+        assert not recognize(cnf, list("abcd"))
+
+
+class TestCYK:
+    @pytest.fixture
+    def balanced(self):
+        # Dyck-like language: S -> ( S ) | ( )
+        return to_cnf(PCFG.from_text("S -> ( S ) [0.4]\nS -> ( ) [0.6]"))
+
+    def test_recognize(self, balanced):
+        assert recognize(balanced, list("()"))
+        assert recognize(balanced, list("(())"))
+        assert not recognize(balanced, list("())"))
+        assert not recognize(balanced, list(")("))
+        assert not recognize(balanced, [])
+
+    def test_cyk_requires_cnf(self):
+        g = PCFG.from_text("S -> a b c [1.0]")
+        with pytest.raises(ValueError):
+            recognize(g, list("abc"))
+
+    def test_inside_logprob_matches_derivation(self, balanced):
+        # "(())" has the unique derivation S -> ( S ), S -> ( ): 0.4 * 0.6
+        assert inside_logprob(balanced, list("(())")) == pytest.approx(
+            math.log(0.4 * 0.6)
+        )
+
+    def test_inside_logprob_out_of_language(self, balanced):
+        assert inside_logprob(balanced, list(")(")) == -math.inf
+        assert inside_logprob(balanced, []) == -math.inf
+
+    def test_inside_sums_over_ambiguity(self):
+        # Two derivations of "a a": S->A A (A->a) and S->a a via B... build
+        # an ambiguous grammar explicitly.
+        g = PCFG(
+            {
+                Rule("S", ("A", "A")): 0.5,
+                Rule("S", ("B", "A")): 0.5,
+                Rule("A", ("a",)): 1.0,
+                Rule("B", ("a",)): 1.0,
+            },
+            "S",
+        )
+        assert inside_logprob(g, ["a", "a"]) == pytest.approx(math.log(1.0))
+
+    def test_viterbi_picks_most_probable_derivation(self):
+        g = PCFG(
+            {
+                Rule("S", ("A", "A")): 0.9,
+                Rule("S", ("B", "A")): 0.1,
+                Rule("A", ("a",)): 1.0,
+                Rule("B", ("a",)): 1.0,
+            },
+            "S",
+        )
+        result = viterbi_parse(g, ["a", "a"], unbinarize=False)
+        assert result.tree.children[0].label == "A"
+        assert result.logprob == pytest.approx(math.log(0.9))
+
+    def test_viterbi_none_when_ungrammatical(self, balanced):
+        assert viterbi_parse(balanced, list("((")) is None
+        assert viterbi_parse(balanced, []) is None
+
+    def test_viterbi_tree_yields_input(self, balanced):
+        tokens = list("((()))")
+        result = viterbi_parse(balanced, tokens)
+        assert result.tree.leaves() == tokens
+
+
+class TestArithmeticGrammar:
+    def test_precedence_multiplication_binds_tighter(self):
+        """The appendix exercise: in y+1*x, '*' groups before '+'."""
+        result = parse_expression("y+1*x")
+        spans = result.tree.spans()
+        labeled = {(s, e) for _label, s, e in spans}
+        assert (2, 5) in labeled  # "1*x" is a constituent
+        assert (0, 3) not in labeled  # "y+1" is NOT a constituent
+
+    def test_evaluation_matches_python(self):
+        env = {"x": 4, "y": 7, "z": 2}
+        for expr in ["y+1*x", "2*3+4", "2+3*4", "x*(y+1)", "((8))", "5",
+                     "z*z*z", "1+2+3", "2*3*4"]:
+            assert evaluate_expression(expr, env) == eval(expr, {}, env)
+
+    def test_ungrammatical_rejected(self):
+        cnf = arithmetic_cnf()
+        for bad in ["+3", "3+", "((3)", "3**4", ""]:
+            assert not recognize(cnf, [c for c in bad])
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            evaluate_expression("x+1", env={})
+
+    def test_evaluate_expression_rejects_nonsentence(self):
+        with pytest.raises(ValueError):
+            evaluate_expression("3+", {})
+
+    def test_sampled_expressions_parse_and_evaluate(self):
+        g = arithmetic_pcfg()
+        cnf = arithmetic_cnf()
+        rng = np.random.default_rng(0)
+        env = {"x": 2, "y": 3, "z": 5}
+        for _ in range(15):
+            tokens = g.sample_sentence(rng, max_depth=25)
+            result = viterbi_parse(cnf, tokens)
+            assert result is not None
+            value = evaluate_tree(result.tree, env)
+            assert value == eval("".join(tokens), {}, env)
+
+    def test_evaluate_tree_bad_shape_raises(self):
+        from repro.grammar import Tree
+
+        with pytest.raises(ValueError):
+            evaluate_tree(Tree("X", [Tree("a"), Tree("b")]))

@@ -1,0 +1,366 @@
+"""Unit tests for probes, structural probe, interventions, induction."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.interp import (
+    LinearProbe,
+    MLPProbe,
+    MultiTargetLinearProbe,
+    ProbeExample,
+    StructuralProbe,
+    copying_accuracy,
+    forward_with_patch,
+    patch_position,
+    per_position_loss,
+    prefix_matching_scores,
+    probe_guided_patch,
+    repeated_sequence_batch,
+    top_induction_head,
+)
+
+
+def _linearly_separable(n=300, d=8, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=4.0, size=(classes, d))
+    labels = rng.integers(0, classes, size=n)
+    features = centers[labels] + rng.normal(scale=0.5, size=(n, d))
+    return features, labels
+
+
+class TestLinearProbe:
+    def test_fits_separable_data(self):
+        x, y = _linearly_separable()
+        probe = LinearProbe(8, 3, rng=0)
+        curve = probe.fit(x, y, epochs=20)
+        assert curve[-1] < curve[0]
+        assert probe.accuracy(x, y) > 0.95
+
+    def test_predict_shape(self):
+        x, y = _linearly_separable(n=20)
+        probe = LinearProbe(8, 3, rng=0)
+        assert probe.predict(x).shape == (20,)
+
+    def test_weight_exposed(self):
+        probe = LinearProbe(8, 3, rng=0)
+        assert probe.weight.shape == (8, 3)
+
+    def test_length_mismatch_raises(self):
+        probe = LinearProbe(4, 2, rng=0)
+        with pytest.raises(ValueError):
+            probe.fit(np.zeros((5, 4)), np.zeros(6, dtype=int))
+
+    def test_cannot_fit_xor_linearly(self):
+        """Sanity: a linear probe fails on XOR; the MLP probe succeeds."""
+        x = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] * 50)
+        y = (x[:, 0].astype(int) ^ x[:, 1].astype(int))
+        linear = LinearProbe(2, 2, rng=0)
+        linear.fit(x, y, epochs=60, lr=5e-2)
+        mlp = MLPProbe(2, 2, hidden=16, rng=0)
+        mlp.fit(x, y, epochs=60, lr=5e-2)
+        assert mlp.accuracy(x, y) > 0.95
+        assert linear.accuracy(x, y) < 0.8
+
+
+class TestMultiTargetProbe:
+    def test_joint_fit(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(6, 2))  # two binary targets
+        x = rng.normal(size=(400, 6))
+        targets = np.stack([(x @ w[:, 0] > 0), (x @ w[:, 1] > 0)], axis=1).astype(int)
+        probe = MultiTargetLinearProbe(6, num_targets=2, num_classes=2, rng=0)
+        probe.fit(x, targets, epochs=30, lr=5e-2)
+        preds = probe.predict(x)
+        assert preds.shape == (400, 2)
+        assert (preds == targets).mean() > 0.9
+
+    def test_target_shape_validated(self):
+        probe = MultiTargetLinearProbe(4, num_targets=3, num_classes=2, rng=0)
+        with pytest.raises(ValueError):
+            probe.loss(np.zeros((5, 4)), np.zeros((5, 2), dtype=int))
+
+    def test_class_direction_shape(self):
+        probe = MultiTargetLinearProbe(4, num_targets=3, num_classes=2, rng=0)
+        assert probe.class_direction(2, 1).shape == (4,)
+
+
+class TestStructuralProbe:
+    def _synthetic_examples(self, d=12, rank=3, n=20, seed=0):
+        """Embeddings whose distances under ONE hidden projection are the
+        gold targets — exactly the structure the probe assumes."""
+        rng = np.random.default_rng(seed)
+        hidden = np.linalg.qr(rng.normal(size=(d, rank)))[0]
+        examples = []
+        for _ in range(n):
+            words = rng.integers(4, 9)
+            emb = rng.normal(size=(words, d))
+            z = emb @ hidden
+            gold = ((z[:, None, :] - z[None, :, :]) ** 2).sum(-1)
+            examples.append(ProbeExample(embeddings=emb, distances=gold))
+        return examples
+
+    def test_fit_recovers_hidden_metric(self):
+        examples = self._synthetic_examples()
+        probe = StructuralProbe(12, rank=4, rng=0)
+        curve = probe.fit(examples, epochs=80, lr=1e-2)
+        assert curve[-1] < curve[0]
+        assert probe.evaluate_spearman(examples) > 0.8
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            StructuralProbe(8, rank=0)
+        with pytest.raises(ValueError):
+            StructuralProbe(8, rank=9)
+
+    def test_distance_matrix_shape_validated(self):
+        with pytest.raises(ValueError):
+            ProbeExample(embeddings=np.zeros((3, 4)), distances=np.zeros((2, 2)))
+
+    def test_predicted_distances_symmetric_nonnegative(self):
+        from repro.autograd import Tensor
+
+        probe = StructuralProbe(6, rank=2, rng=0)
+        d = probe.predicted_distances(Tensor(np.random.default_rng(0).normal(size=(5, 6)))).data
+        assert np.allclose(d, d.T)
+        assert (d >= -1e-12).all()
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_evaluate_requires_long_sentence(self):
+        probe = StructuralProbe(6, rank=2, rng=0)
+        short = [ProbeExample(np.zeros((2, 6)), np.zeros((2, 2)))]
+        with pytest.raises(ValueError):
+            probe.evaluate_spearman(short)
+
+
+class TestClosedFormMetricProbe:
+    def _examples(self, d=10, rank=3, n=25, seed=0):
+        rng = np.random.default_rng(seed)
+        # one hidden metric shared across train/test splits (fixed seed)
+        hidden = np.linalg.qr(np.random.default_rng(42).normal(size=(d, rank)))[0]
+        out = []
+        for _ in range(n):
+            words = rng.integers(4, 9)
+            emb = rng.normal(size=(words, d))
+            z = emb @ hidden
+            gold = ((z[:, None, :] - z[None, :, :]) ** 2).sum(-1)
+            out.append(ProbeExample(embeddings=emb, distances=gold))
+        return out
+
+    def test_recovers_hidden_metric_exactly(self):
+        from repro.interp import (
+            fit_distance_metric,
+            metric_rank_projection,
+            pooled_distance_spearman,
+        )
+
+        train = self._examples(seed=0)
+        test = self._examples(seed=1)
+        metric = fit_distance_metric(train, ridge=1e-6)
+        projection = metric_rank_projection(metric, rank=3)
+        assert pooled_distance_spearman(projection, test) > 0.98
+
+    def test_rank_truncation_orders_by_eigenvalue(self):
+        from repro.interp import metric_rank_projection
+
+        metric = np.diag([5.0, 1.0, 0.1])
+        b1 = metric_rank_projection(metric, 1)
+        assert abs(b1[0, 0]) == pytest.approx(np.sqrt(5.0))
+
+    def test_negative_eigenvalues_clipped(self):
+        from repro.interp import metric_rank_projection
+
+        metric = np.diag([2.0, -3.0])
+        b = metric_rank_projection(metric, 2)
+        # negative direction contributes nothing
+        assert np.allclose((b**2).sum(axis=1), [2.0, 0.0])
+
+    def test_shuffled_null_near_zero(self):
+        from repro.interp import (
+            fit_distance_metric,
+            metric_rank_projection,
+            pooled_distance_spearman,
+        )
+
+        train = self._examples(seed=0)
+        metric = fit_distance_metric(train, ridge=1e-6)
+        projection = metric_rank_projection(metric, rank=3)
+        null = pooled_distance_spearman(projection, train, shuffle_gold=True,
+                                        rng=np.random.default_rng(5))
+        assert abs(null) < 0.2
+
+    def test_validation(self):
+        from repro.interp import (
+            fit_distance_metric,
+            metric_rank_projection,
+            pooled_distance_spearman,
+        )
+
+        with pytest.raises(ValueError):
+            fit_distance_metric([])
+        with pytest.raises(ValueError):
+            metric_rank_projection(np.eye(3), 0)
+        with pytest.raises(ValueError):
+            metric_rank_projection(np.eye(3), 4)
+        ex = self._examples(n=2)
+        metric = fit_distance_metric(ex)
+        with pytest.raises(ValueError):
+            pooled_distance_spearman(metric_rank_projection(metric, 2), ex,
+                                     shuffle_gold=True)
+
+
+class TestIntervention:
+    @pytest.fixture(scope="class")
+    def model(self):
+        cfg = TransformerConfig(vocab_size=9, max_seq_len=12, d_model=16,
+                                num_heads=2, num_layers=2)
+        return TransformerLM(cfg, rng=0)
+
+    def test_identity_patch_matches_plain_forward(self, model):
+        x = np.array([[1, 2, 3, 4]])
+        plain = model.forward(x).data
+        patched = forward_with_patch(model, x, layer_index=0, patch_fn=lambda a: a)
+        assert np.allclose(plain, patched)
+
+    def test_patch_changes_downstream_logits(self, model):
+        # NB: the delta must not be uniform across features — layer norm's
+        # mean subtraction makes a constant shift exactly invisible.
+        delta = np.zeros(16)
+        delta[3] = 5.0
+        x = np.array([[1, 2, 3, 4]])
+        plain = model.forward(x).data
+        patched = forward_with_patch(
+            model, x, layer_index=0,
+            patch_fn=patch_position(1, delta),
+        )
+        assert not np.allclose(plain[0, 1:], patched[0, 1:])
+
+    def test_uniform_shift_is_invisible_through_layernorm(self, model):
+        """A constant vector added to the residual stream is removed by
+        every subsequent layer norm — a useful interpretability fact."""
+        x = np.array([[1, 2, 3, 4]])
+        plain = model.forward(x).data
+        patched = forward_with_patch(
+            model, x, layer_index=0,
+            patch_fn=patch_position(1, np.full(16, 5.0)),
+        )
+        assert np.allclose(plain, patched)
+
+    def test_patch_at_last_layer_respects_causality(self, model):
+        """A patch at position t cannot change logits before t."""
+        x = np.array([[1, 2, 3, 4, 5]])
+        plain = model.forward(x).data
+        patched = forward_with_patch(
+            model, x, layer_index=1,
+            patch_fn=patch_position(3, np.full(16, 5.0)),
+        )
+        assert np.allclose(plain[0, :3], patched[0, :3])
+
+    def test_layer_index_validated(self, model):
+        with pytest.raises(IndexError):
+            forward_with_patch(model, np.array([[1]]), 5, lambda a: a)
+
+    def test_shape_change_rejected(self, model):
+        with pytest.raises(ValueError):
+            forward_with_patch(model, np.array([[1, 2]]), 0,
+                               lambda a: a[:, :1, :])
+
+    def test_probe_guided_patch_moves_along_direction(self):
+        w_from, w_to = np.zeros(4), np.array([2.0, 0.0, 0.0, 0.0])
+        fn = probe_guided_patch(w_from, w_to, position=0, strength=3.0)
+        acts = np.zeros((1, 2, 4))
+        out = fn(acts)
+        assert np.allclose(out[0, 0], [3.0, 0, 0, 0])
+        assert np.allclose(out[0, 1], 0.0)
+
+    def test_identical_directions_rejected(self):
+        with pytest.raises(ValueError):
+            probe_guided_patch(np.ones(3), np.ones(3), position=0)
+
+    def test_cache_populated(self, model):
+        cache = {}
+        forward_with_patch(model, np.array([[1, 2]]), 0, lambda a: a, cache=cache)
+        assert "block0.weights" in cache
+
+
+class TestInduction:
+    def test_repeated_batch_structure(self):
+        x = repeated_sequence_batch(np.random.default_rng(0), 10, 6, 4)
+        assert x.shape == (4, 12)
+        assert np.array_equal(x[:, :6], x[:, 6:])
+
+    def test_half_len_validated(self):
+        with pytest.raises(ValueError):
+            repeated_sequence_batch(np.random.default_rng(0), 10, 1, 2)
+
+    def test_prefix_scores_shape_and_range(self, ):
+        cfg = TransformerConfig(vocab_size=12, max_seq_len=16, d_model=16,
+                                num_heads=4, num_layers=2)
+        model = TransformerLM(cfg, rng=0)
+        x = repeated_sequence_batch(np.random.default_rng(0), 12, 8, 4)
+        scores = prefix_matching_scores(model, x)
+        assert scores.shape == (2, 4)
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_prefix_scores_reject_non_repeated(self):
+        cfg = TransformerConfig(vocab_size=12, max_seq_len=16, d_model=16,
+                                num_heads=2, num_layers=1)
+        model = TransformerLM(cfg, rng=0)
+        with pytest.raises(ValueError):
+            prefix_matching_scores(model, np.arange(10)[None, :])
+
+    def test_copying_and_loss_on_untrained_model(self):
+        cfg = TransformerConfig(vocab_size=12, max_seq_len=16, d_model=16,
+                                num_heads=2, num_layers=1)
+        model = TransformerLM(cfg, rng=0)
+        x = repeated_sequence_batch(np.random.default_rng(0), 12, 8, 8)
+        first, second = copying_accuracy(model, x)
+        assert 0 <= first <= 1 and 0 <= second <= 1
+        losses = per_position_loss(model, x)
+        assert losses.shape == (15,)
+        assert np.isfinite(losses).all()
+
+    def test_top_induction_head_returns_valid_index(self):
+        cfg = TransformerConfig(vocab_size=12, max_seq_len=16, d_model=16,
+                                num_heads=4, num_layers=2)
+        model = TransformerLM(cfg, rng=0)
+        x = repeated_sequence_batch(np.random.default_rng(0), 12, 8, 4)
+        layer, head, score = top_induction_head(model, x)
+        assert 0 <= layer < 2 and 0 <= head < 4 and 0 <= score <= 1
+
+
+class TestAttentionViz:
+    def test_render_shapes_and_glyphs(self):
+        from repro.interp import render_attention
+
+        weights = np.array([[1.0, 0.0], [0.5, 0.5]])
+        text = render_attention(weights, tokens=["the", "cat"])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "@" in lines[0]  # weight 1.0 -> densest glyph
+        assert lines[0].startswith("the")
+
+    def test_render_validation(self):
+        from repro.interp import render_attention
+
+        with pytest.raises(ValueError):
+            render_attention(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            render_attention(np.full((2, 2), 2.0))
+        with pytest.raises(ValueError):
+            render_attention(np.zeros((2, 2)), tokens=["a"])
+
+    def test_strongest_edges_sorted(self):
+        from repro.interp import strongest_attention_edges
+
+        weights = np.array([[0.1, 0.9], [0.7, 0.3]])
+        edges = strongest_attention_edges(weights, top_k=2)
+        assert edges[0] == (0, 1, 0.9)
+        assert edges[1] == (1, 0, 0.7)
+
+    def test_exclude_self(self):
+        from repro.interp import strongest_attention_edges
+
+        weights = np.eye(3)
+        assert strongest_attention_edges(weights, top_k=2) == [
+            (0, 1, 0.0), (0, 2, 0.0)]

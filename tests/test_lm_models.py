@@ -1,0 +1,271 @@
+"""Unit tests for the §5 simpler language models."""
+
+import numpy as np
+import pytest
+
+from repro.lm import (
+    FFNLM,
+    LSTMLM,
+    RNNLM,
+    InterpolatedNGramLM,
+    NGramLM,
+    UnigramLM,
+    bits_per_token,
+    make_windows,
+)
+from repro.nn import Adam
+
+
+@pytest.fixture
+def markov_stream():
+    """0 -> 1 -> 2 -> 0 cycle with 5% noise over vocab 5."""
+    rng = np.random.default_rng(0)
+    tokens, state = [], 0
+    for _ in range(3000):
+        state = (state + 1) % 3 if rng.random() < 0.95 else int(rng.integers(0, 5))
+        tokens.append(state)
+    return np.array(tokens)
+
+
+class TestUnigram:
+    def test_probs_match_frequencies(self):
+        lm = UnigramLM(3, add_k=0.0).fit(np.array([0, 0, 1]))
+        assert np.allclose(lm.probs, [2 / 3, 1 / 3, 0.0])
+
+    def test_smoothing_avoids_zero(self):
+        lm = UnigramLM(3, add_k=1.0).fit(np.array([0, 0, 1]))
+        assert (lm.probs > 0).all()
+        assert np.isclose(lm.probs.sum(), 1.0)
+
+    def test_context_is_ignored(self):
+        lm = UnigramLM(3).fit(np.array([0, 1, 2]))
+        a = lm.next_token_logprobs(np.array([0]))
+        b = lm.next_token_logprobs(np.array([2, 1]))
+        assert np.array_equal(a, b)
+
+    def test_perplexity_uniform_is_vocab_size(self):
+        lm = UnigramLM(4, add_k=1.0).fit(np.array([0, 1, 2, 3]))
+        ids = np.array([0, 1, 2, 3] * 10)
+        assert lm.perplexity(ids) == pytest.approx(4.0)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            UnigramLM(3).next_token_logprobs(np.array([0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnigramLM(0)
+        with pytest.raises(ValueError):
+            UnigramLM(3, add_k=-1)
+        with pytest.raises(ValueError):
+            UnigramLM(3).fit(np.array([5]))
+
+
+class TestNGram:
+    def test_bigram_learns_transitions(self, markov_stream):
+        lm = NGramLM(5, order=2, add_k=0.1).fit(markov_stream)
+        probs = np.exp(lm.next_token_logprobs(np.array([0])))
+        assert probs[1] > 0.8  # 0 -> 1 dominates
+
+    def test_eq6_maximum_likelihood(self):
+        # stream: a b a b a c  -> P(b | a) = 2/3, P(c | a) = 1/3
+        lm = NGramLM(3, order=2, add_k=0.0).fit(np.array([0, 1, 0, 1, 0, 2]))
+        probs = lm.conditional_probs([0])
+        assert probs[1] == pytest.approx(2 / 3)
+        assert probs[2] == pytest.approx(1 / 3)
+
+    def test_unseen_context_falls_back_to_uniform(self):
+        lm = NGramLM(4, order=3, add_k=0.0).fit(np.array([0, 1, 2]))
+        lp = lm.next_token_logprobs(np.array([3, 3]))
+        assert np.allclose(np.exp(lp), 0.25)
+
+    def test_higher_order_beats_lower_on_markov(self, markov_stream):
+        train, test = markov_stream[:2500], markov_stream[2500:]
+        uni = UnigramLM(5).fit(train)
+        bi = NGramLM(5, order=2).fit(train)
+        assert bi.perplexity(test) < uni.perplexity(test)
+
+    def test_context_count_growth(self, markov_stream):
+        bi = NGramLM(5, order=2).fit(markov_stream)
+        tri = NGramLM(5, order=3).fit(markov_stream)
+        assert tri.num_contexts() >= bi.num_contexts()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NGramLM(5, order=0)
+        with pytest.raises(ValueError):
+            NGramLM(5, order=2, add_k=-0.1)
+
+
+class TestInterpolated:
+    def test_mixes_orders(self, markov_stream):
+        train, test = markov_stream[:2500], markov_stream[2500:]
+        lm = InterpolatedNGramLM(5, order=3).fit(train)
+        assert lm.perplexity(test) < UnigramLM(5).fit(train).perplexity(test)
+
+    def test_distribution_normalised(self, markov_stream):
+        lm = InterpolatedNGramLM(5, order=3).fit(markov_stream)
+        probs = np.exp(lm.next_token_logprobs(np.array([0, 1])))
+        assert np.isclose(probs.sum(), 1.0)
+
+    def test_custom_lambdas_validated(self):
+        with pytest.raises(ValueError):
+            InterpolatedNGramLM(5, order=2, lambdas=[0.5, 0.6])
+        lm = InterpolatedNGramLM(5, order=2, lambdas=[0.3, 0.7])
+        assert np.allclose(lm.lambdas, [0.3, 0.7])
+
+    def test_short_context_skips_high_orders(self, markov_stream):
+        lm = InterpolatedNGramLM(5, order=4).fit(markov_stream)
+        probs = np.exp(lm.next_token_logprobs(np.array([0])))
+        assert np.isclose(probs.sum(), 1.0)
+
+
+class TestMakeWindows:
+    def test_window_alignment(self):
+        ctx, tgt = make_windows(np.arange(10), window=3)
+        assert ctx.shape == (7, 3)
+        assert np.array_equal(ctx[0], [0, 1, 2]) and tgt[0] == 3
+        assert np.array_equal(ctx[-1], [6, 7, 8]) and tgt[-1] == 9
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            make_windows(np.arange(3), window=3)
+
+
+class TestNeuralLMs:
+    def test_ffn_learns_markov(self, markov_stream):
+        train, test = markov_stream[:2500], markov_stream[2500:]
+        lm = FFNLM(5, window=2, embed_dim=8, hidden_dim=32, rng=0)
+        ctx, tgt = make_windows(train, 2)
+        opt = Adam(lm.parameters(), lr=1e-2)
+        rng = np.random.default_rng(0)
+        for _ in range(150):
+            idx = rng.integers(0, len(tgt), size=64)
+            lm.zero_grad()
+            lm.loss(ctx[idx], tgt[idx]).backward()
+            opt.step()
+        assert lm.perplexity(test[:300]) < 2.0
+
+    def test_ffn_short_context_padding(self):
+        lm = FFNLM(5, window=4, rng=0)
+        lp = lm.next_token_logprobs(np.array([1]))
+        assert np.isclose(np.exp(lp).sum(), 1.0)
+
+    def test_ffn_window_validation(self):
+        with pytest.raises(ValueError):
+            FFNLM(5, window=0)
+        lm = FFNLM(5, window=2, rng=0)
+        with pytest.raises(ValueError):
+            lm.forward(np.zeros((3, 5), dtype=int))
+
+    @pytest.mark.parametrize("cls", [RNNLM, LSTMLM])
+    def test_recurrent_learns_markov(self, cls, markov_stream):
+        from repro.data import sample_batch
+
+        train, test = markov_stream[:2500], markov_stream[2500:]
+        lm = cls(5, embed_dim=8, hidden_dim=16, rng=0)
+        opt = Adam(lm.parameters(), lr=1e-2)
+        rng = np.random.default_rng(0)
+        for _ in range(80):
+            x, y = sample_batch(train, 8, 16, rng)
+            lm.zero_grad()
+            lm.loss(x, y).backward()
+            opt.step()
+        assert lm.perplexity(test[:200]) < 2.5
+
+    @pytest.mark.parametrize("cls", [RNNLM, LSTMLM])
+    def test_recurrent_logits_shape(self, cls):
+        lm = cls(7, embed_dim=4, hidden_dim=8, rng=0)
+        out = lm.forward(np.zeros((3, 5), dtype=int))
+        assert out.shape == (3, 5, 7)
+
+    def test_rnn_sequential_steps_grow_with_length(self):
+        lm = RNNLM(5, rng=0)
+        assert lm.sequential_steps(64) == 64 > lm.sequential_steps(8)
+
+    def test_generate_interface(self, markov_stream):
+        lm = NGramLM(5, order=2).fit(markov_stream)
+        out = lm.generate([0], 10, rng=np.random.default_rng(0))
+        assert len(out) == 11
+        assert all(0 <= t < 5 for t in out)
+
+    def test_generate_stop_token(self, markov_stream):
+        lm = NGramLM(5, order=2).fit(markov_stream)
+        out = lm.generate([0], 50, greedy=True, stop_token=1)
+        assert out[-1] == 1 and len(out) <= 51
+
+
+class TestSharedInterface:
+    def test_sequence_logprob_sums_conditionals(self, markov_stream):
+        lm = UnigramLM(5).fit(markov_stream)
+        ids = np.array([0, 1, 2])
+        expected = sum(lm.next_token_logprobs(ids[:i])[ids[i]] for i in range(3))
+        assert lm.sequence_logprob(ids) == pytest.approx(expected)
+
+    def test_cross_entropy_empty_raises(self, markov_stream):
+        lm = UnigramLM(5).fit(markov_stream)
+        with pytest.raises(ValueError):
+            lm.cross_entropy(np.array([], dtype=int))
+
+    def test_bits_per_token(self):
+        assert bits_per_token(np.log(2.0)) == pytest.approx(1.0)
+
+
+class TestKneserNey:
+    def test_distribution_normalised(self, markov_stream):
+        from repro.lm import KneserNeyLM
+
+        lm = KneserNeyLM(5, order=3).fit(markov_stream)
+        for context in ([], [0], [0, 1], markov_stream[:5]):
+            probs = np.exp(lm.next_token_logprobs(np.array(context, dtype=np.int64)))
+            assert np.isclose(probs.sum(), 1.0)
+            assert (probs > 0).all()  # back-off guarantees support everywhere
+
+    def test_beats_addk_on_sparse_data(self):
+        """With many contexts seen once, KN's continuation counts should
+        beat add-k smoothing (the standard empirical result)."""
+        from repro.lm import KneserNeyLM
+
+        rng = np.random.default_rng(0)
+        # structured stream over a larger vocab so trigrams are sparse
+        vocab = 30
+        stream = []
+        state = 0
+        for _ in range(4000):
+            state = (state + int(rng.integers(1, 4))) % vocab
+            stream.append(state)
+        stream = np.array(stream)
+        train, test = stream[:3500], stream[3500:]
+        kn = KneserNeyLM(vocab, order=3).fit(train)
+        addk = NGramLM(vocab, order=3, add_k=1.0).fit(train)
+        assert kn.perplexity(test) < addk.perplexity(test)
+
+    def test_frequency_vs_continuation(self):
+        """The 'San Francisco' property: a word frequent only in one
+        context gets a small continuation back-off score."""
+        from repro.lm import KneserNeyLM
+
+        # token 3 ("francisco") only ever follows 2 ("san"); token 1
+        # follows many different tokens.  Backing off from a context that
+        # was NEVER seen (token 7), the continuation-count unigram must
+        # prefer 1 over 3 even though 3 is more frequent overall.
+        stream = []
+        for lead in (0, 4, 5, 6):
+            stream += [lead, 1] * 3  # "1" follows 4 distinct words
+        stream += [2, 3] * 20        # "3" more frequent overall, only after "2"
+        lm = KneserNeyLM(8, order=2).fit(np.array(stream))
+        unseen_probs = np.exp(lm.next_token_logprobs(np.array([7])))
+        assert unseen_probs[1] > unseen_probs[3]
+        # raw frequency would have said the opposite
+        counts = np.bincount(stream, minlength=8)
+        assert counts[3] > counts[1]
+
+    def test_validation(self):
+        from repro.lm import KneserNeyLM
+
+        with pytest.raises(ValueError):
+            KneserNeyLM(5, order=0)
+        with pytest.raises(ValueError):
+            KneserNeyLM(5, discount=1.5)
+        with pytest.raises(RuntimeError):
+            KneserNeyLM(5).next_token_logprobs(np.array([0]))

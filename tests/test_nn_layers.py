@@ -1,0 +1,217 @@
+"""Unit tests for nn layers, module mechanics, and initializers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import (
+    MLP,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Sequential,
+    get_activation,
+    init,
+)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestLinear:
+    def test_shapes_and_bias(self):
+        layer = Linear(4, 7, _rng())
+        out = layer(Tensor(np.zeros((3, 4))))
+        assert out.shape == (3, 7)
+        assert np.allclose(out.data, 0.0)  # zero input -> bias (zero-init)
+
+    def test_no_bias(self):
+        layer = Linear(4, 7, _rng(), bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_flow_to_weight_and_bias(self):
+        layer = Linear(3, 2, _rng())
+        x = Tensor(_rng(1).normal(size=(5, 3)), requires_grad=True)
+        layer(x).square().sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        assert x.grad is not None
+
+    def test_init_variance_scales_as_one_over_fan_in(self):
+        big = Linear(1000, 400, _rng())
+        assert big.weight.data.var() == pytest.approx(1.0 / 1000, rel=0.15)
+
+    def test_batched_3d_input(self):
+        layer = Linear(4, 2, _rng())
+        out = layer(Tensor(np.zeros((2, 5, 4))))
+        assert out.shape == (2, 5, 2)
+
+
+class TestEmbedding:
+    def test_lookup_matches_table(self):
+        emb = Embedding(10, 4, _rng())
+        ids = np.array([1, 3, 1])
+        out = emb(ids)
+        assert np.array_equal(out.data, emb.weight.data[ids])
+
+    def test_gradient_accumulates_for_repeated_ids(self):
+        emb = Embedding(5, 3, _rng())
+        out = emb(np.array([2, 2, 2]))
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad[2], 3.0)
+        assert np.allclose(emb.weight.grad[0], 0.0)
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 3, _rng())
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_2d_ids(self):
+        emb = Embedding(5, 3, _rng())
+        assert emb(np.zeros((2, 4), dtype=int)).shape == (2, 4, 3)
+
+
+class TestLayerNormModule:
+    def test_parameters_registered(self):
+        ln = LayerNorm(6)
+        names = dict(ln.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_output_normalised(self):
+        ln = LayerNorm(8)
+        x = Tensor(_rng().normal(size=(4, 8)) * 10 + 3)
+        y = ln(x).data
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-8)
+
+
+class TestDropoutModule:
+    def test_respects_training_flag(self):
+        d = Dropout(0.9, _rng())
+        x = Tensor(np.ones((50, 50)))
+        d.eval()
+        assert np.array_equal(d(x).data, x.data)
+        d.train()
+        assert (d(x).data == 0).mean() > 0.5
+
+
+class TestSequentialAndMLP:
+    def test_sequential_applies_in_order(self):
+        rng = _rng()
+        seq = Sequential(Linear(3, 5, rng), LayerNorm(5), Linear(5, 2, rng))
+        out = seq(Tensor(np.zeros((4, 3))))
+        assert out.shape == (4, 2)
+        assert len(seq) == 3
+        assert len(list(iter(seq))) == 3
+
+    def test_mlp_universal_approximation_smoke(self):
+        """An MLP can fit a tiny nonlinear function (sanity, not proof)."""
+        from repro.nn import Adam
+
+        rng = _rng(0)
+        mlp = MLP([1, 32, 1], rng, activation="tanh")
+        xs = np.linspace(-2, 2, 64)[:, None]
+        ys = np.sin(xs * 2)
+        opt = Adam(mlp.parameters(), lr=1e-2)
+        for _ in range(300):
+            mlp.zero_grad()
+            loss = (mlp(Tensor(xs)) - Tensor(ys)).square().mean()
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < 0.05
+
+    def test_mlp_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4], _rng())
+
+    def test_mlp_gradients(self):
+        mlp = MLP([3, 8, 2], _rng(), activation="tanh")
+        x = Tensor(_rng(1).normal(size=(4, 3)), requires_grad=True)
+        check_gradients(lambda x: mlp(x).square().sum(), [x], atol=1e-5)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(KeyError):
+            get_activation("swish9000")
+
+    def test_square_activation(self):
+        act = get_activation("square")
+        assert np.array_equal(act(Tensor([3.0])).data, [9.0])
+
+
+class TestModuleMechanics:
+    def test_parameter_discovery_in_lists(self):
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = [Linear(2, 2, _rng()), Linear(2, 2, _rng(1))]
+
+        h = Holder()
+        assert len(h.parameters()) == 4
+        names = [n for n, _ in h.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4, _rng())
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_state_dict_roundtrip(self):
+        a = MLP([3, 5, 2], _rng(0))
+        b = MLP([3, 5, 2], _rng(99))
+        assert not np.allclose(a.linears[0].weight.data, b.linears[0].weight.data)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.linears[0].weight.data, b.linears[0].weight.data)
+
+    def test_state_dict_mismatch_raises(self):
+        a = MLP([3, 5, 2], _rng())
+        state = a.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_raises(self):
+        a = MLP([3, 5, 2], _rng())
+        state = a.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Dropout(0.5, _rng()), Dropout(0.5, _rng(1)))
+        seq.eval()
+        assert all(not m.training for m in seq.layers)
+        seq.train()
+        assert all(m.training for m in seq.layers)
+
+    def test_zero_grad_clears_all(self):
+        mlp = MLP([2, 3, 2], _rng())
+        x = Tensor(np.ones((1, 2)))
+        mlp(x).sum().backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+
+class TestInitializers:
+    def test_scaled_normal_std(self):
+        w = init.scaled_normal(_rng(), (2000, 100))
+        assert w.std() == pytest.approx(1 / np.sqrt(2000), rel=0.1)
+
+    def test_xavier_bounds(self):
+        w = init.xavier_uniform(_rng(), (50, 50))
+        bound = np.sqrt(6 / 100)
+        assert np.abs(w).max() <= bound
+
+    def test_he_normal_std(self):
+        w = init.he_normal(_rng(), (2000, 50))
+        assert w.std() == pytest.approx(np.sqrt(2 / 2000), rel=0.1)
+
+    def test_zeros_ones(self):
+        assert np.array_equal(init.zeros((2, 2)), np.zeros((2, 2)))
+        assert np.array_equal(init.ones((3,)), np.ones(3))

@@ -1,0 +1,166 @@
+"""Unit tests for optimizers, gradient clipping, and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import (
+    SGD,
+    Adam,
+    AdamW,
+    Constant,
+    StepDecay,
+    WarmupCosine,
+    WarmupLinear,
+    clip_grad_norm,
+)
+
+
+def _quadratic_param(value=5.0):
+    return Tensor(np.array([value]), requires_grad=True)
+
+
+def _minimise(optimizer, param, steps=200):
+    for _ in range(steps):
+        param.zero_grad()
+        (param * param).sum().backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_matches_eq16_update(self):
+        p = _quadratic_param(3.0)
+        opt = SGD([p], lr=0.1)
+        p.zero_grad()
+        (p * p).sum().backward()  # grad = 6
+        opt.step()
+        assert p.data[0] == pytest.approx(3.0 - 0.1 * 6.0)
+
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param()
+        assert abs(_minimise(SGD([p], lr=0.1), p)) < 1e-4
+
+    def test_momentum_accelerates(self):
+        p1, p2 = _quadratic_param(), _quadratic_param()
+        plain = SGD([p1], lr=0.01)
+        momentum = SGD([p2], lr=0.01, momentum=0.9)
+        v_plain = abs(_minimise(plain, p1, steps=50))
+        v_mom = abs(_minimise(momentum, p2, steps=50))
+        assert v_mom < v_plain
+
+    def test_weight_decay_shrinks_params_without_gradient_signal(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_skips_params_with_no_grad(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        SGD([p], lr=0.1).step()  # no grad set; should not crash or move
+        assert p.data[0] == 1.0
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param()
+        assert abs(_minimise(Adam([p], lr=0.1), p, steps=300)) < 1e-3
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction, the first Adam step is ~lr * sign(grad)."""
+        p = Tensor(np.array([10.0]), requires_grad=True)
+        opt = Adam([p], lr=0.5)
+        p.grad = np.array([3.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(10.0 - 0.5, rel=1e-4)
+
+    def test_adamw_decay_is_decoupled(self):
+        """AdamW's decay scales with lr*wd*param, independent of grad size."""
+        p = Tensor(np.array([100.0]), requires_grad=True)
+        opt = AdamW([p], lr=0.1, weight_decay=0.1)
+        p.grad = np.array([1e-12])  # negligible gradient
+        opt.step()
+        # movement should be dominated by the decay term: lr*wd*100 = 1.0
+        assert p.data[0] == pytest.approx(99.0, abs=0.2)
+
+    def test_adam_coupled_decay_differs_from_adamw(self):
+        """Coupled L2 is normalised away by Adam's denominator; AdamW is not."""
+        pa = Tensor(np.array([100.0]), requires_grad=True)
+        pw = Tensor(np.array([100.0]), requires_grad=True)
+        adam, adamw = Adam([pa], lr=0.1, weight_decay=0.1), AdamW([pw], lr=0.1, weight_decay=0.1)
+        for opt, p in ((adam, pa), (adamw, pw)):
+            p.grad = np.array([0.0])
+            opt.step()
+        assert pa.data[0] != pytest.approx(pw.data[0])
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Tensor(np.zeros(3), requires_grad=True)
+        p.grad = np.array([0.3, 0.0, 0.4])  # norm 0.5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        assert np.allclose(p.grad, [0.3, 0.0, 0.4])
+
+    def test_clips_to_max_norm(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_params(self):
+        p1 = Tensor(np.zeros(1), requires_grad=True)
+        p2 = Tensor(np.zeros(1), requires_grad=True)
+        p1.grad, p2.grad = np.array([3.0]), np.array([4.0])
+        clip_grad_norm([p1, p2], max_norm=1.0)
+        total = np.sqrt(p1.grad[0] ** 2 + p2.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = Constant(0.3)
+        assert s.lr_at(0) == s.lr_at(1000) == 0.3
+
+    def test_warmup_cosine_shape(self):
+        s = WarmupCosine(peak_lr=1.0, warmup_steps=10, total_steps=100)
+        assert s.lr_at(0) < s.lr_at(5) < s.lr_at(9)
+        assert s.lr_at(9) == pytest.approx(1.0)
+        assert s.lr_at(55) < 1.0
+        assert s.lr_at(99) == pytest.approx(0.0, abs=1e-3)
+
+    def test_warmup_cosine_final_lr_floor(self):
+        s = WarmupCosine(peak_lr=1.0, warmup_steps=5, total_steps=50, final_lr=0.1)
+        assert s.lr_at(49) == pytest.approx(0.1, abs=5e-3)
+        assert s.lr_at(50) == pytest.approx(0.1)
+
+    def test_warmup_linear(self):
+        s = WarmupLinear(peak_lr=2.0, warmup_steps=4, total_steps=20)
+        assert s.lr_at(3) == pytest.approx(2.0)
+        assert s.lr_at(20) == pytest.approx(0.0)
+
+    def test_step_decay(self):
+        s = StepDecay(base_lr=1.0, step_size=10, gamma=0.5)
+        assert s.lr_at(0) == 1.0
+        assert s.lr_at(10) == 0.5
+        assert s.lr_at(25) == 0.25
+
+    def test_apply_mutates_optimizer(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=1.0)
+        Constant(0.05).apply(opt, step=3)
+        assert opt.lr == 0.05
+
+    def test_invalid_schedules_raise(self):
+        with pytest.raises(ValueError):
+            WarmupCosine(1.0, warmup_steps=10, total_steps=10)
+        with pytest.raises(ValueError):
+            WarmupLinear(1.0, warmup_steps=10, total_steps=5)
+        with pytest.raises(ValueError):
+            StepDecay(1.0, step_size=0)

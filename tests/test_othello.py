@@ -1,0 +1,167 @@
+"""Unit + property tests for the Othello rules engine and dataset."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.othello import (
+    BLACK,
+    EMPTY,
+    WHITE,
+    MoveVocab,
+    OthelloBoard,
+    generate_dataset,
+    legal_move_rate,
+    random_game,
+    replay,
+)
+
+
+class TestBoard:
+    def test_initial_position(self):
+        b = OthelloBoard(8)
+        assert b.score() == (2, 2)
+        assert b.to_move == BLACK
+        assert len(b.legal_moves()) == 4
+
+    def test_size_validation(self):
+        for bad in (3, 5, 2, 7):
+            with pytest.raises(ValueError):
+                OthelloBoard(bad)
+
+    def test_opening_move_flips(self):
+        b = OthelloBoard(8)
+        row, col = b.legal_moves()[0]
+        b.play(row, col)
+        black, white = b.score()
+        assert black == 4 and white == 1  # one disc flipped
+
+    def test_illegal_move_raises(self):
+        b = OthelloBoard(8)
+        with pytest.raises(ValueError):
+            b.play(0, 0)
+
+    def test_occupied_square_illegal(self):
+        b = OthelloBoard(8)
+        assert not b.is_legal(3, 3)
+
+    def test_turn_alternates(self):
+        b = OthelloBoard(8)
+        b.play(*b.legal_moves()[0])
+        assert b.to_move == WHITE
+
+    def test_copy_is_independent(self):
+        b = OthelloBoard(6)
+        clone = b.copy()
+        clone.play(*clone.legal_moves()[0])
+        assert b.score() == (2, 2)
+
+    def test_relative_state_encoding(self):
+        b = OthelloBoard(6)
+        rel = b.relative_state(BLACK)
+        assert (rel == 1).sum() == 2  # black's stones are "mine"
+        assert (rel == 2).sum() == 2
+        flipped = b.relative_state(WHITE)
+        assert np.array_equal((rel == 1), (flipped == 2))
+
+    def test_render(self):
+        text = OthelloBoard(6).render()
+        assert text.count("X") == 2 and text.count("O") == 2
+
+
+class TestGameInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_game_properties(self, seed):
+        rng = np.random.default_rng(seed)
+        record = random_game(rng, size=6)
+        # games fill most of a 6x6 board (32 playable squares)
+        assert 10 <= len(record.moves) <= 32
+        assert len(record.states) == len(record.moves)
+        assert len(record.legal_next) == len(record.moves)
+        # stone count grows by exactly one per move
+        final = replay(record.moves, size=6)
+        assert sum(final.score()) == 4 + len(record.moves)
+        assert final.game_over
+        # every recorded legal set is non-empty except the last
+        for legal in record.legal_next[:-1]:
+            assert legal
+        assert record.legal_next[-1] == set()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_recorded_states_match_replay(self, seed):
+        rng = np.random.default_rng(seed)
+        vocab = MoveVocab(6)
+        record = random_game(rng, size=6, vocab=vocab)
+        board = OthelloBoard(6)
+        for t, token in enumerate(record.moves):
+            last_player = board.to_move
+            board.play(*vocab.id_to_move(token))
+            perspective = board.to_move if not board.game_over else -last_player
+            assert np.array_equal(board.relative_state(perspective),
+                                  record.states[t])
+
+
+class TestMoveVocab:
+    def test_excludes_centre(self):
+        v = MoveVocab(8)
+        assert len(v) == 61  # 64 - 4 + BOS
+        assert (3, 3) not in v.cells
+
+    def test_roundtrip(self):
+        v = MoveVocab(6)
+        for token in range(len(v) - 1):
+            r, c = v.id_to_move(token)
+            assert v.move_to_id(r, c) == token
+
+    def test_bos_not_a_move(self):
+        v = MoveVocab(6)
+        with pytest.raises(ValueError):
+            v.id_to_move(v.bos_id)
+
+    def test_notation(self):
+        v = MoveVocab(8)
+        token = v.move_to_id(2, 4)
+        assert v.notation(token) == "E3"
+
+
+class TestDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_dataset(np.random.default_rng(0), num_games=12, size=6)
+
+    def test_tensor_shapes(self, dataset):
+        n, length = dataset.tokens.shape
+        assert n == 12
+        assert dataset.board_states.shape == (12, length - 1, 36)
+        assert dataset.tokens[:, 0].tolist() == [dataset.vocab.bos_id] * 12
+
+    def test_padding_is_bos(self, dataset):
+        for i in range(12):
+            length = int(dataset.lengths[i])
+            padding = dataset.tokens[i, length + 1 :]
+            assert (padding == dataset.vocab.bos_id).all()
+
+    def test_lm_batch_shift(self, dataset):
+        x, y = dataset.lm_batch(np.array([0, 1]))
+        assert np.array_equal(x[:, 1:], y[:, :-1])
+
+    def test_board_states_valid_classes(self, dataset):
+        assert set(np.unique(dataset.board_states)) <= {0, 1, 2}
+
+    def test_max_moves_truncation(self):
+        ds = generate_dataset(np.random.default_rng(0), num_games=4, size=6,
+                              max_moves=10)
+        assert ds.tokens.shape[1] == 11
+
+    def test_legal_move_rate_untrained_is_low(self, dataset):
+        from repro.core import TransformerConfig, TransformerLM
+
+        cfg = TransformerConfig(vocab_size=len(dataset.vocab),
+                                max_seq_len=dataset.seq_len,
+                                d_model=16, num_heads=2, num_layers=1)
+        model = TransformerLM(cfg, rng=0)
+        rate = legal_move_rate(model, dataset, num_games=6)
+        # ~8 legal moves of 33 tokens: untrained argmax should be well below 0.8
+        assert 0.0 <= rate < 0.8

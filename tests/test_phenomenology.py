@@ -1,0 +1,195 @@
+"""Unit tests for compute accounting, scaling fits, grokking, and ICL."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.phenomenology import (
+    GrokkingResult,
+    attention_flops,
+    compute_optimal_tokens,
+    encode_sequences,
+    fit_joint_ansatz,
+    fit_power_law,
+    gradient_descent_profile,
+    inference_flops,
+    make_icl_batch,
+    modular_addition_dataset,
+    ols_profile,
+    ridge_profile,
+    sample_tasks,
+    training_flops,
+    transformer_param_estimate,
+    zero_profile,
+)
+
+
+class TestCompute:
+    def test_training_flops_6pd(self):
+        assert training_flops(100, 1000) == 6e5
+        assert inference_flops(100, 1000) == 2e5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            training_flops(-1, 10)
+
+    def test_param_estimate_within_factor_two(self):
+        cfg = TransformerConfig(vocab_size=64, max_seq_len=32, d_model=48,
+                                num_heads=4, num_layers=3)
+        actual = TransformerLM(cfg, rng=0).num_parameters()
+        estimate = transformer_param_estimate(cfg)
+        assert 0.5 < estimate / actual < 2.0
+
+    def test_attention_flops_quadratic_in_l(self):
+        assert attention_flops(64, 32, 2) == 4 * attention_flops(32, 32, 2)
+
+    def test_compute_optimal_tokens(self):
+        assert compute_optimal_tokens(6e6, 100) == pytest.approx(1e4)
+        with pytest.raises(ValueError):
+            compute_optimal_tokens(1e6, 0)
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_power_law(self):
+        x = np.array([1e2, 1e3, 1e4, 1e5])
+        y = 5.0 * x**-0.3
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(0.3, abs=1e-9)
+        assert fit.coefficient == pytest.approx(5.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([10, 100, 1000], 2.0 * np.array([10, 100, 1000.0])**-0.5)
+        assert fit.predict(np.array([10.0]))[0] == pytest.approx(2.0 * 10**-0.5)
+
+    def test_floor_variant_recovers_floor(self):
+        x = np.logspace(2, 6, 12)
+        y = 1.5 + 40.0 * x**-0.4
+        fit = fit_power_law(x, y, fit_floor=True)
+        assert fit.floor == pytest.approx(1.5, abs=0.1)
+        assert fit.exponent == pytest.approx(0.4, abs=0.05)
+
+    def test_noisy_fit_r_squared_below_one(self):
+        rng = np.random.default_rng(0)
+        x = np.logspace(1, 4, 20)
+        y = 3.0 * x**-0.2 * np.exp(rng.normal(scale=0.05, size=20))
+        fit = fit_power_law(x, y)
+        assert 0.8 < fit.r_squared < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, -2.0], [1.0, 1.0])
+
+
+class TestJointFit:
+    def test_recovers_eq4_parameters(self):
+        alpha_p, alpha_d, p_c, d_c = 0.35, 0.3, 1e4, 5e4
+        p_grid = np.array([1e3, 1e4, 1e5, 1e3, 1e4, 1e5, 1e3, 1e4, 1e5])
+        d_grid = np.array([1e4] * 3 + [1e5] * 3 + [1e6] * 3)
+        loss = ((p_c / p_grid) ** (alpha_p / alpha_d) + d_c / d_grid) ** alpha_d
+        fit = fit_joint_ansatz(p_grid, d_grid, loss)
+        assert fit.r_squared > 0.999
+        predicted = fit.predict(p_grid, d_grid)
+        assert np.allclose(predicted, loss, rtol=0.02)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_joint_ansatz([1e3, 1e4], [1e4, 1e4], [1.0, 0.9])
+
+
+class TestModularDataset:
+    def test_covers_all_pairs(self):
+        rng = np.random.default_rng(0)
+        xtr, ytr, xte, yte = modular_addition_dataset(7, 0.5, rng)
+        assert len(xtr) + len(xte) == 49
+        assert xtr.shape[1] == 14
+
+    def test_labels_correct(self):
+        rng = np.random.default_rng(0)
+        xtr, ytr, _, _ = modular_addition_dataset(5, 0.8, rng)
+        for features, label in zip(xtr, ytr):
+            a = int(np.argmax(features[:5]))
+            b = int(np.argmax(features[5:]))
+            assert label == (a + b) % 5
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            modular_addition_dataset(2, 0.5, rng)
+        with pytest.raises(ValueError):
+            modular_addition_dataset(7, 1.0, rng)
+
+
+class TestGrokkingResult:
+    def test_step_reaching_and_gap(self):
+        r = GrokkingResult(
+            eval_steps=[0, 100, 200, 300],
+            train_acc=[0.5, 1.0, 1.0, 1.0],
+            test_acc=[0.1, 0.1, 0.1, 0.95],
+        )
+        assert r.step_reaching(r.train_acc, 0.99) == 100
+        assert r.step_reaching(r.test_acc, 0.9) == 300
+        assert r.grok_gap() == 200
+
+    def test_gap_none_when_never_reached(self):
+        r = GrokkingResult(eval_steps=[0], train_acc=[0.1], test_acc=[0.1])
+        assert r.grok_gap() is None
+
+
+class TestICLEncoding:
+    def test_token_layout(self):
+        xs = np.ones((2, 3, 4))
+        ys = np.full((2, 3), 7.0)
+        tokens = encode_sequences(xs, ys)
+        assert tokens.shape == (2, 6, 5)
+        assert np.allclose(tokens[:, 0::2, :4], 1.0)  # x tokens carry x
+        assert np.allclose(tokens[:, 0::2, 4], 0.0)
+        assert np.allclose(tokens[:, 1::2, 4], 7.0)  # y tokens carry y
+        assert np.allclose(tokens[:, 1::2, :4], 0.0)
+
+    def test_sample_tasks_linear(self):
+        rng = np.random.default_rng(0)
+        xs, ys, w = sample_tasks(rng, batch=4, num_points=5, dim=3)
+        assert np.allclose(ys, np.einsum("bkd,bd->bk", xs, w))
+
+    def test_noise_added(self):
+        rng = np.random.default_rng(0)
+        xs, ys, w = sample_tasks(rng, 4, 5, 3, noise_std=0.5)
+        assert not np.allclose(ys, np.einsum("bkd,bd->bk", xs, w))
+
+
+class TestBaselineProfiles:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        return make_icl_batch(np.random.default_rng(0), 128, 8, 3)
+
+    def test_zero_profile_is_task_variance(self, batch):
+        profile = zero_profile(batch.xs, batch.ys)
+        # E[y^2] = dim for w, x ~ N(0, I); y^2 is heavy-tailed, so the
+        # empirical mean over 128 tasks wanders — check the average.
+        assert profile.mean() == pytest.approx(3.0, abs=0.5)
+        assert (profile > 1.0).all()
+
+    def test_ols_exact_after_dim_points(self, batch):
+        profile = ols_profile(batch.xs, batch.ys)
+        assert np.allclose(profile[3:], 0.0, atol=1e-12)
+        assert profile[0] > 1.0
+
+    def test_ridge_decreasing_and_near_ols(self, batch):
+        profile = ridge_profile(batch.xs, batch.ys, lam=0.1)
+        assert profile[-1] < 0.1
+        assert profile[0] > profile[-1]
+
+    def test_gd_improves_with_more_steps(self, batch):
+        few = gradient_descent_profile(batch.xs, batch.ys, steps=1, lr=0.1)
+        many = gradient_descent_profile(batch.xs, batch.ys, steps=50, lr=0.1)
+        assert many[-1] < few[-1]
+
+    def test_all_profiles_beat_nothing_with_context(self, batch):
+        zero = zero_profile(batch.xs, batch.ys)
+        for profile in (ols_profile(batch.xs, batch.ys),
+                        ridge_profile(batch.xs, batch.ys),
+                        gradient_descent_profile(batch.xs, batch.ys)):
+            assert profile[-1] < zero[-1]

@@ -1,0 +1,155 @@
+"""Property-based tests across models and grammar machinery."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.data import Vocabulary
+from repro.grammar import PCFG, inside_logprob, to_cnf, viterbi_parse
+from repro.lm import InterpolatedNGramLM, NGramLM, UnigramLM
+
+
+# ---------------------------------------------------------------------------
+# Language models: every next-token distribution must be a distribution.
+# ---------------------------------------------------------------------------
+
+_streams = st.lists(st.integers(min_value=0, max_value=4), min_size=10,
+                    max_size=60)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_streams, st.integers(min_value=1, max_value=3))
+def test_ngram_conditionals_are_distributions(stream, order):
+    lm = NGramLM(5, order=order, add_k=0.5).fit(np.array(stream))
+    for context in ([], [0], [4, 2], stream[:3]):
+        probs = np.exp(lm.next_token_logprobs(np.array(context, dtype=np.int64)))
+        assert probs.shape == (5,)
+        assert np.isclose(probs.sum(), 1.0)
+        assert (probs >= 0).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(_streams)
+def test_unigram_perplexity_bounded_by_vocab(stream):
+    lm = UnigramLM(5, add_k=1.0).fit(np.array(stream))
+    ppl = lm.perplexity(np.array(stream))
+    assert 1.0 <= ppl <= 5.0 + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(_streams)
+def test_interpolated_never_assigns_zero(stream):
+    lm = InterpolatedNGramLM(5, order=3).fit(np.array(stream))
+    logprobs = lm.next_token_logprobs(np.array(stream[:2], dtype=np.int64))
+    assert np.isfinite(logprobs).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_sequence_logprob_additive_under_concatenation(seed):
+    """For a unigram model, logP(xy) = logP(x) + logP(y)."""
+    rng = np.random.default_rng(seed)
+    stream = rng.integers(0, 4, size=50)
+    lm = UnigramLM(4).fit(stream)
+    x, y = stream[:10], stream[10:20]
+    joint = lm.sequence_logprob(np.concatenate([x, y]))
+    assert joint == pytest.approx(lm.sequence_logprob(x) + lm.sequence_logprob(y))
+
+
+# ---------------------------------------------------------------------------
+# Transformer invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000),
+       st.integers(min_value=2, max_value=10))
+def test_transformer_logits_finite_and_causal(seed, length):
+    cfg = TransformerConfig(vocab_size=6, max_seq_len=12, d_model=8,
+                            num_heads=2, num_layers=1)
+    model = TransformerLM(cfg, rng=0)
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 6, size=(1, length))
+    from repro.autograd import no_grad
+
+    with no_grad():
+        base = model.forward(x).data
+    assert np.isfinite(base).all()
+    # perturb the final token: earlier logits must not move
+    x2 = x.copy()
+    x2[0, -1] = (x2[0, -1] + 1) % 6
+    with no_grad():
+        perturbed = model.forward(x2).data
+    assert np.allclose(base[0, :-1], perturbed[0, :-1])
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_generate_respects_vocab(seed):
+    cfg = TransformerConfig(vocab_size=6, max_seq_len=12, d_model=8,
+                            num_heads=2, num_layers=1)
+    model = TransformerLM(cfg, rng=0)
+    out = model.generate([1, 2], 8, rng=np.random.default_rng(seed))
+    assert len(out) == 10
+    assert all(0 <= t < 6 for t in out)
+
+
+# ---------------------------------------------------------------------------
+# Grammar invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_sampled_sentences_are_recognized_with_consistent_probability(seed):
+    """Any sampled sentence must (a) be in the language, (b) have inside
+    probability >= its own derivation's probability."""
+    grammar = PCFG.from_text(
+        "S -> a S b [0.4]\nS -> a b [0.6]"
+    )
+    cnf = to_cnf(grammar)
+    rng = np.random.default_rng(seed)
+    tree = grammar.sample_tree(rng, max_depth=30)
+    sentence = tree.leaves()
+    total = inside_logprob(cnf, sentence)
+    derivation = grammar.tree_logprob(tree)
+    assert total > -math.inf
+    assert total >= derivation - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_viterbi_logprob_never_exceeds_inside(seed):
+    grammar = to_cnf(PCFG.from_text(
+        "S -> A A [0.5]\nS -> A B [0.5]\nA -> a [1.0]\nB -> a [0.5]\nB -> b [0.5]"
+    ))
+    rng = np.random.default_rng(seed)
+    tokens = [("a", "b")[i] for i in rng.integers(0, 2, size=2)]
+    total = inside_logprob(grammar, tokens)
+    parse = viterbi_parse(grammar, tokens)
+    if parse is None:
+        assert total == -math.inf
+    else:
+        assert parse.logprob <= total + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Vocabulary round-trips
+# ---------------------------------------------------------------------------
+
+_token_lists = st.lists(
+    st.text(alphabet="abcdefg", min_size=1, max_size=4),
+    min_size=1, max_size=20, unique=True,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_token_lists)
+def test_vocabulary_roundtrip(tokens):
+    vocab = Vocabulary(tokens)
+    ids = vocab.encode(tokens)
+    assert vocab.decode(ids) == tokens
+    assert sorted(set(ids)) == list(range(len(tokens)))

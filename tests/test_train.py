@@ -1,0 +1,183 @@
+"""Unit tests for the trainer, metrics, and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.data import sample_batch
+from repro.lm import FFNLM, UnigramLM, make_windows
+from repro.nn import Adam, Constant
+from repro.train import (
+    History,
+    Trainer,
+    accuracy,
+    cross_entropy_of,
+    distribution_entropy,
+    exact_match,
+    load_checkpoint,
+    perplexity_of,
+    rouge_l,
+    rouge_n,
+    save_checkpoint,
+    train_lm_on_stream,
+)
+
+
+class TestTrainer:
+    def _ffn_setup(self):
+        rng = np.random.default_rng(0)
+        stream = np.array([0, 1, 2, 3] * 200)
+        lm = FFNLM(4, window=2, embed_dim=8, hidden_dim=16, rng=0)
+        ctx, tgt = make_windows(stream, 2)
+
+        def batch_fn(step):
+            idx = rng.integers(0, len(tgt), size=32)
+            return ctx[idx], tgt[idx]
+
+        return lm, batch_fn
+
+    def test_history_recorded(self):
+        lm, batch_fn = self._ffn_setup()
+        trainer = Trainer(lm, Adam(lm.parameters(), lr=1e-2), batch_fn)
+        history = trainer.run(30)
+        assert len(history.losses) == 30
+        assert history.losses[-1] < history.losses[0]
+        assert history.wall_time > 0
+
+    def test_eval_fn_called_periodically(self):
+        lm, batch_fn = self._ffn_setup()
+        calls = []
+
+        def eval_fn(model, step):
+            calls.append(step)
+            return {"metric": 1.0}
+
+        trainer = Trainer(lm, Adam(lm.parameters(), lr=1e-2), batch_fn,
+                          eval_fn=eval_fn, eval_every=10)
+        history = trainer.run(25)
+        assert calls == [9, 19, 24]
+        steps, values = history.eval_series("metric")
+        assert steps == [9, 19, 24] and values == [1.0, 1.0, 1.0]
+
+    def test_schedule_applied(self):
+        lm, batch_fn = self._ffn_setup()
+        opt = Adam(lm.parameters(), lr=123.0)
+        Trainer(lm, opt, batch_fn, schedule=Constant(1e-3)).run(3)
+        assert opt.lr == 1e-3
+
+    def test_clip_norm_applied(self):
+        lm, batch_fn = self._ffn_setup()
+        trainer = Trainer(lm, Adam(lm.parameters(), lr=1e-2), batch_fn,
+                          clip_norm=1e-8)
+        history = trainer.run(5)  # clipped to nothing: loss barely moves
+        assert abs(history.losses[-1] - history.losses[0]) < 0.1
+
+    def test_zero_steps_rejected(self):
+        lm, batch_fn = self._ffn_setup()
+        with pytest.raises(ValueError):
+            Trainer(lm, Adam(lm.parameters(), lr=1e-2), batch_fn).run(0)
+
+    def test_history_helpers(self):
+        h = History(steps=[0, 1, 2], losses=[3.0, 2.0, 1.0])
+        assert h.final_loss == 1.0
+        assert len(h.smoothed_losses(window=2)) == 2
+        with pytest.raises(ValueError):
+            History().final_loss
+
+    def test_train_lm_on_stream_transformer(self):
+        cfg = TransformerConfig(vocab_size=4, max_seq_len=8, d_model=16,
+                                num_heads=2, num_layers=1)
+        model = TransformerLM(cfg, rng=0)
+        stream = np.array([0, 1, 2, 3] * 100)
+        history = train_lm_on_stream(model, stream, num_steps=60,
+                                     batch_size=8, seq_len=8)
+        assert history.losses[-1] < 0.5
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 2, 3], [1, 0, 3]) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_exact_match_whitespace_normalised(self):
+        assert exact_match(" a  b ", "a b")
+        assert not exact_match("a b", "a c")
+
+    def test_rouge_1_recall(self):
+        cand = "the cat sat".split()
+        ref = "the cat sat down".split()
+        assert rouge_n(cand, ref, n=1) == pytest.approx(3 / 4)
+
+    def test_rouge_2(self):
+        cand = "a b c".split()
+        ref = "a b d".split()
+        assert rouge_n(cand, ref, n=2) == pytest.approx(1 / 2)
+
+    def test_rouge_identical_is_one(self):
+        tokens = "x y z".split()
+        assert rouge_n(tokens, tokens, 1) == 1.0
+        assert rouge_l(tokens, tokens) == 1.0
+
+    def test_rouge_disjoint_is_zero(self):
+        assert rouge_n(["a"], ["b"], 1) == 0.0
+        assert rouge_l(["a"], ["b"]) == 0.0
+
+    def test_rouge_l_subsequence(self):
+        cand = "a x b y c".split()
+        ref = "a b c".split()
+        # LCS = 3; precision 3/5, recall 1 -> F1 = 0.75
+        assert rouge_l(cand, ref) == pytest.approx(0.75)
+
+    def test_rouge_empty_reference(self):
+        assert rouge_n(["a"], [], 1) == 0.0
+
+    def test_distribution_entropy(self):
+        assert distribution_entropy(np.array([0.5, 0.5])) == pytest.approx(np.log(2))
+        assert distribution_entropy(np.array([1.0, 0.0])) == 0.0
+        with pytest.raises(ValueError):
+            distribution_entropy(np.array([0.5, 0.6]))
+
+    def test_perplexity_of_prefers_batched_path(self):
+        stream = np.array([0, 1, 2, 3] * 50)
+        lm = UnigramLM(4).fit(stream)
+        assert perplexity_of(lm, stream) == pytest.approx(4.0, rel=0.05)
+        cfg = TransformerConfig(vocab_size=4, max_seq_len=8, d_model=8,
+                                num_heads=2, num_layers=1)
+        model = TransformerLM(cfg, rng=0)
+        ce = cross_entropy_of(model, stream)  # uses cross_entropy_on
+        assert 0 < ce < 3.0
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        cfg = TransformerConfig(vocab_size=6, max_seq_len=8, d_model=8,
+                                num_heads=2, num_layers=1)
+        a = TransformerLM(cfg, rng=0)
+        b = TransformerLM(cfg, rng=99)
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, a, config=cfg.to_dict())
+        loaded_cfg = load_checkpoint(path, b)
+        assert loaded_cfg == cfg.to_dict()
+        x = np.zeros((1, 4), dtype=int)
+        assert np.allclose(a.forward(x).data, b.forward(x).data)
+
+    def test_config_optional(self, tmp_path):
+        cfg = TransformerConfig(vocab_size=6, max_seq_len=8, d_model=8,
+                                num_heads=2, num_layers=1)
+        model = TransformerLM(cfg, rng=0)
+        path = tmp_path / "weights.npz"
+        save_checkpoint(path, model)
+        assert load_checkpoint(path, model) is None
+
+    def test_wrong_architecture_raises(self, tmp_path):
+        cfg = TransformerConfig(vocab_size=6, max_seq_len=8, d_model=8,
+                                num_heads=2, num_layers=1)
+        other = TransformerConfig(vocab_size=6, max_seq_len=8, d_model=16,
+                                  num_heads=2, num_layers=1)
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, TransformerLM(cfg, rng=0))
+        with pytest.raises(ValueError):
+            load_checkpoint(path, TransformerLM(other, rng=0))
