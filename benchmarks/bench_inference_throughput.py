@@ -1,0 +1,148 @@
+"""E20 — decode-path throughput: batched engine vs sequential generate_fast.
+
+The serving claim behind ``repro.infer``: one preallocated-KV
+:class:`GenerationEngine` step advances B sequences for roughly the cost
+of one, so tokens/sec should scale with batch size while N sequential
+``generate_fast`` calls scale with user count.  Measured here as
+end-to-end generated-tokens-per-second on the same prompt set, single
+stream vs engine at several batch sizes, and emitted as a
+``BENCH_inference.json`` record for regression tracking.
+
+``--smoke`` runs a seconds-scale configuration and asserts the batched
+engine at full batch is at least as fast as the single stream; the
+tier-1 test suite invokes it so decode-path perf regressions fail loudly.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from _util import banner, fmt_table, scale
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.infer import GenerationEngine
+
+_BATCH_SIZES = [1, 2, 4, 8]
+_NUM_PROMPTS = 8
+_PROMPT_LEN = 8
+
+
+def _build(smoke: bool) -> tuple[TransformerLM, list[list[int]], int]:
+    cfg = TransformerConfig(
+        vocab_size=64,
+        max_seq_len=96 if smoke else 160,
+        d_model=32 if smoke else 64,
+        num_heads=4,
+        num_layers=2 if smoke else 4,
+    )
+    model = TransformerLM(cfg, rng=0)
+    rng = np.random.default_rng(1)
+    prompts = [list(rng.integers(0, cfg.vocab_size, size=_PROMPT_LEN))
+               for _ in range(_NUM_PROMPTS)]
+    max_new = (16 if smoke else 64) * scale()
+    max_new = min(max_new, cfg.max_seq_len - _PROMPT_LEN)
+    return model, prompts, max_new
+
+
+def run(smoke: bool = False) -> dict:
+    model, prompts, max_new = _build(smoke)
+    generated = len(prompts) * max_new
+
+    start = time.perf_counter()
+    sequential_out = [model.generate_fast(p, max_new, greedy=True) for p in prompts]
+    sequential_s = time.perf_counter() - start
+
+    batched = []
+    for batch_size in _BATCH_SIZES:
+        engine = GenerationEngine(model, batch_size=batch_size, greedy=True)
+        start = time.perf_counter()
+        out = engine.generate(prompts, max_new)
+        seconds = time.perf_counter() - start
+        assert out == sequential_out, "engine diverged from generate_fast"
+        batched.append({
+            "batch_size": batch_size,
+            "seconds": seconds,
+            "tokens_per_sec": generated / seconds,
+            "model_steps": engine.total_steps,
+        })
+
+    sequential_tps = generated / sequential_s
+    full_batch = batched[-1]
+    return {
+        "bench": "inference_throughput",
+        "smoke": smoke,
+        "model": model.config.to_dict(),
+        "num_prompts": len(prompts),
+        "prompt_len": _PROMPT_LEN,
+        "max_new_tokens": max_new,
+        "generated_tokens": generated,
+        "sequential": {"seconds": sequential_s, "tokens_per_sec": sequential_tps},
+        "batched": batched,
+        "speedup_at_full_batch": full_batch["tokens_per_sec"] / sequential_tps,
+    }
+
+
+def report(result: dict) -> str:
+    lines = [banner("Batched inference throughput — engine vs sequential decode")]
+    seq = result["sequential"]
+    rows = [["sequential x8", 1, seq["seconds"], seq["tokens_per_sec"], 1.0]]
+    for entry in result["batched"]:
+        rows.append(["engine", entry["batch_size"], entry["seconds"],
+                     entry["tokens_per_sec"],
+                     entry["tokens_per_sec"] / seq["tokens_per_sec"]])
+    lines.append(fmt_table(
+        ["mode", "batch", "seconds", "tokens/sec", "speedup"], rows))
+    lines.append(
+        f"{result['generated_tokens']} tokens generated per mode "
+        f"({result['num_prompts']} prompts x {result['max_new_tokens']} new); "
+        f"full-batch speedup {result['speedup_at_full_batch']:.1f}x"
+    )
+    return "\n".join(lines)
+
+
+def write_record(result: dict, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(result, f, indent=2, default=float)
+        f.write("\n")
+
+
+def test_inference_throughput(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(report(result))
+    # Batched decoding must beat the sequential stream decisively: the
+    # acceptance bar is >= 4x tokens/sec at batch 8 over 8 sequential
+    # generate_fast calls.
+    assert result["speedup_at_full_batch"] >= 4.0
+    # throughput should grow monotonically-ish with batch size
+    tps = [entry["tokens_per_sec"] for entry in result["batched"]]
+    assert tps[-1] > tps[0]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast mode: tiny model, asserts batched >= sequential")
+    parser.add_argument("--out", default="BENCH_inference.json",
+                        help="path for the JSON record (default: %(default)s)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="skip writing the JSON record")
+    args = parser.parse_args(argv)
+    result = run(smoke=args.smoke)
+    print(report(result))
+    if not args.no_record:
+        write_record(result, args.out)
+        print(f"record written to {args.out}")
+    if args.smoke:
+        if result["speedup_at_full_batch"] < 1.0:
+            print("SMOKE FAIL: batched engine slower than sequential decode",
+                  file=sys.stderr)
+            return 1
+        print("SMOKE OK: batched >= sequential tokens/sec")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Batched serving demo: one GenerationEngine, many prompts.
+
+Trains the quickstart-sized transformer on PCFG text, then serves a
+pool of prompts through ``repro.infer.GenerationEngine`` — continuous
+batching over a preallocated KV cache — and compares wall-clock against
+sequential ``generate_fast`` calls on the same prompts.
+
+Run:  PYTHONPATH=src python examples/batch_generation.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.data import Corpus, WordTokenizer
+from repro.grammar import english_toy_pcfg, sample_treebank, treebank_text
+from repro.infer import GenerationEngine
+from repro.train import train_lm_on_stream
+
+
+def main() -> None:
+    # 1. Train a small model (same recipe as examples/quickstart.py).
+    rng = np.random.default_rng(0)
+    treebank = sample_treebank(english_toy_pcfg(), 800, rng,
+                               min_len=3, max_len=14)
+    text = treebank_text(treebank)
+    tok = WordTokenizer(text)
+    corpus = Corpus.from_ids(np.array(tok.encode(text)), tok.vocab_size,
+                             test_fraction=0.1)
+    config = TransformerConfig(vocab_size=tok.vocab_size, max_seq_len=32,
+                               d_model=32, num_heads=4, num_layers=2)
+    model = TransformerLM(config, rng=0)
+    history = train_lm_on_stream(model, corpus.train_ids, num_steps=400,
+                                 batch_size=16, seq_len=24, lr=3e-3)
+    print(f"trained: loss {history.losses[0]:.2f} -> {history.final_loss:.2f}")
+
+    # 2. A queue of user prompts — more prompts than engine slots, so
+    #    finished sequences hand their cache slot to waiting prompts.
+    prompt_texts = [
+        "the small dog", "a cat", "the bird sees", "every dog",
+        "the cat chases", "a small bird", "the dog sees a", "every cat",
+        "a dog runs", "the small cat", "a bird", "every small dog",
+    ]
+    prompts = [tok.encode(p) for p in prompt_texts]
+    max_new = 12
+
+    # 3. Sequential baseline: one generate_fast call per user.
+    start = time.perf_counter()
+    sequential = [model.generate_fast(p, max_new, greedy=True) for p in prompts]
+    seq_s = time.perf_counter() - start
+
+    # 4. Batched: 4 slots serving 12 prompts via continuous batching.
+    engine = GenerationEngine(model, batch_size=4, greedy=True)
+    start = time.perf_counter()
+    batched = engine.generate(prompts, max_new)
+    batch_s = time.perf_counter() - start
+
+    assert batched == sequential, "engine must reproduce generate_fast exactly"
+    tokens = len(prompts) * max_new
+    print(f"\n{len(prompts)} prompts x {max_new} new tokens, 4 engine slots")
+    print(f"sequential: {seq_s:.3f}s  ({tokens / seq_s:7.0f} tok/s)")
+    print(f"batched:    {batch_s:.3f}s  ({tokens / batch_s:7.0f} tok/s)  "
+          f"-> {seq_s / batch_s:.1f}x")
+
+    print("\ncompletions (identical for both paths):")
+    for text_prompt, out, prompt in zip(prompt_texts, batched, prompts):
+        completion = tok.decode(out[len(prompt):])
+        print(f"  {text_prompt!r:20s} -> {completion}")
+
+    # 5. Stochastic serving: one shared RNG, per-row draws, reproducible.
+    engine = GenerationEngine(model, batch_size=4,
+                              rng=np.random.default_rng(7), temperature=0.8)
+    sampled = engine.generate(prompts[:4], max_new)
+    print("\nsampled at T=0.8:")
+    for text_prompt, out, prompt in zip(prompt_texts, sampled, prompts):
+        print(f"  {text_prompt!r:20s} -> {tok.decode(out[len(prompt):])}")
+
+
+if __name__ == "__main__":
+    main()

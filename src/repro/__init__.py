@@ -7,6 +7,7 @@ Subpackages
 - ``repro.data``          vocabularies, tokenizers, batching, synthetic corpora
 - ``repro.lm``            §5 simpler LMs (unigram, N-gram, FFN, RNN, LSTM)
 - ``repro.core``          §6 transformer LLM (attention, blocks, sampling)
+- ``repro.infer``         batched serving: preallocated KV cache + engine
 - ``repro.train``         training loops, metrics, checkpoints
 - ``repro.embeddings``    §5 co-occurrence / PPMI / SVD / analogies
 - ``repro.grammar``       appendix CFG/PCFG/CYK/Inside-Outside stack
@@ -39,6 +40,7 @@ from . import (
     embeddings,
     formal,
     grammar,
+    infer,
     interp,
     lm,
     nn,
@@ -49,6 +51,7 @@ from . import (
 from .autograd import Tensor, no_grad
 from .core import TransformerConfig, TransformerLM, TransformerRegressor
 from .data import BPETokenizer, CharTokenizer, Corpus, Vocabulary, WordTokenizer
+from .infer import GenerationEngine, KVCache
 from .lm import FFNLM, LSTMLM, RNNLM, InterpolatedNGramLM, LanguageModel, NGramLM, UnigramLM
 from .train import Trainer, train_lm_on_stream
 
@@ -60,6 +63,7 @@ __all__ = [
     "data",
     "lm",
     "core",
+    "infer",
     "train",
     "embeddings",
     "formal",
@@ -73,6 +77,8 @@ __all__ = [
     "TransformerConfig",
     "TransformerLM",
     "TransformerRegressor",
+    "GenerationEngine",
+    "KVCache",
     "Vocabulary",
     "CharTokenizer",
     "WordTokenizer",

@@ -115,14 +115,20 @@ _GELU_C = math.sqrt(2.0 / math.pi)
 
 
 def gelu(x: Tensor) -> Tensor:
-    """GELU activation (tanh approximation, as used in GPT models)."""
-    u = _GELU_C * (x.data + 0.044715 * x.data**3)
+    """GELU activation (tanh approximation, as used in GPT models).
+
+    Cubes are computed as repeated products: ``np.power`` routes through
+    libm ``pow`` and is ~40x slower than two multiplies on float64, which
+    made this the hottest op on the batched decode path.
+    """
+    sq = x.data * x.data
+    u = _GELU_C * (x.data + 0.044715 * (sq * x.data))
     t = np.tanh(u)
     out = 0.5 * x.data * (1.0 + t)
 
     def backward(g, emit):
-        du = _GELU_C * (1.0 + 3 * 0.044715 * x.data**2)
-        dt = (1.0 - t**2) * du
+        du = _GELU_C * (1.0 + 3 * 0.044715 * sq)
+        dt = (1.0 - t * t) * du
         emit(x, g * (0.5 * (1.0 + t) + 0.5 * x.data * dt))
 
     return Tensor._make(out, (x,), backward)

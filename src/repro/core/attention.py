@@ -86,13 +86,23 @@ class MultiHeadSelfAttention(Module):
         out = out.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.d_model)
         return self.proj(out)
 
-    def step(self, x_last: np.ndarray, state: dict) -> np.ndarray:
+    def step(self, x_last: np.ndarray, state) -> np.ndarray:
         """Incremental decoding: one new position against cached keys/values.
 
         ``x_last`` is the (B, 1, d_model) input for the newest position;
-        ``state`` persists the per-layer K/V arrays between calls (the
-        standard KV cache).  Inference-only plain-NumPy math — per-token
-        cost O(T) instead of the O(T^2) of re-running the full forward.
+        ``state`` persists this layer's K/V between calls.  Two cache
+        backends are supported:
+
+        - a plain ``dict`` (the original single-sequence path), which
+          concatenates per step and — with a local-attention ``window`` —
+          is trimmed to the last ``window`` positions so long generations
+          hold O(window) memory instead of growing without bound;
+        - a preallocated layer view with an ``append(k, v)`` method
+          (:class:`repro.infer.KVCache` layers), which writes in place and
+          may return an additive key-position mask for ragged batches.
+
+        Inference-only plain-NumPy math — per-token cost O(T) instead of
+        the O(T^2) of re-running the full forward.
         """
         batch = x_last.shape[0]
         qkv = x_last.reshape(batch, -1) @ self.qkv.weight.data + self.qkv.bias.data
@@ -102,17 +112,23 @@ class MultiHeadSelfAttention(Module):
             return t.reshape(batch, self.num_heads, self.head_dim)
 
         q, k, v = heads(q), heads(k), heads(v)  # (B, H, hd)
-        if "k" in state:
-            state["k"] = np.concatenate([state["k"], k[:, :, None, :]], axis=2)
-            state["v"] = np.concatenate([state["v"], v[:, :, None, :]], axis=2)
+        if isinstance(state, dict):
+            if "k" in state:
+                state["k"] = np.concatenate([state["k"], k[:, :, None, :]], axis=2)
+                state["v"] = np.concatenate([state["v"], v[:, :, None, :]], axis=2)
+            else:
+                state["k"] = k[:, :, None, :]
+                state["v"] = v[:, :, None, :]
+            if self.window is not None and state["k"].shape[2] > self.window:
+                state["k"] = state["k"][:, :, -self.window :, :]
+                state["v"] = state["v"][:, :, -self.window :, :]
+            keys, values = state["k"], state["v"]  # (B, H, t, hd)
+            mask = None
         else:
-            state["k"] = k[:, :, None, :]
-            state["v"] = v[:, :, None, :]
-        keys, values = state["k"], state["v"]  # (B, H, t, hd)
-        if self.window is not None:
-            keys = keys[:, :, -self.window :, :]
-            values = values[:, :, -self.window :, :]
+            keys, values, mask = state.append(k, v)
         scores = np.einsum("bhd,bhtd->bht", q, keys) / np.sqrt(self.head_dim)
+        if mask is not None:
+            scores = scores + mask[:, None, :]
         scores -= scores.max(axis=-1, keepdims=True)
         exp = np.exp(scores)
         attn = exp / exp.sum(axis=-1, keepdims=True)

@@ -74,11 +74,14 @@ class TransformerBlock(Module):
             cache[f"{cache_key}.out"] = x.data.copy()
         return x
 
-    def step(self, x: np.ndarray, state: dict) -> np.ndarray:
+    def step(self, x: np.ndarray, state) -> np.ndarray:
         """Incremental-decoding counterpart of forward for one position.
 
-        ``x`` is (B, 1, d_model); ``state`` is this block's KV cache.
-        Plain-NumPy inference math mirroring the forward pass exactly.
+        ``x`` is (B, 1, d_model); ``state`` is this block's KV cache —
+        a plain dict or one :class:`repro.infer.KVCache` layer view,
+        passed through to :meth:`MultiHeadSelfAttention.step` which
+        handles both backends.  Plain-NumPy inference math mirroring the
+        forward pass exactly.
         """
 
         def norm(layer, values):

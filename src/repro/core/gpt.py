@@ -142,12 +142,38 @@ class TransformerLM(Module, LanguageModel):
     # ------------------------------------------------------------------
     def _embed_position(self, token: int, position: int) -> np.ndarray:
         """(1, 1, d) input vector for one token at an absolute position."""
-        x = self.token_embedding.weight.data[token][None, None, :].copy()
+        return self._embed_positions(
+            np.asarray([token], dtype=np.int64), np.asarray([position], dtype=np.int64)
+        )
+
+    def _embed_positions(self, tokens: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """(B, 1, d) input batch for B tokens at absolute positions."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        positions = np.asarray(positions, dtype=np.int64)
+        x = self.token_embedding.weight.data[tokens][:, None, :].copy()
         if isinstance(self.positional, LearnedPositional):
-            x += self.positional.table.weight.data[position]
+            x += self.positional.table.weight.data[positions][:, None, :]
         elif isinstance(self.positional, SinusoidalPositional):
-            x += self.positional._table[position]
+            x += self.positional._table[positions][:, None, :]
         return x
+
+    def decode_step(self, tokens, positions, states) -> np.ndarray:
+        """One batched KV-cached decode step: (B,) tokens -> (B, V) logits.
+
+        ``states`` holds one per-layer cache each — either plain dicts or
+        the layer views of a preallocated :class:`repro.infer.KVCache`
+        (whose ``advance()`` the caller commits after this returns).
+        Plain-NumPy inference math mirroring :meth:`forward` exactly for
+        the newest position of every row.
+        """
+        x = self._embed_positions(tokens, positions)
+        for block, state in zip(self.blocks, states):
+            x = block.step(x, state)
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        x = ((x - mu) / np.sqrt(var + self.final_norm.eps)) \
+            * self.final_norm.weight.data + self.final_norm.bias.data
+        return x[:, 0, :] @ self.lm_head.weight.data
 
     def generate_fast(
         self,
@@ -163,11 +189,18 @@ class TransformerLM(Module, LanguageModel):
         """KV-cached generation: O(T) per new token instead of O(T^2).
 
         Produces the same samples as :meth:`generate` (identical logits up
-        to floating-point round-off) but caches each layer's keys/values
-        so the context is never re-encoded.  Total length must fit the
-        model's window L (the sliding-window re-encoding of long contexts
-        is what :meth:`generate` handles).
+        to floating-point round-off, and the same ids for the same seed —
+        including the stop-token convention of appending the stop token
+        and halting).  Total length must fit the model's window L — the
+        guard below makes every position absolute, so no sliding-window
+        re-offsetting is ever needed here (the re-encoding of long
+        contexts is what :meth:`generate` handles).
+
+        Runs on the same preallocated-:class:`~repro.infer.KVCache` decode
+        path as the batched :class:`~repro.infer.GenerationEngine`, as the
+        batch-size-1 case.
         """
+        from ..infer.kv_cache import KVCache
         from .sampling import sample_token
 
         ids = [int(i) for i in prompt]
@@ -178,31 +211,25 @@ class TransformerLM(Module, LanguageModel):
                 f"prompt + max_new_tokens = {len(ids) + max_new_tokens} "
                 f"exceeds window L={self.config.max_seq_len}; use generate()"
             )
-        states: list[dict] = [{} for _ in self.blocks]
+        cache = KVCache.for_model(self, batch_size=1,
+                                  max_seq_len=len(ids) + max_new_tokens)
 
         def advance(token: int, position: int) -> np.ndarray:
-            x = self._embed_position(token, position)
-            for block, state in zip(self.blocks, states):
-                x = block.step(x, state)
-            mu = x.mean(axis=-1, keepdims=True)
-            var = x.var(axis=-1, keepdims=True)
-            x = ((x - mu) / np.sqrt(var + self.final_norm.eps)) \
-                * self.final_norm.weight.data + self.final_norm.bias.data
-            return (x @ self.lm_head.weight.data)[0, 0]
+            logits = self.decode_step([token], [position], cache.layers)[0]
+            cache.advance()
+            return logits
 
-        window = self.config.max_seq_len
-        start = max(len(ids) - window, 0)
         logits = None
-        for position, token in enumerate(ids[start:]):
+        for position, token in enumerate(ids):
             logits = advance(token, position)
-        for _ in range(max_new_tokens):
+        for remaining in range(max_new_tokens, 0, -1):
             token = sample_token(logits, rng=rng, temperature=temperature,
                                  top_k=top_k, top_p=top_p, greedy=greedy)
             ids.append(token)
             if stop_token is not None and token == stop_token:
                 break
-            position = min(len(ids) - 1 - start, window - 1)
-            logits = advance(token, position)
+            if remaining > 1:
+                logits = advance(token, len(ids) - 1)
         return ids
 
 

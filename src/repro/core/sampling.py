@@ -4,6 +4,13 @@ Eq. 8 turns a prediction vector into a Boltzmann distribution with inverse
 temperature beta = 1/T; T -> 0 recovers argmax ("greedy"), larger T
 flattens the distribution.  Top-k and nucleus (top-p) filtering are the
 standard truncations used by deployed LLMs.
+
+Every function here accepts either a single ``(V,)`` logit vector or a
+batch of ``(B, V)`` rows and treats the last axis as the vocabulary; the
+batched forms are what the ``repro.infer`` engine uses to sample one token
+for every active sequence per decode step.  ``sample_token`` consumes
+exactly one uniform draw per row, in row order, so a batch of one is
+bit-identical to the single-sequence path under the same RNG state.
 """
 
 from __future__ import annotations
@@ -11,42 +18,64 @@ from __future__ import annotations
 import numpy as np
 
 
+def _as_logit_array(logits: np.ndarray, name: str) -> tuple[np.ndarray, bool]:
+    """Return ``(rows, was_1d)`` with ``rows`` always of shape (B, V)."""
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim == 1:
+        return logits[None, :], True
+    if logits.ndim == 2:
+        return logits, False
+    raise ValueError(f"{name} expects (V,) or (B, V) logits, got shape {logits.shape}")
+
+
 def logits_to_probs(logits: np.ndarray, temperature: float = 1.0) -> np.ndarray:
-    """Eq. 8: softmax of logits / T, computed stably."""
+    """Eq. 8: softmax of logits / T along the last axis, computed stably."""
     if temperature <= 0:
         raise ValueError("temperature must be positive; use greedy=True for T -> 0")
     scaled = np.asarray(logits, dtype=np.float64) / temperature
-    scaled -= scaled.max()
+    scaled = scaled - scaled.max(axis=-1, keepdims=True)
     e = np.exp(scaled)
-    return e / e.sum()
+    return e / e.sum(axis=-1, keepdims=True)
 
 
 def filter_top_k(logits: np.ndarray, k: int) -> np.ndarray:
-    """Keep the k largest logits; set the rest to -inf."""
+    """Keep exactly the k largest logits per row; set the rest to -inf.
+
+    Ties at the k-th value are broken by (arbitrary but deterministic)
+    argpartition order, so exactly k entries survive — a thresholding rule
+    like ``out[out < threshold] = -inf`` would instead keep *every* logit
+    tied with the k-th and sample from more than k tokens.
+    """
     if k < 1:
         raise ValueError("top_k must be >= 1")
     logits = np.asarray(logits, dtype=np.float64)
-    if k >= logits.size:
+    if k >= logits.shape[-1]:
         return logits.copy()
-    threshold = np.partition(logits, -k)[-k]
-    out = logits.copy()
-    out[out < threshold] = -np.inf
+    keep = np.argpartition(logits, -k, axis=-1)[..., -k:]
+    out = np.full_like(logits, -np.inf)
+    np.put_along_axis(out, keep, np.take_along_axis(logits, keep, axis=-1), axis=-1)
     return out
 
 
 def filter_top_p(logits: np.ndarray, p: float, temperature: float = 1.0) -> np.ndarray:
-    """Nucleus filtering: keep the smallest set of tokens with mass >= p."""
+    """Nucleus filtering: keep the smallest set of tokens with mass >= p.
+
+    Applied independently to each row of ``(B, V)`` logits.
+    """
     if not 0.0 < p <= 1.0:
         raise ValueError("top_p must be in (0, 1]")
-    logits = np.asarray(logits, dtype=np.float64)
-    probs = logits_to_probs(logits, temperature)
-    order = np.argsort(-probs)
-    cumulative = np.cumsum(probs[order])
-    cutoff = int(np.searchsorted(cumulative, p)) + 1
-    keep = order[:cutoff]
-    out = np.full_like(logits, -np.inf)
-    out[keep] = logits[keep]
-    return out
+    rows, was_1d = _as_logit_array(logits, "filter_top_p")
+    probs = logits_to_probs(rows, temperature)
+    order = np.argsort(-probs, axis=-1)
+    cumulative = np.cumsum(np.take_along_axis(probs, order, axis=-1), axis=-1)
+    # Number of sorted entries kept per row: all with cumulative mass < p,
+    # plus the one that crosses the threshold.
+    cutoff = (cumulative < p).sum(axis=-1, keepdims=True) + 1
+    keep = np.arange(rows.shape[-1])[None, :] < cutoff
+    sorted_logits = np.take_along_axis(rows, order, axis=-1)
+    out = np.full_like(rows, -np.inf)
+    np.put_along_axis(out, order, np.where(keep, sorted_logits, -np.inf), axis=-1)
+    return out[0] if was_1d else out
 
 
 def sample_token(
@@ -56,22 +85,34 @@ def sample_token(
     top_k: int | None = None,
     top_p: float | None = None,
     greedy: bool = False,
-) -> int:
-    """Draw one token id from next-token ``logits``.
+) -> int | np.ndarray:
+    """Draw one token id per row of next-token ``logits``.
 
-    ``greedy=True`` is the beta -> infinity / argmax limit of Eq. 8 and
-    needs no randomness; otherwise ``rng`` is required.
+    A 1-D ``(V,)`` input returns a plain ``int``; a 2-D ``(B, V)`` input
+    returns an ``(B,)`` int64 array with one independent draw per row,
+    consumed from ``rng`` in row order.  ``greedy=True`` is the
+    beta -> infinity / argmax limit of Eq. 8 and needs no randomness;
+    otherwise ``rng`` is required.
     """
-    logits = np.asarray(logits, dtype=np.float64)
-    if logits.ndim != 1:
-        raise ValueError("sample_token expects a 1-D logits vector")
+    rows, was_1d = _as_logit_array(logits, "sample_token")
     if greedy:
-        return int(np.argmax(logits))
+        tokens = np.argmax(rows, axis=-1).astype(np.int64)
+        return int(tokens[0]) if was_1d else tokens
     if rng is None:
         raise ValueError("rng is required for stochastic sampling")
     if top_k is not None:
-        logits = filter_top_k(logits, top_k)
+        rows = filter_top_k(rows, top_k)
     if top_p is not None:
-        logits = filter_top_p(logits, top_p, temperature)
-    probs = logits_to_probs(logits, temperature)
-    return int(rng.choice(len(probs), p=probs))
+        rows = filter_top_p(rows, top_p, temperature)
+    probs = logits_to_probs(rows, temperature)
+    # Inverse-CDF sampling, mirroring np.random.Generator.choice exactly so
+    # existing seeds keep producing the same streams.
+    cdf = np.cumsum(probs, axis=-1)
+    cdf /= cdf[:, -1:]
+    uniform = rng.random(rows.shape[0])
+    tokens = np.fromiter(
+        (np.searchsorted(cdf[i], uniform[i], side="right") for i in range(rows.shape[0])),
+        dtype=np.int64,
+        count=rows.shape[0],
+    )
+    return int(tokens[0]) if was_1d else tokens

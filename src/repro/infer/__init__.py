@@ -1,0 +1,19 @@
+"""Batched inference: preallocated KV cache + continuous-batching engine.
+
+``repro.core`` ends the §6 recipe at single-sequence sampling; this
+package is the serving layer on top of it.  :class:`KVCache` replaces the
+per-token ``np.concatenate`` cache growth with one up-front allocation
+and in-place appends, and :class:`GenerationEngine` decodes a whole pool
+of prompts per model step, admitting queued prompts into retired slots so
+throughput scales with batch size instead of user count.
+"""
+
+from .engine import GenerationEngine, GenerationResult
+from .kv_cache import KVCache, LayerKV
+
+__all__ = [
+    "KVCache",
+    "LayerKV",
+    "GenerationEngine",
+    "GenerationResult",
+]

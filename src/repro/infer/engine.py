@@ -1,0 +1,223 @@
+"""Continuous-batching generation engine over the preallocated KV cache.
+
+``TransformerLM.generate_fast`` serves one prompt at a time: N users cost
+N full decode loops.  :class:`GenerationEngine` instead keeps a fixed pool
+of ``batch_size`` cache slots and advances *every* active sequence by one
+token per model step — one batched ``decode_step`` instead of one step per
+user.  Sequences are admitted from a queue, left-aligned at position 0
+with their own per-slot length counters (so a short prompt starts sampling
+while a long one is still prefilling), and retired independently the
+moment they emit their stop token or exhaust their token budget; a queued
+prompt immediately takes the freed slot (continuous batching), so the
+batch stays full whenever there is work.
+
+Sampling draws one uniform per sampling row per step, in slot order, via
+the batched :func:`repro.core.sampling.sample_token`.  With a single slot
+the engine consumes the RNG stream exactly like ``generate_fast``, so a
+batch of one is bit-identical to the single-sequence path for the same
+seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.sampling import sample_token
+from .kv_cache import KVCache
+
+
+@dataclass
+class GenerationResult:
+    """One finished sequence, in ``generate_fast`` conventions."""
+
+    request_id: int
+    tokens: list[int]            # prompt + completion, stop token included
+    prompt_len: int
+    finish_reason: str           # "stop_token" | "length"
+    steps: int = 0               # decode steps spent on this sequence
+
+    @property
+    def completion(self) -> list[int]:
+        return self.tokens[self.prompt_len:]
+
+
+@dataclass
+class _Sequence:
+    """In-flight bookkeeping for one slot."""
+
+    request_id: int
+    tokens: list[int]            # prompt, then sampled tokens as they land
+    prompt_len: int
+    max_new_tokens: int
+    stop_token: int | None
+    fed: int = 0                 # how many of ``tokens`` the model has seen
+    steps: int = 0
+
+
+class GenerationEngine:
+    """Batched KV-cached decoding for a :class:`TransformerLM`-style model.
+
+    The model only needs ``config`` (for sizing the cache) and
+    ``decode_step(tokens, positions, states) -> (B, V) logits``.
+    Sampling parameters are engine-wide; ``max_new_tokens`` and
+    ``stop_token`` may vary per request.
+    """
+
+    def __init__(
+        self,
+        model,
+        batch_size: int = 8,
+        rng: np.random.Generator | None = None,
+        temperature: float = 1.0,
+        top_k: int | None = None,
+        top_p: float | None = None,
+        greedy: bool = False,
+        stop_token: int | None = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.model = model
+        self.batch_size = batch_size
+        self.rng = rng
+        self.temperature = temperature
+        self.top_k = top_k
+        self.top_p = top_p
+        self.greedy = greedy
+        self.stop_token = stop_token
+        self.cache = KVCache.for_model(model, batch_size)
+        self._slots: list[_Sequence | None] = [None] * batch_size
+        self._queue: deque[_Sequence] = deque()
+        self._results: list[GenerationResult] = []
+        self._next_id = 0
+        self.total_steps = 0
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def submit(self, prompt, max_new_tokens: int, stop_token=...) -> int:
+        """Queue one prompt; returns its request id.
+
+        ``stop_token`` defaults (via the ``...`` sentinel) to the
+        engine-wide value, so an explicit ``None`` disables stopping for
+        this request only.
+        """
+        ids = [int(i) for i in prompt]
+        if not ids:
+            raise ValueError("GenerationEngine requires a non-empty prompt")
+        if max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be >= 0")
+        if len(ids) + max_new_tokens > self.model.config.max_seq_len:
+            raise ValueError(
+                f"prompt + max_new_tokens = {len(ids) + max_new_tokens} "
+                f"exceeds window L={self.model.config.max_seq_len}"
+            )
+        request_id = self._next_id
+        self._next_id += 1
+        seq = _Sequence(
+            request_id=request_id,
+            tokens=ids,
+            prompt_len=len(ids),
+            max_new_tokens=max_new_tokens,
+            stop_token=self.stop_token if stop_token is ... else stop_token,
+        )
+        if max_new_tokens == 0:
+            self._results.append(GenerationResult(
+                request_id=request_id, tokens=ids, prompt_len=len(ids),
+                finish_reason="length",
+            ))
+        else:
+            self._queue.append(seq)
+        return request_id
+
+    @property
+    def num_active(self) -> int:
+        return sum(seq is not None for seq in self._slots)
+
+    @property
+    def num_queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._queue) or self.num_active > 0
+
+    # ------------------------------------------------------------------
+    # Decode loop
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        for slot in range(self.batch_size):
+            if not self._queue:
+                break
+            if self._slots[slot] is None:
+                self._slots[slot] = self._queue.popleft()
+                self.cache.reset_slot(slot)
+
+    def step(self) -> list[GenerationResult]:
+        """Advance every active sequence one token; return newly finished
+        results (empty list while everything is still running)."""
+        self._admit()
+        active = [slot for slot in range(self.batch_size)
+                  if self._slots[slot] is not None]
+        if not active:
+            return []
+        sequences = [self._slots[slot] for slot in active]
+        tokens = np.array([seq.tokens[seq.fed] for seq in sequences], dtype=np.int64)
+        positions = np.array([seq.fed for seq in sequences], dtype=np.int64)
+
+        self.cache.set_active(np.asarray(active, dtype=np.int64))
+        logits = self.model.decode_step(tokens, positions, self.cache.layers)
+        self.cache.advance()
+        self.total_steps += 1
+        for seq in sequences:
+            seq.fed += 1
+            seq.steps += 1
+
+        # Rows that have now seen their whole sequence need a fresh token:
+        # the last prompt token just went in, or the previous sample did.
+        sampling = [row for row, seq in enumerate(sequences)
+                    if seq.fed == len(seq.tokens)]
+        finished: list[GenerationResult] = []
+        if sampling:
+            drawn = sample_token(
+                logits[sampling], rng=self.rng, temperature=self.temperature,
+                top_k=self.top_k, top_p=self.top_p, greedy=self.greedy,
+            )
+            for row, token in zip(sampling, (int(t) for t in drawn)):
+                seq = sequences[row]
+                seq.tokens.append(token)
+                generated = len(seq.tokens) - seq.prompt_len
+                if seq.stop_token is not None and token == seq.stop_token:
+                    reason = "stop_token"
+                elif generated >= seq.max_new_tokens:
+                    reason = "length"
+                else:
+                    continue
+                result = GenerationResult(
+                    request_id=seq.request_id, tokens=seq.tokens,
+                    prompt_len=seq.prompt_len, finish_reason=reason,
+                    steps=seq.steps,
+                )
+                finished.append(result)
+                self._slots[active[row]] = None
+        self._results.extend(finished)
+        return finished
+
+    def run(self) -> list[GenerationResult]:
+        """Decode until queue and slots are empty; results in request order."""
+        while self.has_work:
+            self.step()
+        results, self._results = self._results, []
+        results.sort(key=lambda r: r.request_id)
+        return results
+
+    def generate(self, prompts, max_new_tokens: int) -> list[list[int]]:
+        """Batch convenience: token lists (prompt + completion) in input
+        order, matching ``generate_fast(prompt, max_new_tokens)`` per row."""
+        first = self.submit(prompts[0], max_new_tokens) if prompts else 0
+        for prompt in prompts[1:]:
+            self.submit(prompt, max_new_tokens)
+        by_id = {r.request_id: r.tokens for r in self.run()}
+        return [by_id[first + i] for i in range(len(prompts))]

@@ -1,0 +1,145 @@
+"""Preallocated KV cache for batched incremental decoding.
+
+The naive KV cache in :meth:`MultiHeadSelfAttention.step` grows its state
+with ``np.concatenate`` every step — an O(t) allocation + memcpy per token,
+O(T^2) per generation.  :class:`KVCache` instead allocates one
+``(layers, B, H, L, head_dim)`` pair of buffers up front and appends
+in place, so a decode step costs one row-write per layer and attention
+reads are zero-copy views whenever every slot is active.
+
+Slots are independent sequences: the engine resets a slot's length to 0
+when a finished sequence is retired and a queued prompt takes its place
+(continuous batching), overwriting the stale keys in place.  Rows may sit
+at different sequence lengths; the per-layer :meth:`LayerKV.append`
+returns an additive ``(B, t)`` mask (0 on valid key positions, -inf
+elsewhere) whenever lengths are ragged, and ``None`` — the exact
+single-sequence code path — when they agree.
+
+With a local-attention ``window`` the buffer stays linear (bounded by the
+model window L, which every admitted sequence must fit) and reads slice
+the last ``window`` positions, matching the banded mask of
+:func:`repro.core.attention.causal_mask`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LayerKV:
+    """One layer's view of the shared cache; the ``state`` handed to
+    :meth:`MultiHeadSelfAttention.step`."""
+
+    __slots__ = ("_cache", "_layer")
+
+    def __init__(self, cache: "KVCache", layer: int):
+        self._cache = cache
+        self._layer = layer
+
+    def append(self, k: np.ndarray, v: np.ndarray):
+        """Write this step's (n, H, head_dim) keys/values in place.
+
+        Returns ``(keys, values, mask)`` where keys/values cover every
+        cached position the active rows may attend to — including the
+        entries just written — and ``mask`` is an additive ``(n, t)``
+        array (or ``None`` when all rows share one length and need no
+        masking).
+        """
+        cache = self._cache
+        kb = cache._k[self._layer]
+        vb = cache._v[self._layer]
+        active = cache._active
+        lens = cache.lengths[active]
+        kb[active, :, lens, :] = k
+        vb[active, :, lens, :] = v
+
+        new_lens = lens + 1
+        t_max = int(new_lens.max())
+        window = cache.window
+        if window is None:
+            lo = 0
+        else:
+            lo = max(0, int(new_lens.min()) - window)
+        if cache._all_active:
+            keys = kb[:, :, lo:t_max]
+            values = vb[:, :, lo:t_max]
+        else:
+            keys = kb[:, :, lo:t_max][active]
+            values = vb[:, :, lo:t_max][active]
+        if int(new_lens.min()) == t_max:
+            return keys, values, None
+        positions = lo + np.arange(t_max - lo)
+        valid = positions[None, :] < new_lens[:, None]
+        if window is not None:
+            valid &= positions[None, :] >= new_lens[:, None] - window
+        mask = np.where(valid, 0.0, -np.inf)
+        return keys, values, mask
+
+
+class KVCache:
+    """Preallocated per-layer K/V buffers plus per-slot length bookkeeping."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        batch_size: int,
+        num_heads: int,
+        max_seq_len: int,
+        head_dim: int,
+        window: int | None = None,
+        dtype=np.float64,
+    ):
+        if min(num_layers, batch_size, num_heads, max_seq_len, head_dim) < 1:
+            raise ValueError("all KVCache dimensions must be >= 1")
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 when set")
+        shape = (num_layers, batch_size, num_heads, max_seq_len, head_dim)
+        self._k = np.zeros(shape, dtype=dtype)
+        self._v = np.zeros(shape, dtype=dtype)
+        self.batch_size = batch_size
+        self.max_seq_len = max_seq_len
+        self.window = window
+        self.lengths = np.zeros(batch_size, dtype=np.int64)
+        self.layers = [LayerKV(self, i) for i in range(num_layers)]
+        self.set_active(np.arange(batch_size))
+
+    @classmethod
+    def for_model(cls, model, batch_size: int, max_seq_len: int | None = None) -> "KVCache":
+        """Size a cache from a :class:`TransformerLM`-style ``model.config``."""
+        cfg = model.config
+        return cls(
+            num_layers=cfg.num_layers,
+            batch_size=batch_size,
+            num_heads=cfg.num_heads,
+            max_seq_len=max_seq_len or cfg.max_seq_len,
+            head_dim=cfg.head_dim,
+            window=cfg.attention_window,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self._k.nbytes + self._v.nbytes
+
+    def set_active(self, slots: np.ndarray) -> None:
+        """Select which slots the next append/advance operates on."""
+        slots = np.asarray(slots, dtype=np.int64)
+        self._active = slots
+        self._all_active = slots.size == self.batch_size and bool(
+            np.array_equal(slots, np.arange(self.batch_size))
+        )
+
+    def advance(self) -> None:
+        """Commit one decode step: every active slot grew by one position.
+
+        Called once per model step, after all layers have appended, so the
+        layers of a block stack all write at the same position.  A slot
+        already at ``max_seq_len`` raises before any buffer is corrupted
+        (the append itself would also fail its bounds check).
+        """
+        if self._active.size and int(self.lengths[self._active].max()) >= self.max_seq_len:
+            raise ValueError(f"KVCache overflow: sequence exceeds {self.max_seq_len}")
+        self.lengths[self._active] += 1
+
+    def reset_slot(self, slot: int) -> None:
+        """Free a slot for reuse; stale keys are overwritten in place."""
+        self.lengths[slot] = 0

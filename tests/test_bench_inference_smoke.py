@@ -1,0 +1,43 @@
+"""Tier-1 wiring for the decode-path throughput bench.
+
+Runs ``benchmarks/bench_inference_throughput.py --smoke`` as a subprocess
+(tiny model, seconds-scale) so a perf regression on the batched decode
+path — e.g. reintroducing per-token cache reallocation — fails the normal
+test run, not just a manually-invoked benchmark.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO, "benchmarks")
+
+
+def test_inference_throughput_smoke(tmp_path):
+    out = tmp_path / "BENCH_inference.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "bench_inference_throughput.py", "--smoke",
+         "--out", str(out)],
+        cwd=BENCH_DIR, env=env, capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, \
+        f"smoke bench failed\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    # the bench's own gate: batched >= single-stream tokens/sec
+    assert "SMOKE OK" in proc.stdout
+
+    record = json.loads(out.read_text())
+    assert record["bench"] == "inference_throughput"
+    assert record["smoke"] is True
+    assert record["sequential"]["tokens_per_sec"] > 0
+    batch_sizes = [entry["batch_size"] for entry in record["batched"]]
+    assert batch_sizes == [1, 2, 4, 8]
+    full = record["batched"][-1]
+    assert full["tokens_per_sec"] >= record["sequential"]["tokens_per_sec"]
+    # continuous batching actually batched: 8 prompts of equal length decode
+    # in ~1/8th the model steps of the single-slot engine
+    assert full["model_steps"] * 8 == record["batched"][0]["model_steps"]

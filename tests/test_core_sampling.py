@@ -53,9 +53,24 @@ class TestTopK:
         with pytest.raises(ValueError):
             filter_top_k(np.zeros(3), k=0)
 
-    def test_ties_at_threshold_survive(self):
+    def test_ties_at_threshold_keep_exactly_k(self):
+        # Regression: the old threshold rule (out[out < threshold] = -inf)
+        # kept every logit tied with the k-th, sampling from > k tokens.
         out = filter_top_k(np.array([2.0, 2.0, 1.0]), k=1)
-        assert (out[:2] == 2.0).all()  # both ties kept (threshold rule)
+        assert np.isfinite(out).sum() == 1
+        assert out.max() == 2.0
+        out = filter_top_k(np.array([3.0, 1.0, 1.0, 1.0, 0.5]), k=3)
+        assert np.isfinite(out).sum() == 3
+        assert out[0] == 3.0  # the clear winner always survives
+
+    def test_batched_rows_match_single(self):
+        rows = np.array([[1.0, 5.0, 3.0, 2.0], [4.0, 4.0, 0.0, -1.0]])
+        out = filter_top_k(rows, k=2)
+        assert out.shape == rows.shape
+        for i in range(2):
+            assert np.isfinite(out[i]).sum() == 2
+            single = filter_top_k(rows[i], k=2)
+            assert np.array_equal(np.isfinite(out[i]), np.isfinite(single))
 
 
 class TestTopP:
@@ -75,6 +90,13 @@ class TestTopP:
         with pytest.raises(ValueError):
             filter_top_p(np.zeros(3), p=1.5)
 
+    def test_batched_rows_match_single(self):
+        rng = np.random.default_rng(3)
+        rows = rng.normal(size=(5, 8))
+        out = filter_top_p(rows, p=0.8)
+        for i in range(5):
+            assert np.array_equal(out[i], filter_top_p(rows[i], p=0.8))
+
 
 class TestSampleToken:
     def test_greedy_is_argmax(self):
@@ -91,9 +113,9 @@ class TestSampleToken:
         with pytest.raises(ValueError):
             sample_token(np.zeros(3))
 
-    def test_requires_1d(self):
+    def test_rejects_higher_rank(self):
         with pytest.raises(ValueError):
-            sample_token(np.zeros((2, 3)), greedy=True)
+            sample_token(np.zeros((2, 3, 4)), greedy=True)
 
     def test_empirical_frequencies_match_softmax(self):
         rng = np.random.default_rng(0)
@@ -115,3 +137,39 @@ class TestSampleToken:
         logits = np.log(np.array([0.7, 0.2, 0.07, 0.03]))
         samples = {sample_token(logits, rng, top_p=0.65) for _ in range(100)}
         assert samples == {0}
+
+
+class TestBatchedSampling:
+    """(B, V) logits: one independent draw per row, consumed in row order."""
+
+    def test_greedy_rows_are_per_row_argmax(self):
+        rows = np.array([[1.0, 9.0, 3.0], [7.0, 0.0, 2.0]])
+        out = sample_token(rows, greedy=True)
+        assert out.dtype == np.int64
+        assert list(out) == [1, 0]
+
+    def test_single_row_batch_bit_identical_to_vector(self):
+        rng = np.random.default_rng(11)
+        logits = rng.normal(size=12)
+        for kwargs in ({}, {"temperature": 1.7}, {"top_k": 4}, {"top_p": 0.8}):
+            a = sample_token(logits, rng=np.random.default_rng(5), **kwargs)
+            b = sample_token(logits[None, :], rng=np.random.default_rng(5), **kwargs)
+            assert b.shape == (1,)
+            assert int(b[0]) == a
+
+    def test_batch_consumes_rng_in_row_order(self):
+        rng = np.random.default_rng(11)
+        rows = rng.normal(size=(4, 9))
+        batched = sample_token(rows, rng=np.random.default_rng(3))
+        sequential_rng = np.random.default_rng(3)
+        sequential = [sample_token(rows[i], rng=sequential_rng) for i in range(4)]
+        assert list(batched) == sequential
+
+    def test_batch_frequencies_match_softmax(self):
+        rng = np.random.default_rng(0)
+        logits = np.tile(np.log(np.array([0.6, 0.3, 0.1])), (500, 1))
+        counts = np.zeros(3)
+        for _ in range(6):
+            tokens = sample_token(logits, rng=rng)
+            np.add.at(counts, tokens, 1)
+        assert np.allclose(counts / 3000, [0.6, 0.3, 0.1], atol=0.04)
