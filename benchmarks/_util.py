@@ -4,11 +4,26 @@ Every bench runs at a "smoke" scale chosen so the whole harness finishes
 on one CPU core in minutes.  Set ``REPRO_SCALE=N`` (integer >= 1) to
 multiply training budgets for higher-fidelity curves; the qualitative
 shapes reported in EXPERIMENTS.md hold at scale 1.
+
+PR 2 adds one instrumented record path shared by every bench:
+:class:`BenchRun` is a context manager that times the run under a
+:class:`repro.obs.Tracer` span and, on success, writes the bench's
+result dict as a ``BENCH_*.json`` record stamped with shared
+:func:`provenance` metadata (git sha, ``REPRO_SCALE``, numpy version,
+ISO timestamp, config).  :func:`bench_main` wraps that into the uniform
+CLI (``--out`` / ``--no-record`` / ``--trace``) each bench's
+``__main__`` block delegates to.
 """
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
+import datetime
+import json
 import os
+import subprocess
+import time
 
 
 def scale() -> int:
@@ -41,3 +56,140 @@ def _fmt(value) -> str:
 def banner(title: str) -> str:
     line = "=" * len(title)
     return f"\n{line}\n{title}\n{line}"
+
+
+# ----------------------------------------------------------------------
+# Provenance-stamped BENCH_*.json records
+# ----------------------------------------------------------------------
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"], cwd=_REPO_ROOT,
+                             capture_output=True, text=True, timeout=10)
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def provenance(config: dict | None = None) -> dict:
+    """Shared metadata stamped into every emitted BENCH record."""
+    import platform
+
+    import numpy as np
+
+    return {
+        "git_sha": _git_sha(),
+        "repro_scale": scale(),
+        "numpy_version": np.__version__,
+        "python_version": platform.python_version(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "config": config or {},
+    }
+
+
+def _json_default(value):
+    """Best-effort JSON coercion for bench results (dataclasses, NumPy)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    if hasattr(value, "tolist"):          # np.ndarray and np scalars
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def write_json(path, record: dict) -> None:
+    with open(path, "w") as f:
+        json.dump(record, f, indent=2, default=_json_default)
+        f.write("\n")
+
+
+class BenchRun:
+    """Context manager: the one instrumented path for BENCH records.
+
+    Usage::
+
+        with BenchRun("my_bench", out="BENCH_my_bench.json") as br:
+            result = run()
+            br.record(result)
+
+    On clean exit the record — the result dict plus ``provenance`` and
+    ``wall_seconds`` — is written to ``out`` (skipped when ``out`` is
+    None).  The whole run is timed under a ``bench.<name>`` span on
+    ``br.obs.tracer``; benches may pass ``br.obs`` down into
+    engines/trainers for finer spans, and ``trace_out`` additionally
+    writes the Chrome trace JSON next to the record.
+    """
+
+    def __init__(self, name: str, out=None, config: dict | None = None,
+                 trace_out=None, obs=None):
+        from repro.obs import Observability
+
+        self.name = name
+        self.out = out
+        self.config = config
+        self.trace_out = trace_out
+        self.obs = obs if obs is not None else Observability.standard()
+        self.result: dict | None = None
+        self.wall_seconds = 0.0
+
+    def record(self, result: dict) -> None:
+        self.result = result
+
+    def __enter__(self) -> "BenchRun":
+        self._span = self.obs.tracer.span(f"bench.{self.name}")
+        self._span.__enter__()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.wall_seconds = time.perf_counter() - self._t0
+        self._span.__exit__(exc_type, exc, tb)
+        if exc_type is not None:
+            return False
+        record = dict(self.result or {})
+        record.setdefault("bench", self.name)
+        record["provenance"] = provenance(self.config)
+        record["wall_seconds"] = self.wall_seconds
+        if self.out is not None:
+            write_json(self.out, record)
+        if self.trace_out is not None:
+            self.obs.tracer.write_chrome(self.trace_out)
+        return False
+
+
+def bench_main(name: str, run_fn, report_fn, argv=None,
+               config: dict | None = None) -> int:
+    """Uniform bench CLI: run under a :class:`BenchRun`, print the report,
+    write the provenance-stamped JSON record.
+
+    ``run_fn()`` produces the result dict (close over scale()-dependent
+    kwargs at the call site); ``report_fn(result)`` renders the
+    human-readable report.
+    """
+    parser = argparse.ArgumentParser(description=f"bench: {name}")
+    parser.add_argument("--out", default=f"BENCH_{name}.json",
+                        help="path for the JSON record (default: %(default)s)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="skip writing the JSON record")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="also write a Chrome trace of the run")
+    args = parser.parse_args(argv)
+    out = None if args.no_record else args.out
+    with BenchRun(name, out=out, config=config, trace_out=args.trace) as br:
+        br.record(run_fn())
+    print(report_fn(br.result))
+    if out is not None:
+        print(f"record written to {out}")
+    if args.trace is not None:
+        print(f"trace written to {args.trace} (open in chrome://tracing)")
+    return 0

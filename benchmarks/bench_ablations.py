@@ -19,7 +19,7 @@ recipe; each has a paper-backed expectation:
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.benchsuite import SUITE_ALPHABET, CopyTask, ReverseTask, mixture_text
 from repro.core import TransformerConfig, TransformerLM
@@ -94,4 +94,4 @@ def test_ablations(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=300 * scale())))
+    raise SystemExit(bench_main("ablations", lambda: run(steps=300 * scale()), report))

@@ -15,7 +15,7 @@ import time
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.autograd import no_grad
 from repro.core import TransformerConfig, TransformerLM
@@ -91,4 +91,4 @@ def test_attention_complexity(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run()))
+    raise SystemExit(bench_main("attention_complexity", lambda: run(), report))

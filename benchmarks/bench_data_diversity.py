@@ -10,7 +10,7 @@ shape: held-out loss falls monotonically with diversity.
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.core import TransformerConfig, TransformerLM
 from repro.data import WordTokenizer, attribute_world_corpus, diversity_corpus
@@ -76,4 +76,4 @@ def test_data_diversity(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=300 * scale())))
+    raise SystemExit(bench_main("data_diversity", lambda: run(steps=300 * scale()), report))

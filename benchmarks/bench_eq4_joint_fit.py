@@ -9,7 +9,7 @@ positive (more of either resource helps).
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.phenomenology import SweepPoint, fit_joint_ansatz, train_point
 
@@ -69,4 +69,4 @@ def test_eq4_joint_fit(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=220 * scale())))
+    raise SystemExit(bench_main("eq4_joint_fit", lambda: run(steps=220 * scale()), report))

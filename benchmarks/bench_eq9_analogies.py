@@ -10,7 +10,7 @@ saturates at a few dozen dimensions).
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.data import (
     WordTokenizer,
@@ -78,4 +78,4 @@ def test_eq9_analogies(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(num_sentences=6000 * scale())))
+    raise SystemExit(bench_main("eq9_analogies", lambda: run(num_sentences=6000 * scale()), report))

@@ -9,7 +9,7 @@ same architecture trained to emit the answer directly ("Q3+4*2=4").
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.core import TransformerConfig, TransformerLM
 from repro.data import PROBLEM_ALPHABET, CharTokenizer, math_word_problems
@@ -81,4 +81,4 @@ def test_fig1_chain_of_thought(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=2500 * scale())))
+    raise SystemExit(bench_main("fig1_chain_of_thought", lambda: run(steps=2500 * scale()), report))

@@ -8,7 +8,7 @@ i.e. power-law fits with positive exponents — are the reproduced shape.
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.data import WordTokenizer, Corpus
 from repro.grammar import english_toy_pcfg, sample_treebank, treebank_text
@@ -87,4 +87,4 @@ def test_fig2_scaling_laws(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=250 * scale())))
+    raise SystemExit(bench_main("fig2_scaling_laws", lambda: run(steps=250 * scale()), report))

@@ -10,7 +10,7 @@ network computes with finitely many effective states.
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.formal import (
     RNNClassifier,
@@ -74,4 +74,4 @@ def test_fsm_extraction(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(epochs=12 * scale())))
+    raise SystemExit(bench_main("fsm_extraction", lambda: run(epochs=12 * scale()), report))

@@ -12,7 +12,7 @@ Three reproduced results from the appendix:
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.grammar import (
     arithmetic_cnf,
@@ -96,4 +96,4 @@ def test_grammar_parsing(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(num_sentences=60 * scale())))
+    raise SystemExit(bench_main("grammar_parsing", lambda: run(num_sentences=60 * scale()), report))

@@ -8,7 +8,7 @@ weight-decay ablation — with decay 0 the model memorises identically but
 never generalises.
 """
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.phenomenology import run_grokking
 
@@ -57,4 +57,4 @@ def test_grokking(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=6000 * scale())))
+    raise SystemExit(bench_main("grokking", lambda: run(steps=6000 * scale()), report))

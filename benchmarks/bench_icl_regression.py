@@ -9,7 +9,7 @@ candidate computational models (§7).
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.phenomenology import (
     gradient_descent_profile,
@@ -67,4 +67,4 @@ def test_icl_regression(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=1500 * scale())))
+    raise SystemExit(bench_main("icl_regression", lambda: run(steps=1500 * scale()), report))

@@ -9,7 +9,7 @@ improves with the number of in-context examples (shots).
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.benchsuite import (
     SUITE_ALPHABET,
@@ -85,4 +85,4 @@ def test_in_context_learning(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=2000 * scale())))
+    raise SystemExit(bench_main("in_context_learning", lambda: run(steps=2000 * scale()), report))

@@ -11,7 +11,7 @@ sharply at the start of the second half.
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.core import TransformerConfig, TransformerLM
 from repro.interp import (
@@ -92,4 +92,4 @@ def test_induction_heads(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=400 * scale())))
+    raise SystemExit(bench_main("induction_heads", lambda: run(steps=400 * scale()), report))

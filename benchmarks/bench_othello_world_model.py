@@ -21,7 +21,7 @@ discriminating world-model evidence at our scale.
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.core import TransformerConfig, TransformerLM
 from repro.interp import MultiTargetLinearProbe, forward_with_patch, patch_position
@@ -226,4 +226,4 @@ def test_othello_world_model(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=1800 * scale())))
+    raise SystemExit(bench_main("othello_world_model", lambda: run(steps=1800 * scale()), report))

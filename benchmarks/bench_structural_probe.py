@@ -23,7 +23,7 @@ holds.  EXPERIMENTS.md records the full comparison.
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.autograd import no_grad
 from repro.core import TransformerConfig, TransformerLM
@@ -144,4 +144,4 @@ def test_structural_probe(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=1200 * scale())))
+    raise SystemExit(bench_main("structural_probe", lambda: run(steps=1200 * scale()), report))

@@ -9,7 +9,7 @@ the quantity the table's growth was in service of.
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.core import TransformerConfig, TransformerLM
 from repro.data import Corpus, WordTokenizer
@@ -102,4 +102,4 @@ def test_table1_model_zoo(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=250 * scale())))
+    raise SystemExit(bench_main("table1_model_zoo", lambda: run(steps=250 * scale()), report))

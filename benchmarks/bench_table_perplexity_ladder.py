@@ -10,7 +10,7 @@ gap has the same direction and a comparable ratio.
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.core import TransformerConfig, TransformerLM
 from repro.data import Corpus, WordTokenizer, attribute_world_corpus
@@ -84,4 +84,4 @@ def test_perplexity_ladder(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=350 * scale())))
+    raise SystemExit(bench_main("table_perplexity_ladder", lambda: run(steps=350 * scale()), report))

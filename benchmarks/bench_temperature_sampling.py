@@ -10,7 +10,7 @@ Reproduced shapes on a trained model's next-token distribution:
 
 import numpy as np
 
-from _util import banner, fmt_table, scale
+from _util import banner, bench_main, fmt_table, scale
 
 from repro.core import TransformerConfig, TransformerLM, logits_to_probs, sample_token
 from repro.data import WordTokenizer
@@ -89,4 +89,4 @@ def test_temperature_sampling(benchmark):
 
 
 if __name__ == "__main__":
-    print(report(run(steps=300 * scale())))
+    raise SystemExit(bench_main("temperature_sampling", lambda: run(steps=300 * scale()), report))

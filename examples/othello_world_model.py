@@ -15,7 +15,7 @@ import numpy as np
 from repro.core import TransformerConfig, TransformerLM
 from repro.interp import MultiTargetLinearProbe, forward_with_patch, patch_position
 from repro.nn import AdamW
-from repro.othello import OthelloBoard, generate_dataset, legal_move_rate
+from repro.othello import generate_dataset, legal_move_rate
 
 SIZE = 6
 

@@ -8,6 +8,7 @@ Subpackages
 - ``repro.lm``            §5 simpler LMs (unigram, N-gram, FFN, RNN, LSTM)
 - ``repro.core``          §6 transformer LLM (attention, blocks, sampling)
 - ``repro.infer``         batched serving: preallocated KV cache + engine
+- ``repro.obs``           telemetry: metrics, tracing, event log, profiler
 - ``repro.train``         training loops, metrics, checkpoints
 - ``repro.embeddings``    §5 co-occurrence / PPMI / SVD / analogies
 - ``repro.grammar``       appendix CFG/PCFG/CYK/Inside-Outside stack
@@ -44,6 +45,7 @@ from . import (
     interp,
     lm,
     nn,
+    obs,
     othello,
     phenomenology,
     train,
@@ -53,6 +55,7 @@ from .core import TransformerConfig, TransformerLM, TransformerRegressor
 from .data import BPETokenizer, CharTokenizer, Corpus, Vocabulary, WordTokenizer
 from .infer import GenerationEngine, KVCache
 from .lm import FFNLM, LSTMLM, RNNLM, InterpolatedNGramLM, LanguageModel, NGramLM, UnigramLM
+from .obs import Observability
 from .train import Trainer, train_lm_on_stream
 
 __version__ = "0.1.0"
@@ -64,6 +67,7 @@ __all__ = [
     "lm",
     "core",
     "infer",
+    "obs",
     "train",
     "embeddings",
     "formal",
@@ -79,6 +83,7 @@ __all__ = [
     "TransformerRegressor",
     "GenerationEngine",
     "KVCache",
+    "Observability",
     "Vocabulary",
     "CharTokenizer",
     "WordTokenizer",

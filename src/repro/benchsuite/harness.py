@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.tokenizers import CharTokenizer
-from .tasks import Example, Task, few_shot_prompt
+from .tasks import Task, few_shot_prompt
 
 
 @dataclass

@@ -10,7 +10,7 @@ the Inside-Outside algorithm learns from raw text.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Mapping
+from typing import Mapping
 
 import numpy as np
 

@@ -8,7 +8,7 @@ of prompts per model step, admitting queued prompts into retired slots so
 throughput scales with batch size instead of user count.
 """
 
-from .engine import GenerationEngine, GenerationResult
+from .engine import GenerationEngine, GenerationResult, RequestTiming
 from .kv_cache import KVCache, LayerKV
 
 __all__ = [
@@ -16,4 +16,5 @@ __all__ = [
     "LayerKV",
     "GenerationEngine",
     "GenerationResult",
+    "RequestTiming",
 ]

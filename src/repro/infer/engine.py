@@ -16,17 +16,66 @@ the batched :func:`repro.core.sampling.sample_token`.  With a single slot
 the engine consumes the RNG stream exactly like ``generate_fast``, so a
 batch of one is bit-identical to the single-sequence path for the same
 seed.
+
+Serving telemetry (PR 2): every request is stamped through its lifecycle
+— submitted, admitted to a slot, first sampled token, finished — so each
+:class:`GenerationResult` carries a :class:`RequestTiming` with queue
+wait, prefill vs. decode split, time-to-first-token, and tokens/sec.
+:meth:`GenerationEngine.stats` snapshots engine-level serving state
+(slot occupancy, queue depth, steps, sampled tokens).  Passing an
+:class:`~repro.obs.Observability` additionally emits per-step spans,
+``engine.*`` metrics, and request lifecycle events; the stamps never
+touch the RNG stream, so instrumented decoding stays bit-identical.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.sampling import sample_token
+from ..obs import NULL_OBS, Observability
 from .kv_cache import KVCache
+
+
+@dataclass
+class RequestTiming:
+    """Lifecycle stamps for one request (``time.perf_counter`` seconds)."""
+
+    submitted: float
+    admitted: float
+    first_token: float
+    finished: float
+    new_tokens: int
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time spent queued before a cache slot freed up."""
+        return self.admitted - self.submitted
+
+    @property
+    def ttft_s(self) -> float:
+        """Submit-to-first-sampled-token latency (the user-felt number)."""
+        return self.first_token - self.submitted
+
+    @property
+    def prefill_s(self) -> float:
+        """Admission to first sampled token: prompt ingestion cost."""
+        return self.first_token - self.admitted
+
+    @property
+    def decode_s(self) -> float:
+        """First sampled token to completion: steady-state decoding."""
+        return self.finished - self.first_token
+
+    @property
+    def tokens_per_sec(self) -> float:
+        """Generated tokens over on-engine time (excludes queue wait)."""
+        elapsed = self.finished - self.admitted
+        return self.new_tokens / elapsed if elapsed > 0 else 0.0
 
 
 @dataclass
@@ -38,6 +87,7 @@ class GenerationResult:
     prompt_len: int
     finish_reason: str           # "stop_token" | "length"
     steps: int = 0               # decode steps spent on this sequence
+    timing: RequestTiming | None = None
 
     @property
     def completion(self) -> list[int]:
@@ -55,6 +105,9 @@ class _Sequence:
     stop_token: int | None
     fed: int = 0                 # how many of ``tokens`` the model has seen
     steps: int = 0
+    submitted_t: float = 0.0
+    admitted_t: float = 0.0
+    first_token_t: float | None = None
 
 
 class GenerationEngine:
@@ -76,6 +129,7 @@ class GenerationEngine:
         top_p: float | None = None,
         greedy: bool = False,
         stop_token: int | None = None,
+        obs: Observability | None = None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -93,6 +147,24 @@ class GenerationEngine:
         self._results: list[GenerationResult] = []
         self._next_id = 0
         self.total_steps = 0
+        # Serving accounting (cheap, always on; see stats()).
+        self._clock = time.perf_counter
+        self._active_slot_steps = 0     # sum over steps of active-slot count
+        self._sampled_tokens = 0
+        self._submitted = 0
+        self._completed = 0
+        # Observability hooks; null objects when obs is None.
+        self.obs = obs
+        bundle = obs if obs is not None else NULL_OBS
+        self._tracer = bundle.tracer
+        self._events = bundle.events
+        metrics = bundle.metrics
+        self._c_steps = metrics.counter("engine.steps")
+        self._c_sampled = metrics.counter("engine.sampled_tokens")
+        self._g_active = metrics.gauge("engine.active_slots")
+        self._g_queue = metrics.gauge("engine.queue_depth")
+        self._h_ttft = metrics.histogram("engine.ttft_seconds")
+        self._h_queue_wait = metrics.histogram("engine.queue_wait_seconds")
 
     # ------------------------------------------------------------------
     # Request intake
@@ -116,17 +188,26 @@ class GenerationEngine:
             )
         request_id = self._next_id
         self._next_id += 1
+        self._submitted += 1
+        now = self._clock()
         seq = _Sequence(
             request_id=request_id,
             tokens=ids,
             prompt_len=len(ids),
             max_new_tokens=max_new_tokens,
             stop_token=self.stop_token if stop_token is ... else stop_token,
+            submitted_t=now,
         )
+        self._events.emit("request_submitted", request_id=request_id,
+                          prompt_len=len(ids), max_new_tokens=max_new_tokens)
         if max_new_tokens == 0:
+            self._completed += 1
             self._results.append(GenerationResult(
                 request_id=request_id, tokens=ids, prompt_len=len(ids),
                 finish_reason="length",
+                timing=RequestTiming(submitted=now, admitted=now,
+                                     first_token=now, finished=now,
+                                     new_tokens=0),
             ))
         else:
             self._queue.append(seq)
@@ -148,11 +229,19 @@ class GenerationEngine:
     # Decode loop
     # ------------------------------------------------------------------
     def _admit(self) -> None:
+        now = None
         for slot in range(self.batch_size):
             if not self._queue:
                 break
             if self._slots[slot] is None:
-                self._slots[slot] = self._queue.popleft()
+                seq = self._queue.popleft()
+                if now is None:
+                    now = self._clock()
+                seq.admitted_t = now
+                self._h_queue_wait.observe(now - seq.submitted_t)
+                self._events.emit("request_admitted", request_id=seq.request_id,
+                                  slot=slot, queue_wait_s=now - seq.submitted_t)
+                self._slots[slot] = seq
                 self.cache.reset_slot(slot)
 
     def step(self) -> list[GenerationResult]:
@@ -168,9 +257,15 @@ class GenerationEngine:
         positions = np.array([seq.fed for seq in sequences], dtype=np.int64)
 
         self.cache.set_active(np.asarray(active, dtype=np.int64))
-        logits = self.model.decode_step(tokens, positions, self.cache.layers)
+        with self._tracer.span("engine.step", active=len(active),
+                               queued=len(self._queue)):
+            logits = self.model.decode_step(tokens, positions, self.cache.layers)
         self.cache.advance()
         self.total_steps += 1
+        self._active_slot_steps += len(active)
+        self._c_steps.inc()
+        self._g_active.set(len(active))
+        self._g_queue.set(len(self._queue))
         for seq in sequences:
             seq.fed += 1
             seq.steps += 1
@@ -185,9 +280,15 @@ class GenerationEngine:
                 logits[sampling], rng=self.rng, temperature=self.temperature,
                 top_k=self.top_k, top_p=self.top_p, greedy=self.greedy,
             )
+            now = self._clock()
+            self._sampled_tokens += len(sampling)
+            self._c_sampled.inc(len(sampling))
             for row, token in zip(sampling, (int(t) for t in drawn)):
                 seq = sequences[row]
                 seq.tokens.append(token)
+                if seq.first_token_t is None:
+                    seq.first_token_t = now
+                    self._h_ttft.observe(now - seq.submitted_t)
                 generated = len(seq.tokens) - seq.prompt_len
                 if seq.stop_token is not None and token == seq.stop_token:
                     reason = "stop_token"
@@ -195,12 +296,25 @@ class GenerationEngine:
                     reason = "length"
                 else:
                     continue
+                timing = RequestTiming(
+                    submitted=seq.submitted_t, admitted=seq.admitted_t,
+                    first_token=seq.first_token_t, finished=now,
+                    new_tokens=generated,
+                )
                 result = GenerationResult(
                     request_id=seq.request_id, tokens=seq.tokens,
                     prompt_len=seq.prompt_len, finish_reason=reason,
-                    steps=seq.steps,
+                    steps=seq.steps, timing=timing,
                 )
                 finished.append(result)
+                self._completed += 1
+                self._events.emit(
+                    "request_finished", request_id=seq.request_id,
+                    finish_reason=reason, steps=seq.steps,
+                    new_tokens=generated, queue_wait_s=timing.queue_wait_s,
+                    ttft_s=timing.ttft_s, decode_s=timing.decode_s,
+                    tokens_per_sec=timing.tokens_per_sec,
+                )
                 self._slots[active[row]] = None
         self._results.extend(finished)
         return finished
@@ -221,3 +335,26 @@ class GenerationEngine:
             self.submit(prompt, max_new_tokens)
         by_id = {r.request_id: r.tokens for r in self.run()}
         return [by_id[first + i] for i in range(len(prompts))]
+
+    # ------------------------------------------------------------------
+    # Serving snapshot
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready snapshot of engine-level serving state.
+
+        ``occupancy`` is the fraction of slot-steps that carried an
+        active sequence — 1.0 means the batch stayed full for the whole
+        run, the continuous-batching ideal.
+        """
+        slot_steps = self.total_steps * self.batch_size
+        return {
+            "batch_size": self.batch_size,
+            "active_slots": self.num_active,
+            "queue_depth": self.num_queued,
+            "total_steps": self.total_steps,
+            "sampled_tokens": self._sampled_tokens,
+            "requests_submitted": self._submitted,
+            "requests_completed": self._completed,
+            "occupancy": (self._active_slot_steps / slot_steps
+                          if slot_steps else 0.0),
+        }

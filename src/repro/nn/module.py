@@ -55,6 +55,23 @@ class Module:
                     if isinstance(item, Module):
                         yield from item.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` pairs, root first with name ``prefix``.
+
+        Names follow the same convention as :meth:`named_parameters`
+        (``blocks.0.attn``); the profiler in :mod:`repro.obs` keys its
+        per-module accounting on them.
+        """
+        yield prefix, self
+        for name, value in vars(self).items():
+            full = f"{prefix}.{name}" if prefix else name
+            if isinstance(value, Module):
+                yield from value.named_modules(full)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_modules(f"{full}.{i}")
+
     # ------------------------------------------------------------------
     # Training state
     # ------------------------------------------------------------------

@@ -1,0 +1,79 @@
+"""Structured JSONL event log.
+
+Where :mod:`repro.obs.metrics` aggregates and :mod:`repro.obs.tracing`
+times, the event log keeps the raw facts: one dict per occurrence
+(train step, request submitted, request finished), each stamped with
+wall-clock time.  Records accumulate in memory and — when constructed
+with a path — stream to disk as JSON Lines, one object per line, so a
+crashed run still leaves a readable log behind.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+
+class EventLog:
+    """Append-only structured log.
+
+    Parameters
+    ----------
+    path:
+        Optional file path; when given, every record is also written
+        through to it immediately as one JSON line.
+    enabled:
+        When False :meth:`emit` is a no-op (the shared
+        :data:`NULL_EVENTS` instance is the usual way to get this).
+    clock:
+        Wall-clock source for the ``t`` field; ``time.time`` by default.
+    """
+
+    def __init__(self, path=None, enabled: bool = True, clock=time.time):
+        self.enabled = enabled
+        self.clock = clock
+        self.path = path
+        self.records: list[dict] = []
+        self._fh = None
+
+    def emit(self, event: str, **fields) -> dict | None:
+        """Record one event; returns the stored record (None when disabled)."""
+        if not self.enabled:
+            return None
+        record = {"event": event, "t": self.clock(), **fields}
+        self.records.append(record)
+        if self.path is not None:
+            if self._fh is None:
+                self._fh = open(self.path, "a")
+            json.dump(record, self._fh, default=float)
+            self._fh.write("\n")
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_type(self, event: str) -> list[dict]:
+        return [r for r in self.records if r["event"] == event]
+
+    def to_jsonl(self) -> str:
+        return "".join(json.dumps(r, default=float) + "\n" for r in self.records)
+
+    def write(self, path) -> None:
+        """Dump every in-memory record to ``path`` as JSON Lines."""
+        with open(path, "w") as f:
+            f.write(self.to_jsonl())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+NULL_EVENTS = EventLog(enabled=False)

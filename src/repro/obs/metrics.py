@@ -1,0 +1,230 @@
+"""Process-wide metrics: counters, gauges, and histograms.
+
+The registry is the numerical half of the telemetry layer: cheap
+monotonic counters (steps, tokens), point-in-time gauges (loss, queue
+depth), and histograms with exact count/mean/min/max plus approximate
+percentiles.  Everything is plain Python — no background threads, no
+locks (the whole library is single-threaded NumPy), no dependencies —
+and :meth:`MetricsRegistry.snapshot` exports one JSON-ready dict.
+
+Instrumented code paths accept a registry or the :data:`NULL_METRICS`
+sink; the null sink hands out no-op instruments so hot loops never
+branch on "is telemetry on?".
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """Monotonically increasing count (events, tokens, steps)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written point-in-time value (loss, occupancy, queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Distribution of observed values (step latencies, request sizes).
+
+    Count/total/min/max are exact.  Percentiles come from a bounded
+    sample: once ``max_samples`` values are stored, every other stored
+    sample is dropped and only every ``stride``-th future observation is
+    kept — deterministic (no RNG draw, so instrumented code cannot
+    perturb seeded experiments) and memory-bounded.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_samples", "_stride", "_skip", "_max_samples")
+
+    def __init__(self, name: str, max_samples: int = 4096):
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+        self._stride = 1
+        self._skip = 0
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._skip:
+            self._skip -= 1
+            return
+        self._samples.append(value)
+        self._skip = self._stride - 1
+        if len(self._samples) >= self._max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile of the stored sample, q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def snapshot(self) -> dict:
+        if not self.count:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named get-or-create store of metric instruments.
+
+    ``counter("train.steps")`` returns the same :class:`Counter` on every
+    call, so independently instrumented layers share series by name.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """One JSON-ready dict of every registered series."""
+        return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+
+class _NullInstrument:
+    """No-op stand-in for Counter/Gauge/Histogram on disabled paths."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullMetrics:
+    """Registry lookalike whose instruments discard every update."""
+
+    _instrument = _NullInstrument()
+
+    def counter(self, name: str) -> _NullInstrument:
+        return self._instrument
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return self._instrument
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return self._instrument
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def names(self) -> list[str]:
+        return []
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_METRICS = NullMetrics()
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry shared by callers that pass none of their own."""
+    return _DEFAULT

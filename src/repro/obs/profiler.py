@@ -1,0 +1,239 @@
+"""Opt-in per-module forward/backward profiler with memory accounting.
+
+``Profiler().profile(model)`` answers "where did the time go" for a
+NumPy model built from :class:`repro.nn.Module`:
+
+- **Forward time** — every submodule's ``forward`` is wrapped (instance
+  attribute shadowing the class method) with a ``perf_counter`` timer.
+  Both inclusive time and self time (inclusive minus wrapped children)
+  are kept, attributed by the module's dotted name from
+  :meth:`Module.named_modules`.
+- **Backward time** — while the profiler is attached,
+  ``Tensor._make`` tags every graph-recording tensor created inside a
+  module's forward with that module's name, and ``Tensor._pass_down``
+  (the per-node step of the backward walk) is timed and charged to the
+  tagged owner.  Backward work from nodes created outside any profiled
+  module (e.g. the loss epilogue) lands in ``unattributed_backward_s``.
+- **Memory** — ``array.nbytes`` of every array materialised during a
+  module's forward is summed per module (activations and intermediates),
+  alongside exact parameter byte counts taken at attach time.
+
+The hooks only exist between ``__enter__`` and ``__exit__``; detached
+models and tensors run the stock code paths, so the profiler is strictly
+opt-in and free when unused.  Timing instrumentation never touches RNG
+or numerics — profiled runs produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+from ..autograd.tensor import Tensor
+
+
+@dataclass
+class ModuleStats:
+    """Accumulated cost of one named module across profiled calls."""
+
+    calls: int = 0
+    forward_s: float = 0.0       # inclusive of wrapped children
+    self_s: float = 0.0          # exclusive: forward_s minus child forward_s
+    backward_s: float = 0.0      # autograd-node time charged to this module
+    activation_bytes: int = 0    # arrays materialised during forward
+    param_count: int = 0         # learnable scalars (inclusive of children)
+    param_bytes: int = 0
+
+
+class Profiler:
+    """Attachable profiler; use as ``with profiler.profile(model): ...``.
+
+    One profiler holds one accumulated view; re-attaching (including to
+    a different model) keeps accumulating into the same stats, and
+    :meth:`reset` clears them.  Not thread-safe and at most one profiler
+    may be attached at a time — the attach patches
+    ``Tensor._make``/``Tensor._pass_down`` process-wide.
+    """
+
+    _attached_profiler: "Profiler | None" = None
+
+    def __init__(self):
+        self.stats: dict[str, ModuleStats] = {}
+        self.unattributed_backward_s = 0.0
+        self._stack: list[str] = []
+        self._child_acc: list[float] = []
+        self._owner: dict[int, str] = {}      # id(tensor) -> module name
+        self._keepalive: list = []            # pins ids until the next step
+        self._wrapped: list = []              # modules with a shadowed forward
+
+    # ------------------------------------------------------------------
+    # Attach / detach
+    # ------------------------------------------------------------------
+    def profile(self, model, name: str = "model"):
+        """Context manager instrumenting ``model`` for its duration."""
+        return _ProfileContext(self, model, name)
+
+    def _attach(self, model, name: str) -> None:
+        if Profiler._attached_profiler is not None:
+            raise RuntimeError("another Profiler is already attached")
+        Profiler._attached_profiler = self
+        for mod_name, module in model.named_modules():
+            if any(m is module for m in self._wrapped):
+                continue  # shared submodule reached twice: wrap once
+            label = f"{name}.{mod_name}" if mod_name else name
+            stats = self._stats_for(label)
+            stats.param_count = module.num_parameters()
+            stats.param_bytes = sum(p.data.nbytes for p in module.parameters())
+            module.forward = self._wrap_forward(label, module.forward)
+            self._wrapped.append(module)
+        self._patch_tensor_ops()
+
+    def _detach(self) -> None:
+        for module in self._wrapped:
+            vars(module).pop("forward", None)  # re-expose the class method
+        self._wrapped.clear()
+        self._unpatch_tensor_ops()
+        self._stack.clear()
+        self._child_acc.clear()
+        self._owner.clear()
+        self._keepalive.clear()
+        Profiler._attached_profiler = None
+
+    # ------------------------------------------------------------------
+    # Forward hook
+    # ------------------------------------------------------------------
+    def _stats_for(self, label: str) -> ModuleStats:
+        stats = self.stats.get(label)
+        if stats is None:
+            stats = self.stats[label] = ModuleStats()
+        return stats
+
+    def _wrap_forward(self, label: str, orig):
+        def profiled_forward(*args, **kwargs):
+            if not self._stack:
+                # New top-level forward: the previous step's graph is
+                # done with backward, so drop its tensor ownership map.
+                self._owner.clear()
+                self._keepalive.clear()
+            self._stack.append(label)
+            self._child_acc.append(0.0)
+            start = perf_counter()
+            try:
+                return orig(*args, **kwargs)
+            finally:
+                elapsed = perf_counter() - start
+                self._stack.pop()
+                child_time = self._child_acc.pop()
+                stats = self._stats_for(label)
+                stats.calls += 1
+                stats.forward_s += elapsed
+                stats.self_s += elapsed - child_time
+                if self._child_acc:
+                    self._child_acc[-1] += elapsed
+
+        return profiled_forward
+
+    # ------------------------------------------------------------------
+    # Autograd-tape hooks
+    # ------------------------------------------------------------------
+    def _patch_tensor_ops(self) -> None:
+        self._orig_make = Tensor._make
+        self._orig_pass_down = Tensor._pass_down
+        orig_make, orig_pass_down = self._orig_make, self._orig_pass_down
+        profiler = self
+
+        def tracked_make(data, parents, backward):
+            out = orig_make(data, parents, backward)
+            stack = profiler._stack
+            if stack:
+                label = stack[-1]
+                profiler._stats_for(label).activation_bytes += \
+                    getattr(out.data, "nbytes", 0)
+                if out._backward is not None:
+                    profiler._owner[id(out)] = label
+                    profiler._keepalive.append(out)
+            return out
+
+        def timed_pass_down(tensor, g, grads):
+            start = perf_counter()
+            orig_pass_down(tensor, g, grads)
+            elapsed = perf_counter() - start
+            label = profiler._owner.get(id(tensor))
+            if label is None:
+                profiler.unattributed_backward_s += elapsed
+            else:
+                profiler._stats_for(label).backward_s += elapsed
+
+        Tensor._make = staticmethod(tracked_make)
+        Tensor._pass_down = timed_pass_down
+
+    def _unpatch_tensor_ops(self) -> None:
+        Tensor._make = staticmethod(self._orig_make)
+        Tensor._pass_down = self._orig_pass_down
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.stats.clear()
+        self.unattributed_backward_s = 0.0
+
+    def summary(self) -> dict[str, dict]:
+        """JSON-ready per-module stats plus the unattributed remainder."""
+        out = {
+            label: {
+                "calls": s.calls,
+                "forward_s": s.forward_s,
+                "self_s": s.self_s,
+                "backward_s": s.backward_s,
+                "activation_bytes": s.activation_bytes,
+                "param_count": s.param_count,
+                "param_bytes": s.param_bytes,
+            }
+            for label, s in self.stats.items()
+        }
+        out["<unattributed backward>"] = {"backward_s": self.unattributed_backward_s}
+        return out
+
+    def report(self) -> str:
+        """Aligned text table, one row per module in discovery order."""
+        headers = ["module", "calls", "fwd s", "self s", "bwd s",
+                   "act MB", "params"]
+        rows = []
+        for label, s in self.stats.items():
+            rows.append([
+                label, str(s.calls), f"{s.forward_s:.4f}", f"{s.self_s:.4f}",
+                f"{s.backward_s:.4f}", f"{s.activation_bytes / 1e6:.2f}",
+                str(s.param_count),
+            ])
+        rows.append(["<unattributed backward>", "", "", "",
+                     f"{self.unattributed_backward_s:.4f}", "", ""])
+        widths = [max(len(h), *(len(r[i]) for r in rows))
+                  for i, h in enumerate(headers)]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+                 "  ".join("-" * w for w in widths)]
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+class _ProfileContext:
+    __slots__ = ("profiler", "model", "name")
+
+    def __init__(self, profiler: Profiler, model, name: str):
+        self.profiler = profiler
+        self.model = model
+        self.name = name
+
+    def __enter__(self) -> Profiler:
+        self.profiler._attach(self.model, self.name)
+        return self.profiler
+
+    def __exit__(self, exc_type, exc, tb):
+        self.profiler._detach()
+        return False
+
+
+def parameter_bytes(model) -> int:
+    """Exact bytes held by a model's learnable parameters."""
+    return sum(p.data.nbytes for p in model.parameters())

@@ -32,6 +32,8 @@ def training_flops(num_params: int, num_tokens: int) -> float:
 
 def inference_flops(num_params: int, num_tokens: int) -> float:
     """~2 P per generated/scored token (forward pass only)."""
+    if num_params < 0 or num_tokens < 0:
+        raise ValueError("counts must be non-negative")
     return 2.0 * num_params * num_tokens
 
 

@@ -83,9 +83,16 @@ def rouge_l(candidate: Sequence[str], reference: Sequence[str]) -> float:
 
 
 def distribution_entropy(probs: np.ndarray) -> float:
-    """Shannon entropy in nats of a probability vector."""
-    probs = np.asarray(probs, dtype=np.float64)
-    if not np.isclose(probs.sum(), 1.0, atol=1e-6):
+    """Shannon entropy in nats of a probability vector.
+
+    The sum-to-one check is tolerance-scaled to the input dtype: a
+    float32 softmax legitimately sums to 1 only within ~1e-6 per
+    element, so lower-precision inputs get a proportionally looser gate.
+    """
+    raw = np.asarray(probs)
+    atol = 1e-6 if raw.dtype.itemsize >= 8 else 1e-4
+    probs = raw.astype(np.float64)
+    if not np.isclose(probs.sum(), 1.0, rtol=0.0, atol=atol):
         raise ValueError("probabilities must sum to 1")
     nonzero = probs[probs > 0]
     return float(-(nonzero * np.log(nonzero)).sum())

@@ -4,6 +4,16 @@ Works with any model exposing ``loss(x, y) -> Tensor`` plus the
 :class:`~repro.nn.Module` parameter API.  The recorded history (loss per
 step, periodic evaluations) is what the phenomenology experiments — loss
 curves, grokking, scaling sweeps — consume.
+
+The loop is instrumented through :mod:`repro.obs`: pass an
+:class:`~repro.obs.Observability` bundle to get nested spans per step
+(batch/forward/backward/optimizer, exportable as a Chrome trace),
+``train.*`` metrics series, and one structured ``train_step`` event per
+step carrying loss, learning rate, gradient norm, tokens/sec, and
+achieved FLOPs/sec (via the §3/§6 ``C ~ 6PD`` accounting in
+:func:`repro.phenomenology.compute.training_flops`).  With ``obs=None``
+(the default) every hook is a shared no-op and the loop behaves — and
+costs — exactly as before.
 """
 
 from __future__ import annotations
@@ -15,6 +25,8 @@ from typing import Callable
 import numpy as np
 
 from ..nn import Module, Optimizer, Schedule, clip_grad_norm
+from ..obs import NULL_OBS, Observability
+from ..phenomenology.compute import training_flops
 
 
 @dataclass
@@ -27,12 +39,27 @@ class History:
     eval_steps: list[int] = field(default_factory=list)
     eval_values: list[dict[str, float]] = field(default_factory=list)
     wall_time: float = 0.0
+    # Per-step telemetry (PR 2).  step_seconds/step_tokens are always
+    # recorded; grad_norms only when the norm is computed (clip_norm set,
+    # or observability enabled) — then it is aligned with ``steps``.
+    grad_norms: list[float] = field(default_factory=list)
+    step_seconds: list[float] = field(default_factory=list)
+    step_tokens: list[int] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
         if not self.losses:
             raise ValueError("no steps recorded")
         return self.losses[-1]
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(self.step_tokens)
+
+    @property
+    def tokens_per_sec(self) -> float:
+        """End-to-end training throughput over the whole run."""
+        return self.total_tokens / self.wall_time if self.wall_time > 0 else 0.0
 
     def smoothed_losses(self, window: int = 10) -> np.ndarray:
         """Trailing-mean loss curve (plateaus-and-drops viewing aid, §4)."""
@@ -43,8 +70,18 @@ class History:
         return np.convolve(losses, kernel, mode="valid")
 
     def eval_series(self, key: str) -> tuple[list[int], list[float]]:
-        """Extract one named metric across evaluation snapshots."""
-        return self.eval_steps, [snap[key] for snap in self.eval_values]
+        """Extract one named metric across evaluation snapshots.
+
+        Snapshots that do not contain ``key`` are skipped (an eval_fn is
+        free to report different metrics at different cadences), so the
+        returned steps/values stay aligned with each other.
+        """
+        steps, values = [], []
+        for step, snap in zip(self.eval_steps, self.eval_values):
+            if key in snap:
+                steps.append(step)
+                values.append(snap[key])
+        return steps, values
 
 
 class Trainer:
@@ -65,6 +102,9 @@ class Trainer:
     eval_fn:
         Optional ``eval_fn(model, step) -> dict[str, float]`` run every
         ``eval_every`` steps (and at the final step).
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle; when given,
+        the run emits spans, ``train.*`` metrics, and per-step events.
     """
 
     def __init__(
@@ -76,6 +116,7 @@ class Trainer:
         clip_norm: float | None = None,
         eval_fn: Callable[[Module, int], dict[str, float]] | None = None,
         eval_every: int = 0,
+        obs: Observability | None = None,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -84,32 +125,85 @@ class Trainer:
         self.clip_norm = clip_norm
         self.eval_fn = eval_fn
         self.eval_every = eval_every
+        self.obs = obs
 
     def run(self, num_steps: int) -> History:
         if num_steps < 1:
             raise ValueError("num_steps must be positive")
+        obs = self.obs if self.obs is not None else NULL_OBS
+        tracer, events, metrics = obs.tracer, obs.events, obs.metrics
+        c_steps = metrics.counter("train.steps")
+        c_tokens = metrics.counter("train.tokens")
+        h_step = metrics.histogram("train.step_seconds")
+        g_loss = metrics.gauge("train.loss")
+        g_norm = metrics.gauge("train.grad_norm")
+        # Gradient norms are only worth an extra parameter sweep when
+        # clipping needs them anyway or telemetry is on.
+        want_norm = self.clip_norm is not None or obs.enabled
+        max_norm = self.clip_norm if self.clip_norm is not None else float("inf")
+        num_params = (self.model.num_parameters()
+                      if hasattr(self.model, "num_parameters") else 0)
+
         history = History()
         start = time.perf_counter()
         self.model.train()
-        for step in range(num_steps):
-            if self.schedule is not None:
-                self.schedule.apply(self.optimizer, step)
-            x, y = self.batch_fn(step)
-            self.model.zero_grad()
-            loss = self.model.loss(x, y)
-            loss.backward()
-            if self.clip_norm is not None:
-                clip_grad_norm(self.optimizer.parameters, self.clip_norm)
-            self.optimizer.step()
+        with tracer.span("train.run", steps=num_steps, params=num_params):
+            for step in range(num_steps):
+                step_start = time.perf_counter()
+                with tracer.span("train.step", step=step):
+                    if self.schedule is not None:
+                        self.schedule.apply(self.optimizer, step)
+                    with tracer.span("train.batch"):
+                        x, y = self.batch_fn(step)
+                    self.model.zero_grad()
+                    with tracer.span("train.forward"):
+                        loss = self.model.loss(x, y)
+                    with tracer.span("train.backward"):
+                        loss.backward()
+                    grad_norm = None
+                    if want_norm:
+                        grad_norm = clip_grad_norm(self.optimizer.parameters, max_norm)
+                    with tracer.span("train.optimizer"):
+                        self.optimizer.step()
+                step_seconds = time.perf_counter() - step_start
 
-            history.steps.append(step)
-            history.losses.append(float(loss.data))
-            history.lrs.append(self.optimizer.lr)
-            is_eval_step = self.eval_every and (step + 1) % self.eval_every == 0
-            if self.eval_fn is not None and (is_eval_step or step == num_steps - 1):
-                history.eval_steps.append(step)
-                history.eval_values.append(self.eval_fn(self.model, step))
-                self.model.train()
+                loss_value = float(loss.data)
+                tokens = int(np.asarray(y).size)
+                history.steps.append(step)
+                history.losses.append(loss_value)
+                history.lrs.append(self.optimizer.lr)
+                history.step_seconds.append(step_seconds)
+                history.step_tokens.append(tokens)
+                if grad_norm is not None:
+                    history.grad_norms.append(grad_norm)
+                    g_norm.set(grad_norm)
+
+                c_steps.inc()
+                c_tokens.inc(tokens)
+                h_step.observe(step_seconds)
+                g_loss.set(loss_value)
+                tokens_per_sec = tokens / step_seconds if step_seconds > 0 else 0.0
+                events.emit(
+                    "train_step",
+                    step=step,
+                    loss=loss_value,
+                    lr=self.optimizer.lr,
+                    grad_norm=grad_norm,
+                    tokens=tokens,
+                    seconds=step_seconds,
+                    tokens_per_sec=tokens_per_sec,
+                    flops_per_sec=(training_flops(num_params, tokens) / step_seconds
+                                   if num_params and step_seconds > 0 else None),
+                )
+
+                is_eval_step = self.eval_every and (step + 1) % self.eval_every == 0
+                if self.eval_fn is not None and (is_eval_step or step == num_steps - 1):
+                    with tracer.span("train.eval", step=step):
+                        snapshot = self.eval_fn(self.model, step)
+                    history.eval_steps.append(step)
+                    history.eval_values.append(snapshot)
+                    events.emit("train_eval", step=step, **snapshot)
+                    self.model.train()
         history.wall_time = time.perf_counter() - start
         return history
 
@@ -126,6 +220,7 @@ def train_lm_on_stream(
     clip_norm: float | None = 1.0,
     eval_fn: Callable | None = None,
     eval_every: int = 0,
+    obs: Observability | None = None,
 ) -> History:
     """Convenience wrapper: AdamW + random-window batches from a stream."""
     from ..data.corpus import sample_batch
@@ -140,5 +235,6 @@ def train_lm_on_stream(
         clip_norm=clip_norm,
         eval_fn=eval_fn,
         eval_every=eval_every,
+        obs=obs,
     )
     return trainer.run(num_steps)

@@ -1,6 +1,5 @@
 """Unit tests for Vocabulary and the three tokenizers."""
 
-import numpy as np
 import pytest
 
 from repro.data import BPETokenizer, CharTokenizer, Vocabulary, WordTokenizer

@@ -4,7 +4,6 @@ import itertools
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.formal import (
     DFA,

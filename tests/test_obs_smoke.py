@@ -1,0 +1,163 @@
+"""Tier-1 smoke: a tiny fully-instrumented train + generate run must
+produce valid, mutually consistent telemetry artifacts.
+
+This is the end-to-end check behind the PR 2 observability work: one
+Observability bundle threaded through ``train_lm_on_stream`` and a
+``GenerationEngine``, artifacts dumped with ``write_artifacts``, and the
+exported Chrome trace / metrics snapshot / JSONL event log validated
+structurally (the trace must load as Chrome trace-event JSON with
+correctly nested spans).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.infer import GenerationEngine
+from repro.obs import Observability
+from repro.train import train_lm_on_stream
+
+_STEPS = 6
+_MAX_NEW = 8
+
+
+@pytest.fixture(scope="module")
+def instrumented_run(tmp_path_factory):
+    """One tiny train + generate with full telemetry, artifacts on disk."""
+    obs = Observability.standard()
+    cfg = TransformerConfig(vocab_size=16, max_seq_len=32, d_model=16,
+                            num_heads=2, num_layers=1)
+    model = TransformerLM(cfg, rng=0)
+    ids = np.random.default_rng(0).integers(0, 16, size=512)
+    history = train_lm_on_stream(model, ids, num_steps=_STEPS, batch_size=4,
+                                 seq_len=8, obs=obs)
+
+    engine = GenerationEngine(model, batch_size=2, greedy=True, obs=obs)
+    for prompt in ([1, 2, 3], [4, 5, 6]):
+        engine.submit(prompt, _MAX_NEW)
+    results = engine.run()
+
+    out_dir = tmp_path_factory.mktemp("obs_artifacts")
+    paths = obs.write_artifacts(out_dir)
+    return {"obs": obs, "history": history, "engine": engine,
+            "results": results, "paths": paths}
+
+
+def test_artifacts_written(instrumented_run):
+    paths = instrumented_run["paths"]
+    assert set(paths) == {"trace", "metrics", "events"}
+    for path in paths.values():
+        assert Path(path).stat().st_size > 0
+
+
+def test_trace_is_valid_chrome_json(instrumented_run):
+    trace = json.loads(Path(instrumented_run["paths"]["trace"]).read_text())
+    assert trace["displayTimeUnit"] == "ms"
+    events = trace["traceEvents"]
+    assert events, "trace must not be empty"
+    for e in events:
+        assert e["ph"] in ("X", "i")
+        assert isinstance(e["ts"], int)
+        if e["ph"] == "X":
+            assert isinstance(e["dur"], int) and e["dur"] >= 1
+    names = {e["name"] for e in events}
+    assert {"train.run", "train.step", "train.forward", "train.backward",
+            "engine.step"} <= names
+
+
+def test_trace_spans_nest_correctly(instrumented_run):
+    tracer = instrumented_run["obs"].tracer
+    by_name = {}
+    for span in tracer.spans:
+        by_name.setdefault(span["name"], []).append(span)
+    run = by_name["train.run"][0]
+    steps = by_name["train.step"]
+    assert len(steps) == _STEPS
+    for step in steps:
+        assert step["parent"] == "train.run"
+        assert step["depth"] == run["depth"] + 1
+        assert run["start"] <= step["start"] <= step["end"] <= run["end"]
+    for inner in ("train.forward", "train.backward", "train.optimizer"):
+        for span in by_name[inner]:
+            assert span["parent"] == "train.step"
+    # nesting must also hold after integer-microsecond export
+    trace = json.loads(Path(instrumented_run["paths"]["trace"]).read_text())
+    complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    run_evt = next(e for e in complete if e["name"] == "train.run")
+    for e in complete:
+        if e["name"].startswith("train."):
+            assert run_evt["ts"] <= e["ts"]
+            assert e["ts"] + e["dur"] <= run_evt["ts"] + run_evt["dur"]
+
+
+def test_metrics_snapshot_consistent(instrumented_run):
+    metrics = json.loads(Path(instrumented_run["paths"]["metrics"]).read_text())
+    engine = instrumented_run["engine"]
+    assert metrics["train.steps"]["value"] == _STEPS
+    assert metrics["train.tokens"]["value"] == _STEPS * 4 * 8
+    assert metrics["train.step_seconds"]["count"] == _STEPS
+    assert metrics["engine.steps"]["value"] == engine.total_steps
+    assert metrics["engine.sampled_tokens"]["value"] == 2 * _MAX_NEW
+    assert metrics["engine.ttft_seconds"]["count"] == 2
+
+
+def test_event_log_round_trips(instrumented_run):
+    lines = Path(instrumented_run["paths"]["events"]).read_text().splitlines()
+    records = [json.loads(line) for line in lines]
+    kinds = {r["event"] for r in records}
+    assert {"train_step", "request_submitted", "request_admitted",
+            "request_finished"} <= kinds
+    train_steps = [r for r in records if r["event"] == "train_step"]
+    assert len(train_steps) == _STEPS
+    assert [r["step"] for r in train_steps] == list(range(_STEPS))
+    history = instrumented_run["history"]
+    assert [r["loss"] for r in train_steps] == history.losses
+    finished = [r for r in records if r["event"] == "request_finished"]
+    assert len(finished) == 2
+    assert all(r["new_tokens"] == _MAX_NEW for r in finished)
+
+
+def test_generation_results_carry_timing(instrumented_run):
+    for result in instrumented_run["results"]:
+        t = result.timing
+        assert t is not None
+        assert t.submitted <= t.admitted <= t.first_token <= t.finished
+        assert t.new_tokens == _MAX_NEW
+
+
+def test_bench_harness_record(tmp_path):
+    """The benchmarks/_util BenchRun context writes a provenance-stamped
+    record through the same instrumented path every bench uses."""
+    bench_dir = str(Path(__file__).resolve().parent.parent / "benchmarks")
+    sys.path.insert(0, bench_dir)
+    try:
+        from _util import BenchRun, provenance
+    finally:
+        sys.path.remove(bench_dir)
+
+    out = tmp_path / "BENCH_smoke.json"
+    trace_out = tmp_path / "trace.json"
+    with BenchRun("smoke", out=out, trace_out=trace_out,
+                  config={"n": 1}) as br:
+        with br.obs.tracer.span("bench.work"):
+            pass
+        br.record({"value": 42})
+    record = json.loads(out.read_text())
+    assert record["bench"] == "smoke"
+    assert record["value"] == 42
+    assert record["wall_seconds"] > 0
+    prov = record["provenance"]
+    assert set(prov) >= {"git_sha", "repro_scale", "numpy_version",
+                         "python_version", "timestamp", "config"}
+    assert prov["config"] == {"n": 1}
+    assert prov["numpy_version"] == np.__version__
+    trace = json.loads(trace_out.read_text())
+    names = {e["name"] for e in trace["traceEvents"]}
+    assert {"bench.smoke", "bench.work"} <= names
+    # provenance() is also directly callable and JSON-clean
+    prov = provenance()
+    assert json.loads(json.dumps(prov)) == prov

@@ -193,3 +193,39 @@ class TestBaselineProfiles:
                         ridge_profile(batch.xs, batch.ys),
                         gradient_descent_profile(batch.xs, batch.ys)):
             assert profile[-1] < zero[-1]
+
+
+class TestComputeEstimators:
+    """PR 2: edge cases for the FLOP / parameter-count rules of thumb."""
+
+    def test_inference_flops_negative_rejected(self):
+        with pytest.raises(ValueError):
+            inference_flops(10, -1)
+        with pytest.raises(ValueError):
+            inference_flops(-10, 1)
+
+    def test_param_estimate_blocks_only(self):
+        cfg = TransformerConfig(vocab_size=64, max_seq_len=32, d_model=48,
+                                num_heads=4, num_layers=3)
+        assert (transformer_param_estimate(cfg, include_embeddings=False)
+                == 12 * 3 * 48**2)
+
+    def test_param_estimate_positional_variants(self):
+        kwargs = dict(vocab_size=64, max_seq_len=32, d_model=48,
+                      num_heads=4, num_layers=3)
+        learned = TransformerConfig(positional="learned", **kwargs)
+        sinusoidal = TransformerConfig(positional="sinusoidal", **kwargs)
+        diff = (transformer_param_estimate(learned)
+                - transformer_param_estimate(sinusoidal))
+        assert diff == 32 * 48  # only the learned position table differs
+
+    def test_compute_optimal_tokens_inverts_training_flops(self):
+        assert compute_optimal_tokens(training_flops(100, 1000), 100) == 1000.0
+        with pytest.raises(ValueError):
+            compute_optimal_tokens(1e6, 0)
+
+    def test_attention_flops_scaling(self):
+        base = attention_flops(64, 32, 2)
+        assert attention_flops(128, 32, 2) == 4 * base   # quadratic in L
+        assert attention_flops(64, 32, 4) == 2 * base    # linear in depth
+        assert attention_flops(64, 64, 2) == 2 * base    # linear in width

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import TransformerConfig, TransformerLM
-from repro.data import sample_batch
 from repro.lm import FFNLM, UnigramLM, make_windows
 from repro.nn import Adam, Constant
 from repro.train import (
@@ -181,3 +180,78 @@ class TestCheckpoint:
         save_checkpoint(path, TransformerLM(cfg, rng=0))
         with pytest.raises(ValueError):
             load_checkpoint(path, TransformerLM(other, rng=0))
+
+
+class TestHistoryTelemetry:
+    """PR 2: eval_series with ragged snapshots and per-step stats."""
+
+    def _setup(self):
+        rng = np.random.default_rng(0)
+        stream = np.array([0, 1, 2, 3] * 100)
+        lm = FFNLM(4, window=2, embed_dim=8, hidden_dim=16, rng=0)
+        ctx, tgt = make_windows(stream, 2)
+
+        def batch_fn(step):
+            idx = rng.integers(0, len(tgt), size=16)
+            return ctx[idx], tgt[idx]
+
+        return lm, batch_fn
+
+    def test_eval_series_skips_missing_keys(self):
+        h = History(eval_steps=[0, 5, 10],
+                    eval_values=[{"loss": 5.0},
+                                 {"loss": 4.0, "acc": 0.5},
+                                 {"acc": 0.75}])
+        # an eval_fn may report different metrics at different cadences;
+        # missing keys must be skipped with steps/values kept aligned
+        assert h.eval_series("acc") == ([5, 10], [0.5, 0.75])
+        assert h.eval_series("loss") == ([0, 5], [5.0, 4.0])
+        assert h.eval_series("never_reported") == ([], [])
+
+    def test_per_step_telemetry_recorded(self):
+        lm, batch_fn = self._setup()
+        history = Trainer(lm, Adam(lm.parameters(), lr=1e-2), batch_fn).run(5)
+        assert len(history.step_seconds) == 5
+        assert all(s > 0 for s in history.step_seconds)
+        assert history.step_tokens == [16] * 5
+        assert history.total_tokens == 80
+        assert history.tokens_per_sec > 0
+        # no clipping and no observability: the norm sweep is skipped
+        assert history.grad_norms == []
+
+    def test_grad_norms_recorded_when_clipping(self):
+        lm, batch_fn = self._setup()
+        trainer = Trainer(lm, Adam(lm.parameters(), lr=1e-2), batch_fn,
+                          clip_norm=10.0)
+        history = trainer.run(3)
+        assert len(history.grad_norms) == 3
+        assert all(g > 0 for g in history.grad_norms)
+
+    def test_empty_history_throughput_is_zero(self):
+        assert History().tokens_per_sec == 0.0
+        assert History().total_tokens == 0
+
+
+class TestMetricsEdgeCases:
+    def test_rouge_empty_candidate(self):
+        assert rouge_n([], ["a", "b"], 1) == 0.0
+        assert rouge_l([], ["a", "b"]) == 0.0
+        assert rouge_l(["a"], []) == 0.0
+
+    def test_accuracy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1, 0], [1])
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_distribution_entropy_float32_tolerance(self):
+        # a float32 softmax legitimately sums to 1 only within ~1e-6 per
+        # element; the dtype-aware gate must accept that slack...
+        near_one = np.array([0.5, 0.5 + 3e-6], dtype=np.float32)
+        assert distribution_entropy(near_one) == pytest.approx(np.log(2), abs=1e-4)
+        # ...while the same deviation in float64 is a genuine error
+        with pytest.raises(ValueError):
+            distribution_entropy(np.array([0.5, 0.5 + 3e-6], dtype=np.float64))
+        # and a real mismatch still fails in float32
+        with pytest.raises(ValueError):
+            distribution_entropy(np.array([0.5, 0.51], dtype=np.float32))
