@@ -4,7 +4,14 @@ Regenerates the three Kaplan-style series at laptop scale: held-out loss
 versus model size P (data fixed), dataset size D (architecture fixed),
 and training compute C = 6 P D_seen.  Straight lines on log-log axes —
 i.e. power-law fits with positive exponents — are the reproduced shape.
+
+The sweep trains eleven models back to back, so it is restartable: set
+``REPRO_CHECKPOINT_DIR=/some/dir`` and each sweep point checkpoints into
+its own subdirectory and resumes past already-finished points after a
+mid-sweep kill (see ``docs/ARCHITECTURE.md``).
 """
+
+import os
 
 import numpy as np
 
@@ -30,11 +37,14 @@ def build_corpus(num_sentences: int = 2600, seed: int = 7) -> Corpus:
 
 def run(steps: int = 250, seed: int = 0):
     corpus = build_corpus()
+    ckpt_root = os.environ.get("REPRO_CHECKPOINT_DIR")
+    ckpt_dir = os.path.join(ckpt_root, "fig2_scaling") if ckpt_root else None
     model_points = model_size_sweep(corpus, _ARCHS, seq_len=32, steps=steps,
-                                    seed=seed)
+                                    seed=seed, checkpoint_dir=ckpt_dir)
     data_points = data_size_sweep(corpus, _TOKEN_COUNTS,
                                   architecture=(24, 2, 4), seq_len=32,
-                                  steps=steps, seed=seed)
+                                  steps=steps, seed=seed,
+                                  checkpoint_dir=ckpt_dir)
     p_fit = fit_power_law([pt.num_params for pt in model_points],
                           [pt.test_loss for pt in model_points])
     d_fit = fit_power_law([pt.num_tokens for pt in data_points],

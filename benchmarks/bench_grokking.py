@@ -6,17 +6,33 @@ jumps to ~100% thousands of steps later.  Reproduced shapes: (a) a large
 positive gap between train-saturation and test-jump steps; (b) the
 weight-decay ablation — with decay 0 the model memorises identically but
 never generalises.
+
+This is the repo's longest single run, so it is fault-tolerant: set
+``REPRO_CHECKPOINT_DIR=/some/dir`` to snapshot each sub-run every 500
+steps and resume automatically after a kill (bit-identically; see
+``docs/ARCHITECTURE.md``).
 """
+
+import os
 
 from _util import banner, bench_main, fmt_table, scale
 
 from repro.phenomenology import run_grokking
 
 
+def _ckpt(subdir: str) -> dict:
+    """Checkpoint kwargs for one sub-run under REPRO_CHECKPOINT_DIR."""
+    root = os.environ.get("REPRO_CHECKPOINT_DIR")
+    if not root:
+        return {}
+    return {"checkpoint_dir": os.path.join(root, "grokking", subdir),
+            "checkpoint_every": 500, "resume": True}
+
+
 def run(steps: int = 6000):
-    main = run_grokking(steps=steps, eval_every=100, seed=0)
+    main = run_grokking(steps=steps, eval_every=100, seed=0, **_ckpt("main"))
     ablation = run_grokking(steps=min(steps, 3000), eval_every=100, seed=0,
-                            weight_decay=0.0)
+                            weight_decay=0.0, **_ckpt("ablation"))
     return {"main": main, "ablation": ablation}
 
 

@@ -18,6 +18,8 @@ from .tasks import Task, few_shot_prompt
 
 @dataclass
 class TaskScore:
+    """Per-task accuracy at one shot count (a cell in the eval grid)."""
+
     task_name: str
     shots: int
     correct: int

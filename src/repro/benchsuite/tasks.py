@@ -169,6 +169,7 @@ def default_suite() -> list[Task]:
 
 
 def render_example(example: Example) -> str:
+    """One demonstration in prompt form: ``input = output``."""
     return f"{example.input_text}{_ARROW}{example.output_text}"
 
 

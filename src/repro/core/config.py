@@ -14,6 +14,13 @@ from dataclasses import dataclass, field, asdict
 
 @dataclass
 class TransformerConfig:
+    """Architecture hyper-parameters in the paper's §2 notation (L, p, H, D).
+
+    Validated on construction; the ablation switches (positional scheme,
+    pre-LN, residuals, attention window) default to the standard GPT
+    recipe.
+    """
+
     vocab_size: int
     max_seq_len: int = 64          # L
     d_model: int = 32              # p

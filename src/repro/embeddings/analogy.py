@@ -56,6 +56,8 @@ def analogy_query(
 
 @dataclass
 class AnalogyReport:
+    """Result of an analogy evaluation: counts plus the failing quadruples."""
+
     total: int
     correct: int
     failures: list[tuple[str, str, str, str, str]]  # (a, b, c, expected, got)

@@ -93,6 +93,8 @@ class RNNClassifier(Module):
 
 @dataclass
 class ExtractionResult:
+    """A DFA distilled from an RNN plus how faithfully it mimics it."""
+
     dfa: DFA
     num_clusters: int
     fidelity: float          # agreement with the RNN on held-out strings

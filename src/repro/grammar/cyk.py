@@ -22,6 +22,8 @@ from .pcfg import PCFG
 
 @dataclass
 class ParseResult:
+    """A Viterbi parse: the highest-probability tree and its log-probability."""
+
     tree: Tree
     logprob: float
 

@@ -24,6 +24,8 @@ from .pcfg import PCFG
 
 @dataclass
 class EMResult:
+    """Inside-outside output: re-estimated grammar and per-iteration likelihood."""
+
     grammar: PCFG
     log_likelihoods: list[float]  # corpus log-likelihood per iteration
 

@@ -36,8 +36,10 @@ def he_normal(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases, LayerNorm shifts)."""
     return np.zeros(shape)
 
 
 def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (LayerNorm gains)."""
     return np.ones(shape)

@@ -25,6 +25,7 @@ class Module:
     # Parameter / submodule discovery
     # ------------------------------------------------------------------
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """Yield ``(dotted_name, tensor)`` for every trainable parameter."""
         for name, value in vars(self).items():
             full = f"{prefix}{name}"
             if isinstance(value, Tensor) and value.requires_grad:
@@ -39,6 +40,7 @@ class Module:
                         yield f"{full}.{i}", item
 
     def parameters(self) -> list[Tensor]:
+        """All trainable parameter tensors, in ``named_parameters`` order."""
         return [p for _, p in self.named_parameters()]
 
     def num_parameters(self) -> int:
@@ -46,6 +48,7 @@ class Module:
         return sum(p.size for p in self.parameters())
 
     def modules(self) -> Iterator["Module"]:
+        """Yield this module and every (transitively) nested submodule."""
         yield self
         for value in vars(self).values():
             if isinstance(value, Module):
@@ -76,15 +79,18 @@ class Module:
     # Training state
     # ------------------------------------------------------------------
     def zero_grad(self) -> None:
+        """Reset gradients of all parameters before the next backward."""
         for p in self.parameters():
             p.zero_grad()
 
     def train(self) -> "Module":
+        """Switch this module tree to training mode (dropout active)."""
         for m in self.modules():
             m.training = True
         return self
 
     def eval(self) -> "Module":
+        """Switch this module tree to inference mode (dropout off)."""
         for m in self.modules():
             m.training = False
         return self
@@ -93,18 +99,32 @@ class Module:
     # Serialization
     # ------------------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Dotted-name -> parameter-array snapshot (copies, not views)."""
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: dict[str, np.ndarray],
+                        strict: bool = True) -> None:
+        """Copy ``state`` arrays into this module's parameters in place.
+
+        Strict by default: any difference between the checkpoint's key
+        set and this module's parameter names raises ``KeyError`` naming
+        the sorted symmetric difference — silently dropping keys is how
+        a resumed run ends up training a half-initialised model.  Pass
+        ``strict=False`` to load only the intersection (useful for
+        warm-starting a different architecture from a partial match);
+        shape mismatches raise ``ValueError`` in either mode.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
-        if missing or unexpected:
+        if strict and (missing or unexpected):
             raise KeyError(
                 f"state dict mismatch: missing={sorted(missing)} "
                 f"unexpected={sorted(unexpected)}"
             )
         for name, p in own.items():
+            if name not in state:
+                continue
             value = np.asarray(state[name], dtype=np.float64)
             if value.shape != p.data.shape:
                 raise ValueError(
@@ -114,6 +134,7 @@ class Module:
 
     # Subclasses implement forward(); __call__ delegates.
     def forward(self, *args, **kwargs):
+        """Compute the module's output; subclasses must override."""
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):

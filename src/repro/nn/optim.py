@@ -3,7 +3,16 @@
 Eq. 16 is plain SGD: ``theta <- theta - eta * dL/dtheta``.  Adam/AdamW are
 the "many enhancements described in the literature" that every real LLM
 training run uses; AdamW's decoupled weight decay is the ingredient the
-grokking experiment (E6) depends on.
+grokking experiment (E6, §4) depends on.
+
+Every optimizer carries a ``state_dict()`` / ``load_state_dict()`` pair
+covering its internal buffers — SGD momentum velocities, Adam first/second
+moments and the bias-correction step count — so a training run can be
+checkpointed and resumed *bit-identically* (see
+:mod:`repro.train.checkpoint`).  Restoring the moments matters: Adam's
+update at step t depends on the full exponential-average history, so a
+resume that reinitialised them to zero would diverge from the
+uninterrupted trajectory on the very first step.
 """
 
 from __future__ import annotations
@@ -40,11 +49,59 @@ class Optimizer:
         self.lr = float(lr)
 
     def zero_grad(self) -> None:
+        """Reset the gradient buffer of every managed parameter."""
         for p in self.parameters:
             p.zero_grad()
 
     def step(self) -> None:
+        """Apply one update to every parameter with a gradient."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full optimizer state: JSON-able scalars plus ndarray buffers.
+
+        The returned dict always carries ``kind`` (the class name, used
+        as a sanity check on load) and ``lr``; subclasses add their
+        hyper-parameters and per-parameter buffer lists (aligned with
+        ``self.parameters`` order).  Arrays are copies — mutating the
+        snapshot never mutates live optimizer state.
+        """
+        return {"kind": type(self).__name__, "lr": self.lr}
+
+    def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        """Restore state produced by :meth:`state_dict`.
+
+        With ``strict=True`` (default) a ``kind`` mismatch raises
+        ``ValueError`` — resuming an AdamW run with plain SGD would
+        silently change the trajectory, which is exactly the failure
+        checkpointing exists to prevent.
+        """
+        kind = state.get("kind")
+        if strict and kind is not None and kind != type(self).__name__:
+            raise ValueError(
+                f"optimizer kind mismatch: checkpoint has {kind!r}, "
+                f"loading into {type(self).__name__!r}"
+            )
+        self.lr = float(state["lr"])
+
+    def _load_buffers(self, name: str, target: list[np.ndarray],
+                      source: list[np.ndarray]) -> None:
+        """Copy checkpointed buffer arrays into live ones, shape-checked."""
+        if len(source) != len(target):
+            raise ValueError(
+                f"{name}: checkpoint has {len(source)} buffers, "
+                f"optimizer has {len(target)} parameters"
+            )
+        for i, (dst, src) in enumerate(zip(target, source)):
+            src = np.asarray(src)
+            if src.shape != dst.shape:
+                raise ValueError(
+                    f"{name}[{i}]: shape mismatch {src.shape} vs {dst.shape}"
+                )
+            dst[...] = src
 
 
 class SGD(Optimizer):
@@ -62,7 +119,25 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
+    def state_dict(self) -> dict:
+        """Hyper-parameters plus one velocity buffer per parameter."""
+        state = super().state_dict()
+        state.update(
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            velocity=[v.copy() for v in self._velocity],
+        )
+        return state
+
+    def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        """Restore lr/momentum/weight_decay and the velocity buffers."""
+        super().load_state_dict(state, strict=strict)
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        self._load_buffers("velocity", self._velocity, state["velocity"])
+
     def step(self) -> None:
+        """Eq. 16 update with optional momentum and (coupled) weight decay."""
         for p, v in zip(self.parameters, self._velocity):
             if p.grad is None:
                 continue
@@ -95,6 +170,29 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
 
+    def state_dict(self) -> dict:
+        """Hyper-parameters, bias-correction step count, and both moments."""
+        state = super().state_dict()
+        state.update(
+            betas=(self.beta1, self.beta2),
+            eps=self.eps,
+            weight_decay=self.weight_decay,
+            step_count=self._step_count,
+            m=[m.copy() for m in self._m],
+            v=[v.copy() for v in self._v],
+        )
+        return state
+
+    def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        """Restore hyper-parameters, step count, and moment buffers."""
+        super().load_state_dict(state, strict=strict)
+        self.beta1, self.beta2 = (float(b) for b in state["betas"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._step_count = int(state["step_count"])
+        self._load_buffers("m", self._m, state["m"])
+        self._load_buffers("v", self._v, state["v"])
+
     def _update(self, decoupled: bool) -> None:
         self._step_count += 1
         t = self._step_count
@@ -116,6 +214,7 @@ class Adam(Optimizer):
             p.data -= self.lr * update
 
     def step(self) -> None:
+        """Adam update with L2 decay coupled into the gradient."""
         self._update(decoupled=False)
 
 
@@ -123,4 +222,5 @@ class AdamW(Adam):
     """Adam with decoupled weight decay (Loshchilov & Hutter)."""
 
     def step(self) -> None:
+        """Adam update with weight decay applied directly to parameters."""
         self._update(decoupled=True)

@@ -1,4 +1,15 @@
-"""Learning-rate schedules (the "varying the learning rate" of §3)."""
+"""Learning-rate schedules (the "varying the learning rate" of §3).
+
+Schedules are pure functions of the global step index, so they carry no
+mutable training state: resuming a checkpointed run at step N and calling
+``apply(optimizer, N)`` reproduces exactly the learning rate an
+uninterrupted run would have used.  What *can* silently break a resume is
+constructing the schedule with different hyper-parameters (a different
+``total_steps``, say), so every schedule exposes :meth:`state_dict` — a
+JSON-able record of its class and constructor arguments — which
+:mod:`repro.train.checkpoint` stores in each snapshot and validates on
+load via :meth:`Schedule.validate_state`.
+"""
 
 from __future__ import annotations
 
@@ -9,19 +20,47 @@ class Schedule:
     """Maps a step index to a learning rate; call ``apply`` each step."""
 
     def lr_at(self, step: int) -> float:
+        """Learning rate to use for global step ``step`` (0-indexed)."""
         raise NotImplementedError
 
     def apply(self, optimizer, step: int) -> float:
+        """Set ``optimizer.lr`` for ``step`` and return the value used."""
         lr = self.lr_at(step)
         optimizer.lr = lr
         return lr
 
+    def state_dict(self) -> dict:
+        """Class name plus constructor hyper-parameters (JSON-able).
+
+        Used by the checkpoint layer to detect a schedule swap between
+        the run that saved a snapshot and the run resuming from it.
+        """
+        params = {k: v for k, v in vars(self).items() if not k.startswith("_")}
+        return {"kind": type(self).__name__, **params}
+
+    def validate_state(self, state: dict) -> None:
+        """Raise ``ValueError`` unless ``state`` matches this schedule.
+
+        A resumed run with a different schedule cannot reproduce the
+        uninterrupted trajectory, so mismatches in class or any
+        hyper-parameter are rejected loudly rather than warned about.
+        """
+        own = self.state_dict()
+        if dict(state) != own:
+            raise ValueError(
+                f"schedule mismatch on resume: checkpoint has {state!r}, "
+                f"current schedule is {own!r}"
+            )
+
 
 class Constant(Schedule):
+    """Fixed learning rate at every step."""
+
     def __init__(self, lr: float):
         self.lr = lr
 
     def lr_at(self, step: int) -> float:
+        """Return the fixed rate regardless of ``step``."""
         return self.lr
 
 
@@ -38,6 +77,7 @@ class WarmupCosine(Schedule):
         self.final_lr = final_lr
 
     def lr_at(self, step: int) -> float:
+        """Warmup ramp before ``warmup_steps``, cosine half-wave after."""
         if step < self.warmup_steps:
             return self.peak_lr * (step + 1) / self.warmup_steps
         progress = (step - self.warmup_steps) / (self.total_steps - self.warmup_steps)
@@ -57,6 +97,7 @@ class WarmupLinear(Schedule):
         self.total_steps = total_steps
 
     def lr_at(self, step: int) -> float:
+        """Warmup ramp, then a straight line down to zero at ``total_steps``."""
         if step < self.warmup_steps:
             return self.peak_lr * (step + 1) / self.warmup_steps
         remaining = (self.total_steps - step) / (self.total_steps - self.warmup_steps)
@@ -74,4 +115,5 @@ class StepDecay(Schedule):
         self.gamma = gamma
 
     def lr_at(self, step: int) -> float:
+        """Piecewise-constant decay: ``base_lr * gamma ** (step // size)``."""
         return self.base_lr * self.gamma ** (step // self.step_size)

@@ -16,7 +16,7 @@ accuracy jumps past 90% around step 2500-4000 depending on seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 import numpy as np
 
@@ -78,6 +78,16 @@ class GrokkingResult:
             return None
         return t_test - t_train
 
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the recorded curves (for checkpoints)."""
+        return asdict(self)
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "GrokkingResult":
+        """Rebuild a result saved by :meth:`state_dict` (extra keys ignored)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in state.items() if k in known})
+
 
 def _mse_loss(model: MLP, features: np.ndarray, onehot: np.ndarray) -> Tensor:
     pred = model(Tensor(features))
@@ -100,11 +110,22 @@ def run_grokking(
     eval_every: int = 100,
     seed: int = 0,
     activation: str = "square",
+    checkpoint_every: int = 0,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> GrokkingResult:
     """Full-batch GD with MSE on modular addition, recording both accuracies.
 
     Set ``weight_decay=0.0`` for the ablation: the model still memorises
     the training set but test accuracy stays at chance.
+
+    This is the repo's longest single run (thousands of steps), so it is
+    restartable: with ``checkpoint_dir`` / ``checkpoint_every`` set the
+    model, SGD state, and in-progress curves are snapshotted via
+    :mod:`repro.train.checkpoint`, and ``resume=True`` continues a
+    killed run from the newest valid snapshot — bit-identically, since
+    training is full-batch (the RNG only shapes the deterministic
+    seed-derived dataset split and init, both replayed before loading).
     """
     rng = np.random.default_rng(seed)
     x_train, y_train, x_test, y_test = modular_addition_dataset(
@@ -115,7 +136,17 @@ def run_grokking(
     model = MLP([2 * modulus, width, modulus], rng, activation=activation, bias=False)
     optimizer = SGD(model.parameters(), lr=lr, weight_decay=weight_decay)
     result = GrokkingResult()
-    for step in range(steps):
+    start_step = 0
+    checkpointing = checkpoint_dir is not None and checkpoint_every > 0
+    if resume and checkpoint_dir is not None:
+        from ..train.checkpoint import latest_checkpoint, load_training_checkpoint
+
+        if latest_checkpoint(checkpoint_dir) is not None:
+            state = load_training_checkpoint(checkpoint_dir, model, optimizer)
+            start_step = state.step
+            if state.extra and "grokking" in state.extra:
+                result = GrokkingResult.from_state_dict(state.extra["grokking"])
+    for step in range(start_step, steps):
         model.zero_grad()
         loss = _mse_loss(model, x_train, onehot_train)
         loss.backward()
@@ -129,4 +160,11 @@ def run_grokking(
                 result.test_loss.append(
                     float(_mse_loss(model, x_test, onehot_test).data)
                 )
+        if checkpointing and ((step + 1) % checkpoint_every == 0
+                              or step == steps - 1):
+            from ..train.checkpoint import save_training_checkpoint
+
+            save_training_checkpoint(
+                checkpoint_dir, step + 1, model, optimizer,
+                extra={"grokking": result.state_dict()}, keep_last=3)
     return result

@@ -51,6 +51,8 @@ def sample_tasks(
 
 @dataclass
 class ICLBatch:
+    """One batch of in-context regression episodes, token-encoded."""
+
     tokens: np.ndarray   # (B, 2k, d+1)
     targets: np.ndarray  # (B, k) the y values
     xs: np.ndarray
@@ -59,6 +61,7 @@ class ICLBatch:
 
 def make_icl_batch(rng: np.random.Generator, batch: int, num_points: int,
                    dim: int, noise_std: float = 0.0) -> ICLBatch:
+    """Sample fresh linear-regression tasks and encode them as sequences."""
     xs, ys, _w = sample_tasks(rng, batch, num_points, dim, noise_std)
     return ICLBatch(tokens=encode_sequences(xs, ys), targets=ys, xs=xs, ys=ys)
 

@@ -8,6 +8,7 @@ Eq. 4 ansatz ``L(P, D) = [(P_c / P)^(alpha_P / alpha_D) + D_c / D]^alpha_D``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -151,16 +152,36 @@ def train_point(
     batch_size: int = 16,
     lr: float = 3e-3,
     seed: int = 0,
+    checkpoint_dir=None,
+    checkpoint_every: int = 0,
 ) -> tuple[TransformerLM, SweepPoint]:
-    """Train one transformer on ``corpus`` and evaluate held-out loss."""
+    """Train one transformer on ``corpus`` and evaluate held-out loss.
+
+    With ``checkpoint_dir`` set the run writes resumable snapshots (and
+    resumes from them if present), making a multi-point sweep
+    restartable after a mid-sweep kill — each point gets its own
+    subdirectory keyed on architecture and data size, so a re-run skips
+    straight past every point whose training already finished.
+    """
     config = TransformerConfig(
         vocab_size=corpus.vocab_size, max_seq_len=seq_len,
         d_model=d_model, num_heads=num_heads, num_layers=num_layers,
     )
     model = TransformerLM(config, rng=seed)
+    ckpt_kwargs = {}
+    if checkpoint_dir is not None:
+        point_dir = (Path(checkpoint_dir) /
+                     f"p{d_model}x{num_layers}h{num_heads}"
+                     f"-d{corpus.num_train_tokens}-s{seed}")
+        ckpt_kwargs = dict(
+            checkpoint_dir=point_dir,
+            checkpoint_every=checkpoint_every or max(steps // 4, 1),
+            resume=True,
+        )
     history = train_lm_on_stream(
         model, corpus.train_ids, num_steps=steps,
         batch_size=batch_size, seq_len=seq_len, lr=lr, seed=seed,
+        **ckpt_kwargs,
     )
     test_loss = model.cross_entropy_on(corpus.test_ids, seq_len=seq_len)
     tokens_seen = min(steps * batch_size * seq_len, corpus.num_train_tokens * 50)
@@ -185,11 +206,17 @@ def model_size_sweep(
     batch_size: int = 16,
     lr: float = 3e-3,
     seed: int = 0,
+    checkpoint_dir=None,
 ) -> list[SweepPoint]:
-    """Vary P at fixed D: train each (d_model, layers, heads) architecture."""
+    """Vary P at fixed D: train each (d_model, layers, heads) architecture.
+
+    ``checkpoint_dir`` makes the whole ladder restartable; see
+    :func:`train_point`.
+    """
     return [
         train_point(corpus, d_model, layers, heads, seq_len, steps,
-                    batch_size=batch_size, lr=lr, seed=seed)[1]
+                    batch_size=batch_size, lr=lr, seed=seed,
+                    checkpoint_dir=checkpoint_dir)[1]
         for d_model, layers, heads in architectures
     ]
 
@@ -203,13 +230,19 @@ def data_size_sweep(
     batch_size: int = 16,
     lr: float = 3e-3,
     seed: int = 0,
+    checkpoint_dir=None,
 ) -> list[SweepPoint]:
-    """Vary D at fixed P: train the same architecture on corpus prefixes."""
+    """Vary D at fixed P: train the same architecture on corpus prefixes.
+
+    ``checkpoint_dir`` makes the whole ladder restartable; see
+    :func:`train_point`.
+    """
     d_model, layers, heads = architecture
     points = []
     for count in token_counts:
         sub = corpus.subset(count)
         _model, point = train_point(sub, d_model, layers, heads, seq_len, steps,
-                                    batch_size=batch_size, lr=lr, seed=seed)
+                                    batch_size=batch_size, lr=lr, seed=seed,
+                                    checkpoint_dir=checkpoint_dir)
         points.append(point)
     return points

@@ -1,6 +1,29 @@
-"""Training loops, evaluation metrics, and checkpointing."""
+"""Training loops, evaluation metrics, and fault-tolerant checkpointing.
 
-from .checkpoint import load_checkpoint, save_checkpoint
+Three layers: :mod:`~repro.train.trainer` drives gradient descent
+(Eq. 16) and records :class:`History`; :mod:`~repro.train.checkpoint`
+makes long runs restartable with crash-safe full-state snapshots
+(model + optimizer moments + schedule fingerprint + batch-RNG state,
+atomic writes, checksum manifests, rotation); and
+:mod:`~repro.train.faults` injects the crashes, torn writes, and IO
+errors that prove the recovery paths actually work.  The evaluation
+metrics of §5 (accuracy, ROUGE, perplexity) live in
+:mod:`~repro.train.metrics`.
+"""
+
+from . import faults
+from .checkpoint import (
+    CheckpointError,
+    CheckpointInfo,
+    ResumeState,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    load_training_checkpoint,
+    save_checkpoint,
+    save_training_checkpoint,
+    verify_checkpoint,
+)
 from .metrics import (
     accuracy,
     cross_entropy_of,
@@ -25,4 +48,13 @@ __all__ = [
     "distribution_entropy",
     "save_checkpoint",
     "load_checkpoint",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "verify_checkpoint",
+    "CheckpointError",
+    "CheckpointInfo",
+    "ResumeState",
+    "faults",
 ]

@@ -1,37 +1,627 @@
-"""Checkpointing: model state dicts saved as .npz archives."""
+"""Crash-safe full-state training checkpoints with verified resume.
+
+The paper's long-horizon experiments — grokking (§4) runs for thousands
+of full-batch steps, the scaling-law sweeps (§6) train a ladder of
+models back to back — are exactly the jobs that die halfway in practice.
+This module makes them restartable *bit-exactly*: a run checkpointed and
+killed at step N, then resumed, produces the same losses, gradient
+norms, and final parameters as the run that never died.
+
+Format specification (version 1)
+--------------------------------
+A snapshot is a pair of files in the checkpoint directory::
+
+    ckpt-00000030.npz               # payload: arrays + embedded meta JSON
+    ckpt-00000030.npz.manifest.json # commit marker + integrity record
+
+The ``.npz`` archive holds, by key prefix:
+
+``model/<param>``
+    One entry per :meth:`repro.nn.Module.state_dict` parameter.
+``optim/<buffer>`` / ``optim/<buffer>/<i>``
+    Optimizer ndarray state (Adam moments, SGD velocities), one entry
+    per buffer; per-parameter buffer lists are indexed ``/0000``,
+    ``/0001``, … in ``optimizer.parameters`` order.
+``__meta_json__``
+    A uint8 array holding one UTF-8 JSON object with every non-array
+    piece of state: ``format_version``, ``step`` (the next step to
+    run), optimizer scalars (learning rate, betas, step count),
+    ``schedule`` (class + hyper-parameters, validated on resume),
+    ``rng_state`` (the NumPy bit-generator state of the batch-sampling
+    stream), ``history`` (the in-progress
+    :class:`~repro.train.History`), ``config``, and ``extra`` (an
+    arbitrary JSON payload for custom loops, e.g. grokking curves).
+
+The sidecar manifest is written *after* the archive and is the commit
+point: a snapshot without a readable manifest is treated as never
+written.  It records ``format_version``, ``kind``, ``step``, the
+archive filename, the writer's git sha and wall-clock time, and — per
+archive entry — shape, dtype, and a CRC-32 of the raw array bytes.
+:func:`load_training_checkpoint` re-hashes every entry before touching
+model state and falls back to the previous snapshot when verification
+fails, so a torn write or silent bit-rot in the newest file costs one
+checkpoint interval, not the run.
+
+Durability: both files are written to a temp name in the target
+directory, flushed, ``fsync``'d, then ``os.replace``'d into place, and
+the directory entry itself is fsync'd — a crash at any instant leaves
+either the old snapshot set or the new one, never a half-written file
+under a valid name.  Transient ``OSError`` during a write is retried
+with exponential backoff (``retries``/``backoff``); the failpoints
+consulted via :func:`repro.train.faults.failpoint` let tests inject
+those errors deterministically.
+
+Quick start::
+
+    >>> import numpy as np, tempfile
+    >>> from repro.nn import MLP, SGD
+    >>> from repro.train.checkpoint import (
+    ...     save_training_checkpoint, load_training_checkpoint,
+    ...     latest_checkpoint)
+    >>> model = MLP([2, 4, 2], np.random.default_rng(1))
+    >>> opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+    >>> rng = np.random.default_rng(7)     # batch-sampling stream
+    >>> ckdir = tempfile.mkdtemp()
+    >>> path = save_training_checkpoint(ckdir, step=30, model=model,
+    ...                                 optimizer=opt, rng=rng)
+    >>> latest_checkpoint(ckdir).step
+    30
+    >>> state = load_training_checkpoint(ckdir, model=model, optimizer=opt,
+    ...                                  rng=rng)
+    >>> state.step
+    30
+"""
 
 from __future__ import annotations
 
+import datetime
 import json
+import os
+import re
+import subprocess
+import time
+import zlib
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from ..nn import Module
+from ..obs import NULL_OBS
+from .faults import failpoint
 
 _CONFIG_KEY = "__config_json__"
+_META_KEY = "__meta_json__"
+MANIFEST_SUFFIX = ".manifest.json"
+FORMAT_VERSION = 1
+
+_CKPT_RE = re.compile(r"^ckpt-(\d{8})\.npz$")
 
 
-def save_checkpoint(path: str | Path, model: Module, config: dict | None = None) -> Path:
-    """Save a model's parameters (and optional JSON-able config) to .npz."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+class CheckpointError(RuntimeError):
+    """A snapshot could not be written, found, verified, or loaded."""
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """One on-disk snapshot: step index, archive path, manifest path."""
+
+    step: int
+    path: Path
+    manifest_path: Path
+
+
+@dataclass
+class ResumeState:
+    """Everything :func:`load_training_checkpoint` restored or returned.
+
+    ``step`` is the next step to run; ``history`` and ``extra`` are the
+    raw JSON payloads saved by the training loop (the
+    :class:`~repro.train.Trainer` rebuilds its ``History`` from the
+    former).  ``manifest`` is the verified manifest dict of the snapshot
+    actually used — its ``git_sha`` tells you which code wrote it.
+    """
+
+    step: int
+    path: Path
+    manifest: dict
+    config: dict | None = None
+    history: dict | None = None
+    extra: dict | None = None
+
+
+# ---------------------------------------------------------------------------
+# Low-level crash-safe IO
+# ---------------------------------------------------------------------------
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush the directory entry so a rename survives power loss."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # platforms without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, write_payload, fail_name: str) -> None:
+    """Write ``path`` via temp file + flush + fsync + ``os.replace``.
+
+    ``write_payload(fileobj)`` produces the bytes; ``fail_name`` is the
+    :func:`~repro.train.faults.failpoint` consulted before the write and
+    before the final rename.  On any failure the temp file is removed,
+    so aborted attempts never masquerade as snapshots.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        failpoint(fail_name)
+        with open(tmp, "wb") as f:
+            write_payload(f)
+            f.flush()
+            os.fsync(f.fileno())
+        failpoint("checkpoint.replace")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
+
+
+def _retrying(fn, retries: int, backoff: float, sleep, obs, what: str):
+    """Run ``fn`` retrying transient ``OSError`` with exponential backoff."""
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except OSError as error:
+            attempt += 1
+            if attempt > retries:
+                raise
+            delay = backoff * (2 ** (attempt - 1))
+            obs.events.emit("checkpoint_retry", what=what, attempt=attempt,
+                            delay=delay, error=str(error))
+            sleep(delay)
+
+
+def _git_sha() -> str:
+    """Best-effort git sha of the writing code, for provenance."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _array_record(array: np.ndarray) -> dict:
+    """Manifest integrity record for one array: crc32 + shape + dtype."""
+    data = np.ascontiguousarray(array)
+    return {
+        "crc32": zlib.crc32(data.tobytes()),
+        "shape": list(data.shape),
+        "dtype": data.dtype.str,
+    }
+
+
+def _build_manifest(kind: str, step: int | None, npz_path: Path,
+                    arrays: dict[str, np.ndarray]) -> dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": kind,
+        "step": step,
+        "file": npz_path.name,
+        "git_sha": _git_sha(),
+        "created_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "arrays": {name: _array_record(arr) for name, arr in arrays.items()},
+    }
+
+
+def _write_snapshot(npz_path: Path, arrays: dict[str, np.ndarray],
+                    kind: str, step: int | None) -> dict:
+    """Write archive then manifest (the commit marker); returns the manifest."""
+    _atomic_write(npz_path, lambda f: np.savez(f, **arrays), "checkpoint.write")
+    manifest = _build_manifest(kind, step, npz_path, arrays)
+    payload = json.dumps(manifest, indent=2, default=float).encode("utf-8")
+    _atomic_write(manifest_path_for(npz_path), lambda f: f.write(payload),
+                  "checkpoint.manifest")
+    return manifest
+
+
+def manifest_path_for(npz_path: str | Path) -> Path:
+    """Sidecar manifest path for an archive: ``<file>.manifest.json``."""
+    npz_path = Path(npz_path)
+    return npz_path.with_name(npz_path.name + MANIFEST_SUFFIX)
+
+
+def verify_checkpoint(npz_path: str | Path) -> dict:
+    """Check a snapshot against its manifest; return the manifest dict.
+
+    Raises :class:`CheckpointError` if the manifest is missing or
+    unreadable, the archive is unreadable (truncated zip), the entry
+    sets differ, or any per-array CRC-32/shape/dtype does not match.
+    """
+    npz_path = Path(npz_path)
+    manifest_path = manifest_path_for(npz_path)
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError) as error:
+        raise CheckpointError(
+            f"unreadable manifest {manifest_path}: {error}") from error
+    expected = manifest.get("arrays")
+    if not isinstance(expected, dict):
+        raise CheckpointError(f"manifest {manifest_path} has no array records")
+    try:
+        with np.load(npz_path) as archive:
+            names = set(archive.files)
+            if names != set(expected):
+                raise CheckpointError(
+                    f"{npz_path}: archive entries {sorted(names)} != "
+                    f"manifest entries {sorted(expected)}")
+            for name, record in expected.items():
+                actual = _array_record(archive[name])
+                if actual != record:
+                    raise CheckpointError(
+                        f"{npz_path}: checksum mismatch on {name!r} "
+                        f"(expected {record}, got {actual})")
+    except CheckpointError:
+        raise
+    except Exception as error:  # truncated/corrupt zip raises many types
+        raise CheckpointError(f"unreadable archive {npz_path}: {error}") from error
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# Directory layout: listing, latest, rotation
+# ---------------------------------------------------------------------------
+
+
+def list_checkpoints(directory: str | Path) -> list[CheckpointInfo]:
+    """All ``ckpt-NNNNNNNN.npz`` snapshots in ``directory``, oldest first.
+
+    Purely name-based — no integrity check; pair with
+    :func:`verify_checkpoint` or use :func:`latest_checkpoint` /
+    :func:`load_training_checkpoint`, which verify before trusting.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for entry in directory.iterdir():
+        match = _CKPT_RE.match(entry.name)
+        if match:
+            found.append(CheckpointInfo(int(match.group(1)), entry,
+                                        manifest_path_for(entry)))
+    return sorted(found, key=lambda info: info.step)
+
+
+def latest_checkpoint(directory: str | Path,
+                      verify: bool = True) -> CheckpointInfo | None:
+    """Newest snapshot in ``directory`` (newest *valid* one by default).
+
+    With ``verify=True`` corrupt or uncommitted snapshots are skipped,
+    so the answer is the one a resume would actually use; ``None`` when
+    nothing usable exists.
+    """
+    for info in reversed(list_checkpoints(directory)):
+        if not verify:
+            return info
+        try:
+            verify_checkpoint(info.path)
+            return info
+        except CheckpointError:
+            continue
+    return None
+
+
+def _rotate(directory: Path, keep_last: int, obs) -> None:
+    """Delete snapshots beyond the newest ``keep_last`` (archive + manifest)."""
+    snapshots = list_checkpoints(directory)
+    for info in snapshots[:-keep_last] if keep_last > 0 else []:
+        for stale in (info.path, info.manifest_path):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        obs.events.emit("checkpoint_rotated", step=info.step,
+                        path=str(info.path))
+
+
+# ---------------------------------------------------------------------------
+# Optimizer state <-> flat array packing
+# ---------------------------------------------------------------------------
+
+
+def _pack_optimizer(state: dict) -> tuple[dict[str, np.ndarray], dict]:
+    """Split an optimizer state dict into npz arrays and JSON scalars."""
+    arrays: dict[str, np.ndarray] = {}
+    scalars: dict = {}
+    for key, value in state.items():
+        if isinstance(value, np.ndarray):
+            arrays[f"optim/{key}"] = value
+            scalars[key] = {"__array__": True}
+        elif (isinstance(value, (list, tuple)) and value
+              and all(isinstance(v, np.ndarray) for v in value)):
+            for i, buf in enumerate(value):
+                arrays[f"optim/{key}/{i:04d}"] = buf
+            scalars[key] = {"__buffers__": len(value)}
+        else:
+            scalars[key] = value
+    return arrays, scalars
+
+
+def _unpack_optimizer(scalars: dict, arrays: dict[str, np.ndarray]) -> dict:
+    """Inverse of :func:`_pack_optimizer`."""
+    state: dict = {}
+    for key, value in scalars.items():
+        if isinstance(value, dict) and value.get("__array__"):
+            state[key] = arrays[f"optim/{key}"]
+        elif isinstance(value, dict) and "__buffers__" in value:
+            state[key] = [arrays[f"optim/{key}/{i:04d}"]
+                          for i in range(value["__buffers__"])]
+        else:
+            state[key] = value
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Full training-state snapshots
+# ---------------------------------------------------------------------------
+
+
+def save_training_checkpoint(
+    directory: str | Path,
+    step: int,
+    model: Module,
+    optimizer=None,
+    *,
+    rng: np.random.Generator | None = None,
+    schedule=None,
+    history=None,
+    config: dict | None = None,
+    extra: dict | None = None,
+    keep_last: int | None = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    sleep=time.sleep,
+    obs=None,
+) -> Path:
+    """Write one full-state snapshot ``ckpt-<step>.npz`` (+ manifest).
+
+    ``step`` is the index of the *next* step to run — checkpoint after
+    completing step 29 (0-indexed) with ``step=30``.  Covers model
+    parameters, optimizer buffers and scalars, the schedule's
+    hyper-parameter fingerprint, the batch-RNG bit-generator state, the
+    in-progress ``history`` (a dict or anything with ``state_dict()``),
+    an optional JSON-able ``config`` and ``extra`` payload.
+
+    Writes are atomic and fsync'd; transient ``OSError`` is retried
+    ``retries`` times with exponential ``backoff`` (base seconds,
+    doubling).  With ``keep_last=N`` older snapshots are pruned after a
+    successful write, so a directory never holds more than N.  Pass an
+    :class:`repro.obs.Observability` bundle as ``obs`` for a
+    ``checkpoint.save`` span, the ``train.checkpoint_seconds``
+    histogram, and ``checkpoint_saved`` / ``checkpoint_retry`` /
+    ``checkpoint_rotated`` events.
+    """
+    obs = obs if obs is not None else NULL_OBS
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    npz_path = directory / f"ckpt-{step:08d}.npz"
+
+    arrays = {f"model/{name}": value
+              for name, value in model.state_dict().items()}
+    meta: dict = {"format_version": FORMAT_VERSION, "step": int(step),
+                  "optimizer": None, "schedule": None, "rng_state": None,
+                  "history": None, "config": config, "extra": extra}
+    if optimizer is not None:
+        optim_arrays, optim_scalars = _pack_optimizer(optimizer.state_dict())
+        arrays.update(optim_arrays)
+        meta["optimizer"] = optim_scalars
+    if schedule is not None:
+        meta["schedule"] = schedule.state_dict()
+    if rng is not None:
+        meta["rng_state"] = rng.bit_generator.state
+    if history is not None:
+        meta["history"] = (history.state_dict()
+                           if hasattr(history, "state_dict") else dict(history))
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta, default=float).encode("utf-8"), dtype=np.uint8)
+
+    start = time.perf_counter()
+    with obs.tracer.span("checkpoint.save", step=step):
+        _retrying(lambda: _write_snapshot(npz_path, arrays, "train_state", step),
+                  retries, backoff, sleep, obs, what=str(npz_path))
+        if keep_last is not None:
+            _rotate(directory, keep_last, obs)
+    seconds = time.perf_counter() - start
+    obs.metrics.histogram("train.checkpoint_seconds").observe(seconds)
+    obs.events.emit("checkpoint_saved", step=step, path=str(npz_path),
+                    bytes=npz_path.stat().st_size, seconds=seconds)
+    return npz_path
+
+
+def _resolve_candidates(source: str | Path) -> list[CheckpointInfo]:
+    """Snapshots to try, newest first: a whole directory or one file."""
+    source = Path(source)
+    if source.is_dir():
+        return list(reversed(list_checkpoints(source)))
+    name = source.name
+    if name.endswith(MANIFEST_SUFFIX):
+        source = source.with_name(name[: -len(MANIFEST_SUFFIX)])
+    match = _CKPT_RE.match(source.name)
+    step = int(match.group(1)) if match else -1
+    return [CheckpointInfo(step, source, manifest_path_for(source))]
+
+
+def load_training_checkpoint(
+    source: str | Path,
+    model: Module | None = None,
+    optimizer=None,
+    *,
+    rng: np.random.Generator | None = None,
+    schedule=None,
+    strict: bool = True,
+    obs=None,
+) -> ResumeState:
+    """Restore training state from ``source``; returns a :class:`ResumeState`.
+
+    ``source`` is a checkpoint directory (the newest *verified* snapshot
+    wins; corrupt ones are skipped with a ``checkpoint_fallback`` event,
+    which is how a truncated latest file falls back to the previous
+    snapshot) or a path to one ``.npz`` / manifest file (no fallback).
+
+    Every array is CRC-checked against the manifest *before* any state
+    is mutated.  ``model`` / ``optimizer`` / ``rng`` are restored in
+    place when given; ``schedule`` is not mutated (schedules are pure
+    functions of step) but its hyper-parameters are validated against
+    the snapshot — with ``strict=True`` a mismatch, a missing
+    model/optimizer section, or an RNG bit-generator of a different
+    kind raises :class:`CheckpointError` / ``ValueError`` rather than
+    resuming a run that could not reproduce the original trajectory.
+    """
+    obs = obs if obs is not None else NULL_OBS
+    candidates = _resolve_candidates(source)
+    if not candidates:
+        raise CheckpointError(f"no checkpoints found in {source}")
+
+    failures: list[str] = []
+    chosen = arrays = manifest = None
+    for info in candidates:
+        try:
+            manifest = verify_checkpoint(info.path)
+            with np.load(info.path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+            chosen = info
+            break
+        except CheckpointError as error:
+            failures.append(str(error))
+            obs.events.emit("checkpoint_fallback", path=str(info.path),
+                            error=str(error))
+    if chosen is None:
+        raise CheckpointError(
+            "no valid checkpoint in {}: {}".format(source, "; ".join(failures)))
+
+    if _META_KEY not in arrays:
+        raise CheckpointError(
+            f"{chosen.path} is not a full training checkpoint "
+            f"(no {_META_KEY}; use load_checkpoint for model-only files)")
+    meta = json.loads(arrays.pop(_META_KEY).tobytes().decode("utf-8"))
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"{chosen.path}: unsupported format version "
+            f"{meta.get('format_version')!r} (this reader supports "
+            f"{FORMAT_VERSION})")
+
+    model_state = {name[len("model/"):]: value for name, value in arrays.items()
+                   if name.startswith("model/")}
+    if model is not None:
+        model.load_state_dict(model_state, strict=strict)
+    if optimizer is not None:
+        if meta["optimizer"] is None:
+            if strict:
+                raise CheckpointError(
+                    f"{chosen.path} carries no optimizer state")
+        else:
+            optimizer.load_state_dict(
+                _unpack_optimizer(meta["optimizer"], arrays), strict=strict)
+    if schedule is not None and meta["schedule"] is not None and strict:
+        schedule.validate_state(meta["schedule"])
+    if rng is not None and meta["rng_state"] is not None:
+        saved = meta["rng_state"]
+        if saved.get("bit_generator") != type(rng.bit_generator).__name__:
+            raise CheckpointError(
+                f"RNG mismatch: checkpoint has {saved.get('bit_generator')!r}, "
+                f"current generator is {type(rng.bit_generator).__name__!r}")
+        rng.bit_generator.state = saved
+
+    obs.events.emit("checkpoint_resumed", step=meta["step"],
+                    path=str(chosen.path))
+    return ResumeState(step=meta["step"], path=chosen.path, manifest=manifest,
+                       config=meta.get("config"), history=meta.get("history"),
+                       extra=meta.get("extra"))
+
+
+# ---------------------------------------------------------------------------
+# Model-only checkpoints (the original lightweight API, now crash-safe)
+# ---------------------------------------------------------------------------
+
+
+def _npz_path(path: str | Path) -> Path:
+    """The one naming rule: append ``.npz`` unless already present.
+
+    This mirrors ``np.savez``'s historical filename behaviour, but here
+    the same computed path is used for the atomic write *and* the return
+    value, so the two can never disagree (the pre-fix code derived the
+    return path with a different ``with_suffix`` rule).
+    """
+    text = str(path)
+    return Path(text if text.endswith(".npz") else text + ".npz")
+
+
+def save_checkpoint(path: str | Path, model: Module,
+                    config: dict | None = None, *, retries: int = 0,
+                    backoff: float = 0.05, sleep=time.sleep) -> Path:
+    """Save model parameters (and optional JSON-able config) to ``.npz``.
+
+    The archive is written atomically with a sidecar integrity manifest
+    (see the module docstring); the returned path is exactly the path
+    written.  For full training state — optimizer moments, RNG, history —
+    use :func:`save_training_checkpoint` instead.
+
+    >>> import numpy as np, tempfile, os
+    >>> from repro.nn import MLP
+    >>> from repro.train.checkpoint import save_checkpoint
+    >>> target = os.path.join(tempfile.mkdtemp(), "model.ckpt")
+    >>> saved = save_checkpoint(target, MLP([2, 3], np.random.default_rng(0)))
+    >>> saved.name, saved.exists()
+    ('model.ckpt.npz', True)
+    """
+    target = _npz_path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
     arrays = dict(model.state_dict())
     if config is not None:
         arrays[_CONFIG_KEY] = np.frombuffer(
             json.dumps(config).encode("utf-8"), dtype=np.uint8
         )
-    np.savez(path, **arrays)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    _retrying(lambda: _write_snapshot(target, arrays, "model", None),
+              retries, backoff, sleep, NULL_OBS, what=str(target))
+    return target
 
 
-def load_checkpoint(path: str | Path, model: Module) -> dict | None:
-    """Load parameters into ``model``; returns the stored config, if any."""
-    with np.load(Path(path)) as archive:
+def load_checkpoint(path: str | Path, model: Module, *, strict: bool = True,
+                    verify: bool = True) -> dict | None:
+    """Load parameters into ``model``; returns the stored config, if any.
+
+    When the sidecar manifest exists the archive's checksums are
+    verified *before* any parameter is touched (``verify=False`` skips
+    this; manifest-less archives from older writers load as before).
+    ``strict`` is forwarded to :meth:`repro.nn.Module.load_state_dict`:
+    by default a key-set mismatch raises instead of silently loading the
+    intersection.
+    """
+    target = _npz_path(path)
+    if not target.exists() and Path(path).exists():
+        target = Path(path)
+    if verify and manifest_path_for(target).exists():
+        verify_checkpoint(target)
+    with np.load(target) as archive:
         arrays = {name: archive[name] for name in archive.files}
     config = None
     if _CONFIG_KEY in arrays:
         raw = arrays.pop(_CONFIG_KEY)
         config = json.loads(raw.tobytes().decode("utf-8"))
-    model.load_state_dict(arrays)
+    model.load_state_dict(arrays, strict=strict)
     return config

@@ -1,0 +1,178 @@
+"""Fault injection for testing the checkpoint/resume recovery paths.
+
+A fault-tolerance subsystem that has never seen a fault is a hypothesis,
+not a feature.  This module supplies the three failure modes a training
+job actually meets in production, so the recovery paths in
+:mod:`repro.train.checkpoint` are exercised by tests rather than assumed:
+
+- **Process death mid-run** — :class:`SimulatedCrash` raised from a
+  :func:`crash_at`-wrapped ``batch_fn`` kills a
+  :class:`~repro.train.Trainer` run at an exact step, the moral
+  equivalent of a SIGKILL between two optimizer updates.
+- **Transient IO errors** — :func:`inject` arms a named *failpoint*
+  (e.g. ``"checkpoint.write"``) that the checkpoint IO layer consults
+  via :func:`failpoint`; the next N passes through it raise, after
+  which writes succeed again.  This is how the retry-with-backoff path
+  is tested.
+- **Corruption at rest** — :func:`truncate_file` and
+  :func:`corrupt_file` damage an already-written snapshot the way a
+  torn write or bad disk would, so the manifest-checksum fallback to
+  the previous valid snapshot can be verified.
+
+Failpoints are deliberately process-global and off by default: with no
+fault armed, :func:`failpoint` is a dict lookup returning immediately,
+cheap enough to leave in production IO paths (the "failpoint" idiom from
+etcd/TiKV).  Tests arm them via the :func:`inject` context manager,
+which always disarms on exit.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by injected faults standing in for an abrupt process death."""
+
+
+class _Fault:
+    """One armed failpoint: raises ``exc_factory()`` for ``times`` hits.
+
+    The first ``skip`` passes succeed untouched — that is how a test
+    lets early checkpoints land and kills a *later* one.
+    """
+
+    __slots__ = ("exc_factory", "times", "skip", "hits", "passes")
+
+    def __init__(self, exc_factory, times: int, skip: int = 0):
+        self.exc_factory = exc_factory
+        self.times = times
+        self.skip = skip
+        self.hits = 0
+        self.passes = 0
+
+    def fire(self) -> None:
+        self.passes += 1
+        if self.passes <= self.skip:
+            return
+        if self.times >= 0 and self.hits >= self.times:
+            return
+        self.hits += 1
+        raise self.exc_factory()
+
+
+_ACTIVE: dict[str, _Fault] = {}
+
+
+def failpoint(name: str) -> None:
+    """Production-side hook: raise if a fault is armed for ``name``.
+
+    Checkpoint IO calls this at its named choke points
+    (``"checkpoint.write"``, ``"checkpoint.replace"``,
+    ``"checkpoint.manifest"``).  With nothing armed — the normal case —
+    this is a single dict lookup.
+    """
+    fault = _ACTIVE.get(name)
+    if fault is not None:
+        fault.fire()
+
+
+@contextmanager
+def inject(name: str, exc_factory=None, times: int = 1, skip: int = 0):
+    """Arm a failpoint for the duration of a ``with`` block.
+
+    Parameters
+    ----------
+    name:
+        Failpoint name as used by the production code.
+    exc_factory:
+        Zero-arg callable producing the exception to raise; defaults to
+        a transient-looking ``OSError``.
+    times:
+        How many passes through the failpoint should fail before it
+        starts succeeding again; ``-1`` means fail forever (a hard,
+        non-transient fault).
+    skip:
+        Let the first ``skip`` passes succeed before failing — e.g.
+        ``skip=2, times=-1`` lets two checkpoints land, then kills
+        every later write, which is how "die partway through a long
+        run" is simulated for loops without an injectable batch_fn.
+
+    Yields the armed :class:`_Fault` so tests can assert on ``hits``.
+    """
+    if exc_factory is None:
+        exc_factory = lambda: OSError(f"injected fault at {name}")  # noqa: E731
+    fault = _Fault(exc_factory, times, skip=skip)
+    previous = _ACTIVE.get(name)
+    _ACTIVE[name] = fault
+    try:
+        yield fault
+    finally:
+        if previous is None:
+            _ACTIVE.pop(name, None)
+        else:
+            _ACTIVE[name] = previous
+
+
+def clear() -> None:
+    """Disarm every failpoint (test-teardown safety net)."""
+    _ACTIVE.clear()
+
+
+def crash_at(batch_fn, step: int):
+    """Wrap ``batch_fn`` so the run dies with :class:`SimulatedCrash` at ``step``.
+
+    The crash fires when the trainer asks for the batch of global step
+    ``step`` — i.e. after ``step`` optimizer updates have completed and
+    any on-boundary checkpoint has been written, exactly where a real
+    mid-run kill lands.  The wrapper forwards positional arguments
+    unchanged, so it works for both ``batch_fn(step)`` and
+    ``batch_fn(step, rng)`` calling conventions.
+    """
+    def wrapped(s, *args):
+        if s == step:
+            raise SimulatedCrash(f"injected crash at step {s}")
+        return batch_fn(s, *args)
+
+    return wrapped
+
+
+def truncate_file(path: str | Path, keep_bytes: int | None = None) -> None:
+    """Truncate ``path`` in place, as a torn write would leave it.
+
+    By default keeps the first half of the file; pass ``keep_bytes`` for
+    an exact cut (0 leaves an empty file).
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if keep_bytes is None:
+        keep_bytes = size // 2
+    with open(path, "r+b") as f:
+        f.truncate(keep_bytes)
+
+
+def corrupt_file(path: str | Path, offset: int | None = None,
+                 nbytes: int = 8) -> None:
+    """Flip ``nbytes`` bytes of ``path`` in place (silent bit-rot).
+
+    The file keeps its size — this is the corruption that only a
+    checksum can catch, unlike truncation which the zip reader notices
+    on its own.  ``offset`` defaults to the middle of the file.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if size == 0:
+        raise ValueError(f"cannot corrupt empty file {path}")
+    if offset is None:
+        offset = size // 2
+    offset = min(offset, size - 1)
+    nbytes = min(nbytes, size - offset)
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        original = f.read(nbytes)
+        f.seek(offset)
+        f.write(bytes(b ^ 0xFF for b in original))
+        f.flush()
+        os.fsync(f.fileno())

@@ -14,12 +14,23 @@ achieved FLOPs/sec (via the §3/§6 ``C ~ 6PD`` accounting in
 :func:`repro.phenomenology.compute.training_flops`).  With ``obs=None``
 (the default) every hook is a shared no-op and the loop behaves — and
 costs — exactly as before.
+
+Fault tolerance (PR 3): :meth:`Trainer.run` takes ``checkpoint_every``
+/ ``checkpoint_dir`` to write full-state snapshots on step boundaries
+and ``resume_from`` to continue a killed run from the newest valid
+snapshot.  A resumed run is *bit-identical* to an uninterrupted one
+provided the batch RNG is owned by the trainer (the ``rng`` parameter,
+threaded into ``batch_fn(step, rng)``) so its bit-generator state lives
+inside the checkpoint — see :mod:`repro.train.checkpoint` for the
+format and :mod:`repro.train.faults` for how the recovery paths are
+tested.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -27,6 +38,7 @@ import numpy as np
 from ..nn import Module, Optimizer, Schedule, clip_grad_norm
 from ..obs import NULL_OBS, Observability
 from ..phenomenology.compute import training_flops
+from .checkpoint import latest_checkpoint, load_training_checkpoint, save_training_checkpoint
 
 
 @dataclass
@@ -48,12 +60,14 @@ class History:
 
     @property
     def final_loss(self) -> float:
+        """Loss of the last recorded step (raises when empty)."""
         if not self.losses:
             raise ValueError("no steps recorded")
         return self.losses[-1]
 
     @property
     def total_tokens(self) -> int:
+        """Tokens consumed across all recorded steps (the paper's D)."""
         return sum(self.step_tokens)
 
     @property
@@ -68,6 +82,20 @@ class History:
             return losses
         kernel = np.ones(window) / window
         return np.convolve(losses, kernel, mode="valid")
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of every recorded series (for checkpoints)."""
+        return asdict(self)
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "History":
+        """Rebuild a :class:`History` saved by :meth:`state_dict`.
+
+        Unknown keys are ignored so old checkpoints stay loadable after
+        new telemetry fields are added to the dataclass.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in state.items() if k in known})
 
     def eval_series(self, key: str) -> tuple[list[int], list[float]]:
         """Extract one named metric across evaluation snapshots.
@@ -94,7 +122,11 @@ class Trainer:
     optimizer:
         An :class:`~repro.nn.Optimizer` over the model's parameters.
     batch_fn:
-        ``batch_fn(step) -> (x, y)`` supplies each training batch.
+        ``batch_fn(step) -> (x, y)`` supplies each training batch.  When
+        the trainer owns an ``rng`` the convention becomes
+        ``batch_fn(step, rng) -> (x, y)`` — drawing batch randomness
+        from the trainer-owned stream is what makes checkpointed runs
+        resumable bit-exactly.
     schedule:
         Optional learning-rate schedule applied before every step.
     clip_norm:
@@ -102,20 +134,27 @@ class Trainer:
     eval_fn:
         Optional ``eval_fn(model, step) -> dict[str, float]`` run every
         ``eval_every`` steps (and at the final step).
+    rng:
+        Optional ``np.random.Generator`` owned by the trainer and passed
+        to ``batch_fn``; its bit-generator state is saved in every
+        checkpoint and restored on resume.
     obs:
         Optional :class:`~repro.obs.Observability` bundle; when given,
-        the run emits spans, ``train.*`` metrics, and per-step events.
+        the run emits spans, ``train.*`` metrics, and per-step events
+        (including ``checkpoint_saved`` / ``checkpoint_resumed`` and the
+        ``train.checkpoint_seconds`` histogram when checkpointing).
     """
 
     def __init__(
         self,
         model: Module,
         optimizer: Optimizer,
-        batch_fn: Callable[[int], tuple[np.ndarray, np.ndarray]],
+        batch_fn: Callable[..., tuple[np.ndarray, np.ndarray]],
         schedule: Schedule | None = None,
         clip_norm: float | None = None,
         eval_fn: Callable[[Module, int], dict[str, float]] | None = None,
         eval_every: int = 0,
+        rng: np.random.Generator | None = None,
         obs: Observability | None = None,
     ):
         self.model = model
@@ -125,9 +164,38 @@ class Trainer:
         self.clip_norm = clip_norm
         self.eval_fn = eval_fn
         self.eval_every = eval_every
+        self.rng = rng
         self.obs = obs
 
-    def run(self, num_steps: int) -> History:
+    def _next_batch(self, step: int) -> tuple[np.ndarray, np.ndarray]:
+        """Call ``batch_fn`` with the trainer-owned RNG when there is one."""
+        if self.rng is not None:
+            return self.batch_fn(step, self.rng)
+        return self.batch_fn(step)
+
+    def run(
+        self,
+        num_steps: int,
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_dir: str | Path | None = None,
+        keep_last: int = 3,
+        resume_from: str | Path | None = None,
+    ) -> History:
+        """Train for ``num_steps`` total steps, optionally checkpointed.
+
+        With ``checkpoint_dir`` set and ``checkpoint_every > 0``, a
+        full-state snapshot is written after every ``checkpoint_every``-th
+        step and after the final one, keeping the newest ``keep_last``
+        (see :func:`repro.train.checkpoint.save_training_checkpoint`).
+
+        ``resume_from`` (a checkpoint directory or snapshot path)
+        restores model/optimizer/RNG/history state and continues from
+        the saved step toward the same ``num_steps`` total; the resumed
+        trajectory is bit-identical to an uninterrupted run.  If the
+        checkpoint already covers ``num_steps`` the restored history is
+        returned unchanged.
+        """
         if num_steps < 1:
             raise ValueError("num_steps must be positive")
         obs = self.obs if self.obs is not None else NULL_OBS
@@ -143,18 +211,46 @@ class Trainer:
         max_norm = self.clip_norm if self.clip_norm is not None else float("inf")
         num_params = (self.model.num_parameters()
                       if hasattr(self.model, "num_parameters") else 0)
+        checkpointing = checkpoint_dir is not None and checkpoint_every > 0
 
         history = History()
+        start_step = 0
+        prior_wall = 0.0
+        if resume_from is not None:
+            state = load_training_checkpoint(
+                resume_from, self.model, self.optimizer,
+                rng=self.rng, schedule=self.schedule, obs=obs)
+            start_step = state.step
+            if state.history is not None:
+                history = History.from_state_dict(state.history)
+                prior_wall = history.wall_time
+            if start_step >= num_steps:
+                return history
+
         start = time.perf_counter()
+
+        def maybe_checkpoint(step: int) -> None:
+            # ``step`` completed steps done => snapshot labelled ``step``
+            # (= the next step to run on resume).
+            if not checkpointing:
+                return
+            if step % checkpoint_every != 0 and step != num_steps:
+                return
+            history.wall_time = prior_wall + (time.perf_counter() - start)
+            save_training_checkpoint(
+                checkpoint_dir, step, self.model, self.optimizer,
+                rng=self.rng, schedule=self.schedule, history=history,
+                keep_last=keep_last, obs=obs)
+
         self.model.train()
         with tracer.span("train.run", steps=num_steps, params=num_params):
-            for step in range(num_steps):
+            for step in range(start_step, num_steps):
                 step_start = time.perf_counter()
                 with tracer.span("train.step", step=step):
                     if self.schedule is not None:
                         self.schedule.apply(self.optimizer, step)
                     with tracer.span("train.batch"):
-                        x, y = self.batch_fn(step)
+                        x, y = self._next_batch(step)
                     self.model.zero_grad()
                     with tracer.span("train.forward"):
                         loss = self.model.loss(x, y)
@@ -204,7 +300,9 @@ class Trainer:
                     history.eval_values.append(snapshot)
                     events.emit("train_eval", step=step, **snapshot)
                     self.model.train()
-        history.wall_time = time.perf_counter() - start
+
+                maybe_checkpoint(step + 1)
+        history.wall_time = prior_wall + (time.perf_counter() - start)
         return history
 
 
@@ -221,20 +319,38 @@ def train_lm_on_stream(
     eval_fn: Callable | None = None,
     eval_every: int = 0,
     obs: Observability | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_dir: str | Path | None = None,
+    keep_last: int = 3,
+    resume: bool = False,
 ) -> History:
-    """Convenience wrapper: AdamW + random-window batches from a stream."""
+    """Convenience wrapper: AdamW + random-window batches from a stream.
+
+    The batch RNG is owned by the :class:`Trainer` (not closed over), so
+    with ``checkpoint_dir`` / ``checkpoint_every`` set the run writes
+    resumable full-state snapshots; ``resume=True`` continues from the
+    newest valid snapshot in ``checkpoint_dir`` when one exists (and
+    starts from scratch otherwise), reproducing the uninterrupted
+    trajectory bit-for-bit.
+    """
     from ..data.corpus import sample_batch
     from ..nn import AdamW
 
-    rng = np.random.default_rng(seed)
     optimizer = AdamW(model.parameters(), lr=lr, weight_decay=weight_decay)
     trainer = Trainer(
         model,
         optimizer,
-        batch_fn=lambda step: sample_batch(train_ids, batch_size, seq_len, rng),
+        batch_fn=lambda step, rng: sample_batch(train_ids, batch_size, seq_len, rng),
         clip_norm=clip_norm,
         eval_fn=eval_fn,
         eval_every=eval_every,
+        rng=np.random.default_rng(seed),
         obs=obs,
     )
-    return trainer.run(num_steps)
+    resume_from = None
+    if resume and checkpoint_dir is not None:
+        if latest_checkpoint(checkpoint_dir) is not None:
+            resume_from = checkpoint_dir
+    return trainer.run(num_steps, checkpoint_every=checkpoint_every,
+                       checkpoint_dir=checkpoint_dir, keep_last=keep_last,
+                       resume_from=resume_from)

@@ -1,0 +1,278 @@
+"""Unit tests for full-state checkpoints: format, integrity, faults, rotation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, SGD, AdamW, WarmupCosine
+from repro.train.checkpoint import (
+    CheckpointError,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    load_training_checkpoint,
+    manifest_path_for,
+    save_checkpoint,
+    save_training_checkpoint,
+    verify_checkpoint,
+)
+from repro.train.faults import clear, corrupt_file, inject, truncate_file
+
+
+@pytest.fixture(autouse=True)
+def _disarm_failpoints():
+    yield
+    clear()
+
+
+def make_model(seed: int = 1) -> MLP:
+    return MLP([3, 8, 3], np.random.default_rng(seed))
+
+
+def make_trained(optimizer_cls=AdamW, steps: int = 5):
+    """A model + optimizer that have actually taken steps (non-trivial state)."""
+    from repro.autograd import Tensor
+
+    model = make_model()
+    optimizer = optimizer_cls(model.parameters(), lr=0.05)
+    rng = np.random.default_rng(9)
+    for _ in range(steps):
+        model.zero_grad()
+        x = Tensor(rng.normal(size=(4, 3)))
+        model(x).square().mean().backward()
+        optimizer.step()
+    return model, optimizer, rng
+
+
+class TestRoundTrip:
+    def test_full_state_round_trips_exactly(self, tmp_path):
+        model, optimizer, rng = make_trained()
+        schedule = WarmupCosine(peak_lr=0.05, warmup_steps=2, total_steps=50)
+        history = {"losses": [3.0, 2.0], "steps": [0, 1]}
+        save_training_checkpoint(
+            tmp_path, 2, model, optimizer, rng=rng, schedule=schedule,
+            history=history, config={"d": 3}, extra={"note": "hi"})
+
+        model2 = make_model(seed=2)  # different init: must be overwritten
+        optimizer2 = AdamW(model2.parameters(), lr=0.05)
+        rng2 = np.random.default_rng(0)
+        state = load_training_checkpoint(
+            tmp_path, model2, optimizer2, rng=rng2, schedule=schedule)
+
+        assert state.step == 2
+        assert state.history == history
+        assert state.config == {"d": 3}
+        assert state.extra == {"note": "hi"}
+        for name, value in model.state_dict().items():
+            assert np.array_equal(value, model2.state_dict()[name]), name
+        # Adam moments and step count restored exactly.
+        assert optimizer2._step_count == optimizer._step_count == 5
+        for m1, m2 in zip(optimizer._m, optimizer2._m):
+            assert np.array_equal(m1, m2)
+        for v1, v2 in zip(optimizer._v, optimizer2._v):
+            assert np.array_equal(v1, v2)
+        # The restored RNG continues the exact same stream.
+        assert rng2.bit_generator.state == rng.bit_generator.state
+        assert np.array_equal(rng2.normal(size=5), rng.normal(size=5))
+
+    def test_sgd_velocity_round_trips(self, tmp_path):
+        model, optimizer, rng = make_trained(
+            lambda params, lr: SGD(params, lr, momentum=0.9))
+        save_training_checkpoint(tmp_path, 1, model, optimizer, rng=rng)
+        model2 = make_model(seed=3)
+        optimizer2 = SGD(model2.parameters(), lr=0.05, momentum=0.9)
+        load_training_checkpoint(tmp_path, model2, optimizer2)
+        for v1, v2 in zip(optimizer._velocity, optimizer2._velocity):
+            assert np.array_equal(v1, v2)
+            assert np.abs(v1).sum() > 0  # states were non-trivial
+
+    def test_optimizer_kind_mismatch_raises(self, tmp_path):
+        model, optimizer, rng = make_trained()
+        save_training_checkpoint(tmp_path, 1, model, optimizer)
+        wrong = SGD(make_model().parameters(), lr=0.05)
+        with pytest.raises(ValueError, match="AdamW"):
+            load_training_checkpoint(tmp_path, make_model(), wrong)
+
+    def test_schedule_mismatch_raises(self, tmp_path):
+        model, optimizer, rng = make_trained()
+        saved = WarmupCosine(peak_lr=0.05, warmup_steps=2, total_steps=50)
+        save_training_checkpoint(tmp_path, 1, model, schedule=saved)
+        other = WarmupCosine(peak_lr=0.05, warmup_steps=2, total_steps=99)
+        with pytest.raises(ValueError, match="schedule"):
+            load_training_checkpoint(tmp_path, make_model(), schedule=other)
+
+    def test_rng_kind_mismatch_raises(self, tmp_path):
+        model, _, rng = make_trained()
+        save_training_checkpoint(tmp_path, 1, model, rng=rng)
+        mt = np.random.Generator(np.random.MT19937(0))
+        with pytest.raises(CheckpointError, match="RNG mismatch"):
+            load_training_checkpoint(tmp_path, make_model(), rng=mt)
+
+
+class TestRotation:
+    def test_keep_last_prunes_oldest(self, tmp_path):
+        model, optimizer, rng = make_trained()
+        for step in (10, 20, 30, 40):
+            save_training_checkpoint(tmp_path, step, model, optimizer,
+                                     rng=rng, keep_last=2)
+        assert [c.step for c in list_checkpoints(tmp_path)] == [30, 40]
+        # Manifests of pruned snapshots are gone too.
+        leftovers = sorted(p.name for p in tmp_path.iterdir())
+        assert leftovers == ["ckpt-00000030.npz",
+                             "ckpt-00000030.npz.manifest.json",
+                             "ckpt-00000040.npz",
+                             "ckpt-00000040.npz.manifest.json"]
+
+    def test_no_rotation_without_keep_last(self, tmp_path):
+        model, optimizer, rng = make_trained()
+        for step in (1, 2, 3):
+            save_training_checkpoint(tmp_path, step, model)
+        assert [c.step for c in list_checkpoints(tmp_path)] == [1, 2, 3]
+
+
+class TestIntegrity:
+    def test_verify_passes_on_good_snapshot(self, tmp_path):
+        model, optimizer, rng = make_trained()
+        path = save_training_checkpoint(tmp_path, 5, model, optimizer, rng=rng)
+        manifest = verify_checkpoint(path)
+        assert manifest["step"] == 5
+        assert manifest["format_version"] == 1
+        assert any(k.startswith("model/") for k in manifest["arrays"])
+
+    def test_verify_catches_silent_corruption(self, tmp_path):
+        model, *_ = make_trained()
+        path = save_training_checkpoint(tmp_path, 5, model)
+        corrupt_file(path)
+        with pytest.raises(CheckpointError):
+            verify_checkpoint(path)
+
+    def test_verify_catches_truncation(self, tmp_path):
+        model, *_ = make_trained()
+        path = save_training_checkpoint(tmp_path, 5, model)
+        truncate_file(path)
+        with pytest.raises(CheckpointError):
+            verify_checkpoint(path)
+
+    def test_missing_manifest_means_never_written(self, tmp_path):
+        model, *_ = make_trained()
+        path = save_training_checkpoint(tmp_path, 5, model)
+        manifest_path_for(path).unlink()
+        with pytest.raises(CheckpointError, match="manifest"):
+            verify_checkpoint(path)
+        assert latest_checkpoint(tmp_path) is None
+
+    def test_corrupt_latest_falls_back_to_previous(self, tmp_path):
+        model, optimizer, rng = make_trained()
+        save_training_checkpoint(tmp_path, 10, model, optimizer, rng=rng)
+        newest = save_training_checkpoint(tmp_path, 20, model, optimizer,
+                                          rng=rng)
+        corrupt_file(newest)
+        assert latest_checkpoint(tmp_path).step == 10
+        state = load_training_checkpoint(tmp_path, make_model(), rng=rng)
+        assert state.step == 10
+
+    def test_truncated_latest_falls_back_to_previous(self, tmp_path):
+        model, optimizer, rng = make_trained()
+        save_training_checkpoint(tmp_path, 10, model, optimizer, rng=rng)
+        newest = save_training_checkpoint(tmp_path, 20, model, optimizer,
+                                          rng=rng)
+        truncate_file(newest, keep_bytes=100)
+        state = load_training_checkpoint(tmp_path, make_model(), rng=rng)
+        assert state.step == 10
+
+    def test_all_snapshots_corrupt_raises(self, tmp_path):
+        model, *_ = make_trained()
+        for step in (1, 2):
+            corrupt_file(save_training_checkpoint(tmp_path, step, model))
+        with pytest.raises(CheckpointError, match="no valid checkpoint"):
+            load_training_checkpoint(tmp_path, make_model())
+
+    def test_single_file_source_has_no_fallback(self, tmp_path):
+        model, *_ = make_trained()
+        save_training_checkpoint(tmp_path, 10, model)
+        newest = save_training_checkpoint(tmp_path, 20, model)
+        corrupt_file(newest)
+        with pytest.raises(CheckpointError):
+            load_training_checkpoint(newest, make_model())
+
+
+class TestFaultInjection:
+    def test_transient_write_errors_are_retried_with_backoff(self, tmp_path):
+        model, *_ = make_trained()
+        sleeps = []
+        with inject("checkpoint.write", times=2) as fault:
+            path = save_training_checkpoint(
+                tmp_path, 1, model, retries=3, backoff=0.01,
+                sleep=sleeps.append)
+        assert fault.hits == 2
+        assert sleeps == [0.01, 0.02]  # exponential backoff
+        verify_checkpoint(path)  # the eventual write is a valid snapshot
+
+    def test_retry_exhaustion_raises_and_leaves_no_tmp(self, tmp_path):
+        model, *_ = make_trained()
+        with inject("checkpoint.write", times=-1):
+            with pytest.raises(OSError, match="injected"):
+                save_training_checkpoint(tmp_path, 1, model, retries=2,
+                                         backoff=0.0, sleep=lambda _: None)
+        assert list(tmp_path.iterdir()) == []  # no *.tmp litter, no snapshot
+
+    def test_crash_before_manifest_leaves_uncommitted_snapshot(self, tmp_path):
+        model, *_ = make_trained()
+        save_training_checkpoint(tmp_path, 1, model)
+        with inject("checkpoint.manifest", times=-1):
+            with pytest.raises(OSError):
+                save_training_checkpoint(tmp_path, 2, model, retries=0)
+        # The step-2 archive may exist but has no manifest => not a
+        # snapshot; resume uses step 1.
+        assert latest_checkpoint(tmp_path).step == 1
+
+    def test_crash_at_replace_keeps_old_snapshot_intact(self, tmp_path):
+        model, *_ = make_trained()
+        path = save_training_checkpoint(tmp_path, 1, model)
+        with inject("checkpoint.replace", times=-1):
+            with pytest.raises(OSError):
+                save_training_checkpoint(tmp_path, 1, model, retries=0)
+        verify_checkpoint(path)  # old step-1 snapshot untouched
+
+
+class TestModelOnlyCheckpoints:
+    def test_returned_path_is_the_written_path(self, tmp_path):
+        # Regression: the old code computed the return path with a
+        # different rule than np.savez's filename munging, so
+        # save_checkpoint("model.ckpt") returned a path that did not
+        # exist ("model.npz" vs the actual "model.ckpt.npz").
+        model = make_model()
+        for stem in ("model.ckpt", "model", "model.npz", "a.b.c"):
+            saved = save_checkpoint(tmp_path / stem, model)
+            assert saved.exists(), stem
+            assert saved.name.endswith(".npz")
+            assert load_checkpoint(saved, make_model(seed=5)) is None
+
+    def test_config_round_trips(self, tmp_path):
+        model = make_model()
+        path = save_checkpoint(tmp_path / "m", model, config={"layers": [3, 8, 3]})
+        model2 = make_model(seed=4)
+        config = load_checkpoint(path, model2)
+        assert config == {"layers": [3, 8, 3]}
+        for name, value in model.state_dict().items():
+            assert np.array_equal(value, model2.state_dict()[name])
+
+    def test_load_verifies_manifest_by_default(self, tmp_path):
+        model = make_model()
+        path = save_checkpoint(tmp_path / "m", model)
+        corrupt_file(path)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, make_model())
+
+    def test_strict_load_rejects_mismatched_architecture(self, tmp_path):
+        path = save_checkpoint(tmp_path / "m", make_model())
+        other = MLP([3, 8, 8, 3], np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            load_checkpoint(path, other)
+
+    def test_manifest_is_readable_provenance(self, tmp_path):
+        path = save_checkpoint(tmp_path / "m", make_model())
+        manifest = json.loads(manifest_path_for(path).read_text())
+        assert manifest["kind"] == "model"
+        assert "git_sha" in manifest and "created_at" in manifest

@@ -1,0 +1,30 @@
+"""Run the doctests embedded in ``repro.train`` modules.
+
+Equivalent to ``pytest --doctest-modules src/repro/train`` but wired
+into the plain tier-1 invocation, so the usage examples in the
+checkpoint docs are executed, not just read.
+"""
+
+import doctest
+
+import repro.train.checkpoint
+import repro.train.faults
+import repro.train.metrics
+import repro.train.trainer
+
+MODULES = [
+    repro.train.checkpoint,
+    repro.train.faults,
+    repro.train.metrics,
+    repro.train.trainer,
+]
+
+
+def test_train_doctests_pass():
+    attempted = 0
+    for module in MODULES:
+        result = doctest.testmod(module, verbose=False, report=True)
+        assert result.failed == 0, f"doctest failures in {module.__name__}"
+        attempted += result.attempted
+    # The checkpoint quick-start examples must actually have run.
+    assert attempted >= 10

@@ -182,6 +182,30 @@ class TestModuleMechanics:
         with pytest.raises(ValueError):
             a.load_state_dict(state)
 
+    def test_state_dict_unexpected_key_raises_with_both_sides(self):
+        a = MLP([3, 5, 2], _rng())
+        state = a.state_dict()
+        first = next(iter(state))
+        state["zzz.rogue"] = state.pop(first)
+        with pytest.raises(KeyError) as exc:
+            a.load_state_dict(state)
+        # The error names both the missing and the unexpected keys.
+        assert first in str(exc.value)
+        assert "zzz.rogue" in str(exc.value)
+
+    def test_state_dict_non_strict_loads_intersection(self):
+        a = MLP([3, 5, 2], _rng(0))
+        b = MLP([3, 5, 2], _rng(99))
+        state = a.state_dict()
+        dropped = next(iter(state))
+        kept_before = b.state_dict()[dropped].copy()
+        state.pop(dropped)
+        b.load_state_dict(state, strict=False)
+        # Missing entry untouched, everything else overwritten.
+        assert np.array_equal(b.state_dict()[dropped], kept_before)
+        other = next(k for k in a.state_dict() if k != dropped)
+        assert np.array_equal(b.state_dict()[other], a.state_dict()[other])
+
     def test_train_eval_propagates(self):
         seq = Sequential(Dropout(0.5, _rng()), Dropout(0.5, _rng(1)))
         seq.eval()

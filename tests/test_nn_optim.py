@@ -99,6 +99,61 @@ class TestAdam:
         assert pa.data[0] != pytest.approx(pw.data[0])
 
 
+class TestOptimizerStateDict:
+    def _stepped(self, make_opt, steps=3):
+        p = _quadratic_param()
+        opt = make_opt([p])
+        _minimise(opt, p, steps=steps)
+        return p, opt
+
+    @pytest.mark.parametrize("make_opt", [
+        lambda ps: SGD(ps, lr=0.1, momentum=0.9, weight_decay=0.01),
+        lambda ps: Adam(ps, lr=0.1),
+        lambda ps: AdamW(ps, lr=0.1, weight_decay=0.05),
+    ])
+    def test_round_trip_preserves_trajectory(self, make_opt):
+        """Fresh optimizer + restored state continues exactly like the original."""
+        p1, opt1 = self._stepped(make_opt)
+        p2 = Tensor(p1.data.copy(), requires_grad=True)
+        opt2 = make_opt([p2])
+        opt2.load_state_dict(opt1.state_dict())
+        for p, opt in ((p1, opt1), (p2, opt2)):
+            p.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.array_equal(p1.data, p2.data)
+
+    def test_state_dict_is_a_copy(self):
+        _, opt = self._stepped(lambda ps: Adam(ps, lr=0.1))
+        state = opt.state_dict()
+        state["m"][0][:] = 123.0
+        assert not np.array_equal(opt._m[0], state["m"][0])
+
+    def test_adam_state_contents(self):
+        _, opt = self._stepped(lambda ps: Adam(ps, lr=0.1), steps=4)
+        state = opt.state_dict()
+        assert state["kind"] == "Adam"
+        assert state["step_count"] == 4
+        assert state["betas"] == (0.9, 0.999)
+        assert len(state["m"]) == len(state["v"]) == 1
+
+    def test_kind_mismatch_raises(self):
+        _, adam = self._stepped(lambda ps: Adam(ps, lr=0.1))
+        _, adamw = self._stepped(lambda ps: AdamW(ps, lr=0.1))
+        with pytest.raises(ValueError, match="Adam"):
+            adamw.load_state_dict(adam.state_dict())
+        # strict=False skips the kind check for state-compatible kinds.
+        adamw.load_state_dict(adam.state_dict(), strict=False)
+        assert adamw._step_count == adam._step_count
+
+    def test_buffer_shape_mismatch_raises(self):
+        _, opt = self._stepped(lambda ps: Adam(ps, lr=0.1))
+        state = opt.state_dict()
+        state["m"] = [np.zeros((7, 7))]
+        with pytest.raises(ValueError, match="shape"):
+            opt.load_state_dict(state)
+
+
 class TestClipGradNorm:
     def test_no_clip_below_threshold(self):
         p = Tensor(np.zeros(3), requires_grad=True)

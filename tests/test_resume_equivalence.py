@@ -1,0 +1,97 @@
+"""Tier-1 smoke test: a killed, resumed run is bit-identical to an uninterrupted one.
+
+A 60-step tiny-GPT run is interrupted at step 30 by an injected crash,
+then resumed from the last snapshot; losses, learning rates, gradient
+norms for steps 31-60 and the final parameters must match the reference
+run *exactly* (``==`` on floats, not ``allclose``).  Exercised for both
+plain SGD and AdamW + cosine schedule, since the two optimizers carry
+different checkpointed state (velocity vs. moments + step count).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.data.corpus import sample_batch
+from repro.nn import SGD, AdamW, WarmupCosine
+from repro.train import Trainer, latest_checkpoint
+from repro.train.faults import SimulatedCrash, clear, crash_at
+
+STEPS = 60
+CRASH_AT = 30
+CHECKPOINT_EVERY = 10
+
+
+@pytest.fixture(autouse=True)
+def _disarm_failpoints():
+    yield
+    clear()
+
+
+def make_trainer(stream: np.ndarray, optimizer_kind: str) -> Trainer:
+    config = TransformerConfig(vocab_size=8, max_seq_len=8, d_model=16,
+                               num_heads=2, num_layers=1, d_ff=32)
+    model = TransformerLM(config, rng=0)
+    if optimizer_kind == "sgd":
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        schedule = None
+    else:
+        optimizer = AdamW(model.parameters(), lr=3e-3, weight_decay=0.01)
+        schedule = WarmupCosine(peak_lr=3e-3, warmup_steps=5, total_steps=STEPS)
+    return Trainer(
+        model, optimizer,
+        batch_fn=lambda step, rng: sample_batch(stream, 4, 8, rng),
+        schedule=schedule, clip_norm=1.0, rng=np.random.default_rng(7),
+    )
+
+
+def params_of(trainer: Trainer) -> dict[str, np.ndarray]:
+    return trainer.model.state_dict()
+
+
+@pytest.mark.parametrize("optimizer_kind", ["sgd", "adamw_cosine"])
+def test_resume_is_bit_identical(optimizer_kind, tiny_stream, tmp_path):
+    # Reference: the run that never dies.
+    reference_trainer = make_trainer(tiny_stream, optimizer_kind)
+    reference = reference_trainer.run(STEPS)
+
+    # Same run, checkpointed every 10 steps, killed at step 30.
+    crashing = make_trainer(tiny_stream, optimizer_kind)
+    crashing.batch_fn = crash_at(crashing.batch_fn, CRASH_AT)
+    with pytest.raises(SimulatedCrash):
+        crashing.run(STEPS, checkpoint_every=CHECKPOINT_EVERY,
+                     checkpoint_dir=tmp_path)
+    assert latest_checkpoint(tmp_path).step == CRASH_AT
+
+    # Resume in a *fresh* trainer (fresh model, optimizer, RNG), as a
+    # restarted process would.
+    resumed_trainer = make_trainer(tiny_stream, optimizer_kind)
+    resumed = resumed_trainer.run(STEPS, checkpoint_every=CHECKPOINT_EVERY,
+                                  checkpoint_dir=tmp_path,
+                                  resume_from=tmp_path)
+
+    # History: first 30 steps restored from the snapshot, rest recomputed.
+    assert resumed.steps == reference.steps == list(range(STEPS))
+    assert resumed.losses == reference.losses
+    assert resumed.lrs == reference.lrs
+    assert resumed.grad_norms == reference.grad_norms
+    # Bit-identical, specifically, for the post-resume tail.
+    assert resumed.losses[CRASH_AT:] == reference.losses[CRASH_AT:]
+    assert resumed.final_loss == reference.final_loss
+
+    # Final parameters match exactly.
+    ref_params = params_of(reference_trainer)
+    res_params = params_of(resumed_trainer)
+    assert set(ref_params) == set(res_params)
+    for name in ref_params:
+        assert np.array_equal(ref_params[name], res_params[name]), name
+
+
+def test_resume_past_end_returns_saved_history(tiny_stream, tmp_path):
+    done = make_trainer(tiny_stream, "sgd")
+    finished = done.run(20, checkpoint_every=10, checkpoint_dir=tmp_path)
+    again = make_trainer(tiny_stream, "sgd")
+    replayed = again.run(20, checkpoint_every=10, checkpoint_dir=tmp_path,
+                         resume_from=tmp_path)
+    assert replayed.losses == finished.losses
+    assert replayed.steps == finished.steps
