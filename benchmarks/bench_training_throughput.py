@@ -1,0 +1,186 @@
+"""E22 — training-step throughput: fused attention kernel vs composed ops.
+
+The training loop (Eqs. 13-16) is the hot path of every experiment in
+this repo, and before this bench it was the one path with no measured
+trajectory.  Measured here as end-to-end tokens/sec through the real
+:class:`repro.train.Trainer` (forward + backward + optimizer step, AdamW)
+on the tiny-GPT training config, in three attention modes on identical
+seeds and batches:
+
+- ``composed`` — the primitive-op reference graph (``fused=False``);
+- ``fused`` — the single-node :func:`repro.autograd.fused_attention`
+  kernel with the :func:`~repro.autograd.split3` QKV split (the default);
+- ``fused_blocked`` — the same kernel in flash-style streaming-softmax
+  mode, which never materialises the full ``(B, H, T, T)`` score array.
+
+Because the fused forward and backward are bit-identical to the composed
+reference, the three runs must produce the *same loss trajectory* — the
+bench asserts it (exactly for fused, to float round-off for blocked), so
+the speedup it reports is for provably equivalent math.  Results are
+emitted as a ``BENCH_training.json`` record for regression tracking;
+``--trace`` dumps a Chrome trace of the instrumented runs.
+
+``--smoke`` runs a seconds-scale configuration and asserts fused >=
+composed throughput (with slack against timer noise); the tier-1 suite
+invokes it so training-path perf regressions fail loudly.
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+from _util import BenchRun, banner, fmt_table, scale
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.nn.optim import AdamW
+from repro.obs import Observability
+from repro.train import Trainer
+
+# Attention-heavy tiny-GPT: long enough sequences that the (B, H, T, T)
+# score work the kernel fuses away is a real fraction of the step.
+_FULL = dict(vocab_size=64, max_seq_len=128, d_model=64, num_heads=4,
+             num_layers=4)
+_SMOKE = dict(vocab_size=32, max_seq_len=48, d_model=32, num_heads=4,
+              num_layers=2)
+_BATCH_FULL, _BATCH_SMOKE = 8, 4
+_STEPS_FULL, _STEPS_SMOKE = 16, 4
+# Smoke gate: fused must not be slower than composed beyond timer noise
+# on a busy core.  The real margin is ~1.3-1.7x; 0.9 only catches actual
+# regressions, not scheduler jitter.
+_SMOKE_SLACK = 0.9
+
+
+def _train_once(mode: str, smoke: bool, num_steps: int,
+                obs: Observability | None) -> dict:
+    """One full training run in the given attention mode; fresh model/opt."""
+    params = dict(_SMOKE if smoke else _FULL)
+    params["fused"] = mode != "composed"
+    params["attention_block_size"] = (
+        params["max_seq_len"] // 4 if mode == "fused_blocked" else None)
+    cfg = TransformerConfig(**params)
+    batch = _BATCH_SMOKE if smoke else _BATCH_FULL
+    seq = cfg.max_seq_len
+
+    model = TransformerLM(cfg, rng=0)
+    model.train()
+    optimizer = AdamW(model.parameters(), lr=1e-3)
+
+    def batch_fn(step, rng):
+        x = rng.integers(0, cfg.vocab_size, size=(batch, seq))
+        y = rng.integers(0, cfg.vocab_size, size=(batch, seq))
+        return x, y
+
+    trainer = Trainer(model, optimizer, batch_fn,
+                      rng=np.random.default_rng(1), obs=obs)
+    history = trainer.run(num_steps)
+    return {
+        "mode": mode,
+        "block_size": params["attention_block_size"],
+        "steps": num_steps,
+        "tokens": history.total_tokens,
+        "seconds": history.wall_time,
+        "tokens_per_sec": history.tokens_per_sec,
+        "losses": [float(v) for v in history.losses],
+    }
+
+
+def run(smoke: bool = False, obs: Observability | None = None) -> dict:
+    """Run all three attention modes and cross-check their trajectories."""
+    num_steps = (_STEPS_SMOKE if smoke else _STEPS_FULL) * scale()
+    # Warm NumPy/BLAS paths once so the first timed mode isn't penalised.
+    _train_once("fused", True, 1, None)
+
+    runs = {mode: _train_once(mode, smoke, num_steps, obs)
+            for mode in ("composed", "fused", "fused_blocked")}
+
+    composed_losses = runs["composed"]["losses"]
+    trajectory_identical = runs["fused"]["losses"] == composed_losses
+    assert trajectory_identical, \
+        "fused attention diverged from the composed reference trajectory"
+    assert np.allclose(runs["fused_blocked"]["losses"], composed_losses,
+                       rtol=1e-9), \
+        "blocked attention diverged beyond float round-off"
+
+    composed_tps = runs["composed"]["tokens_per_sec"]
+    cfg = dict(_SMOKE if smoke else _FULL)
+    return {
+        "bench": "training_throughput",
+        "smoke": smoke,
+        "model": cfg,
+        "batch_size": _BATCH_SMOKE if smoke else _BATCH_FULL,
+        "steps_per_mode": num_steps,
+        "modes": [runs[m] for m in ("composed", "fused", "fused_blocked")],
+        "speedup_fused": runs["fused"]["tokens_per_sec"] / composed_tps,
+        "speedup_blocked": runs["fused_blocked"]["tokens_per_sec"] / composed_tps,
+        "trajectory_identical": trajectory_identical,
+    }
+
+
+def report(result: dict) -> str:
+    """Human-readable table for one bench result dict."""
+    lines = [banner("Training throughput — fused attention vs composed ops")]
+    composed_tps = result["modes"][0]["tokens_per_sec"]
+    rows = []
+    for entry in result["modes"]:
+        rows.append([entry["mode"],
+                     entry["block_size"] if entry["block_size"] else "-",
+                     entry["steps"], entry["seconds"],
+                     entry["tokens_per_sec"],
+                     entry["tokens_per_sec"] / composed_tps,
+                     entry["losses"][-1]])
+    lines.append(fmt_table(
+        ["mode", "block", "steps", "seconds", "tokens/sec", "speedup",
+         "final loss"], rows))
+    m = result["model"]
+    lines.append(
+        f"B={result['batch_size']} T={m['max_seq_len']} p={m['d_model']} "
+        f"H={m['num_heads']} D={m['num_layers']}; identical seeds/batches; "
+        f"loss trajectories {'identical' if result['trajectory_identical'] else 'DIVERGED'}; "
+        f"fused speedup {result['speedup_fused']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def test_training_throughput(benchmark):
+    """Full-scale gate: the fused kernel must deliver >= 1.5x tokens/sec."""
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(report(result))
+    assert result["trajectory_identical"]
+    assert result["speedup_fused"] >= 1.5
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast mode: tiny config, asserts fused >= composed")
+    parser.add_argument("--out", default="BENCH_training.json",
+                        help="path for the JSON record (default: %(default)s)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="skip writing the JSON record")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="also write a Chrome trace of the training runs")
+    args = parser.parse_args(argv)
+    obs = Observability.standard()
+    out = None if args.no_record else args.out
+    with BenchRun("training_throughput", out=out, trace_out=args.trace,
+                  obs=obs) as br:
+        br.record(run(smoke=args.smoke, obs=obs))
+    result = br.result
+    print(report(result))
+    if out is not None:
+        print(f"record written to {out}")
+    if args.trace is not None:
+        print(f"trace written to {args.trace} (open in chrome://tracing)")
+    if args.smoke:
+        if result["speedup_fused"] < _SMOKE_SLACK:
+            print("SMOKE FAIL: fused attention slower than composed ops",
+                  file=sys.stderr)
+            return 1
+        print("SMOKE OK: fused >= composed tokens/sec")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

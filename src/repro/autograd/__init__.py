@@ -3,11 +3,13 @@
 from .functional import (
     cross_entropy,
     dropout,
+    fused_attention,
     gelu,
     layer_norm,
     log_softmax,
     relu,
     softmax,
+    split3,
 )
 from .gradcheck import check_gradients, numerical_gradient
 from .tensor import (
@@ -35,6 +37,8 @@ __all__ = [
     "gelu",
     "relu",
     "dropout",
+    "fused_attention",
+    "split3",
     "check_gradients",
     "numerical_gradient",
 ]

@@ -28,7 +28,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
     def backward(g, emit):
         inner = (g * y).sum(axis=axis, keepdims=True)
-        emit(x, y * (g - inner))
+        emit(x, y * (g - inner), True)
 
     return Tensor._make(y, (x,), backward)
 
@@ -41,7 +41,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     probs = np.exp(out)
 
     def backward(g, emit):
-        emit(x, g - probs * g.sum(axis=axis, keepdims=True))
+        emit(x, g - probs * g.sum(axis=axis, keepdims=True), True)
 
     return Tensor._make(out, (x,), backward)
 
@@ -86,7 +86,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") 
             probs *= float(g)
         else:
             probs *= float(g) / n
-        emit(logits, probs.reshape(logits.data.shape))
+        emit(logits, probs.reshape(logits.data.shape), True)
 
     return Tensor._make(out_data, (logits,), backward)
 
@@ -101,12 +101,12 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
 
     def backward(g, emit):
         reduce_axes = tuple(range(g.ndim - 1))
-        emit(weight, (g * xhat).sum(axis=reduce_axes))
-        emit(bias, g.sum(axis=reduce_axes))
+        emit(weight, (g * xhat).sum(axis=reduce_axes), True)
+        emit(bias, g.sum(axis=reduce_axes), True)
         gx = g * weight.data
         mean_gx = gx.mean(axis=-1, keepdims=True)
         mean_gx_xhat = (gx * xhat).mean(axis=-1, keepdims=True)
-        emit(x, inv_std * (gx - mean_gx - xhat * mean_gx_xhat))
+        emit(x, inv_std * (gx - mean_gx - xhat * mean_gx_xhat), True)
 
     return Tensor._make(out, (x, weight, bias), backward)
 
@@ -129,7 +129,7 @@ def gelu(x: Tensor) -> Tensor:
     def backward(g, emit):
         du = _GELU_C * (1.0 + 3 * 0.044715 * sq)
         dt = (1.0 - t * t) * du
-        emit(x, g * (0.5 * (1.0 + t) + 0.5 * x.data * dt))
+        emit(x, g * (0.5 * (1.0 + t) + 0.5 * x.data * dt), True)
 
     return Tensor._make(out, (x,), backward)
 
@@ -148,6 +148,275 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     mask = (rng.random(x.shape) >= p) / (1.0 - p)
 
     def backward(g, emit):
-        emit(x, g * mask)
+        emit(x, g * mask, True)
 
     return Tensor._make(x.data * mask, (x,), backward)
+
+
+def split3(x: Tensor, axis: int = -1) -> tuple[Tensor, Tensor, Tensor]:
+    """Split ``x`` into three equal chunks along ``axis`` (the QKV split).
+
+    Forward returns three zero-copy views.  The backward is the point:
+    instead of three ``np.zeros_like`` + ``np.add.at`` scatters (one per
+    chunk, the cost of slicing via ``Tensor.__getitem__``), the three
+    gradient chunks are assigned into **one** preallocated buffer which
+    is emitted once, as an owned allocation, when the last chunk's
+    gradient arrives.
+
+    Contract: all three outputs must participate in the differentiated
+    computation (true for its purpose, the fused-attention QKV split) —
+    the joint buffer is only emitted once every chunk has contributed.
+    A fresh buffer is allocated per backward pass (tracked via the
+    engine's pass counter), so repeated ``backward()`` calls on the same
+    graph accumulate correctly.
+    """
+    from .tensor import _backward_pass_id
+
+    n = x.shape[axis]
+    if n % 3 != 0:
+        raise ValueError(f"axis {axis} has length {n}, not divisible by 3")
+    step = n // 3
+    ax = axis if axis >= 0 else x.ndim + axis
+    if not 0 <= ax < x.ndim:
+        raise ValueError(f"axis {axis} out of range for ndim {x.ndim}")
+    state = {"pass_id": None, "buf": None, "pending": 0}
+
+    def make_backward(sl):
+        def backward(g, emit):
+            pid = _backward_pass_id()
+            if state["pass_id"] != pid:
+                state["pass_id"] = pid
+                state["buf"] = np.zeros_like(x.data)
+                state["pending"] = 3
+            state["buf"][sl] = g
+            state["pending"] -= 1
+            if state["pending"] == 0:
+                emit(x, state["buf"], True)
+                state["buf"] = None
+        return backward
+
+    outs = []
+    for i in range(3):
+        sl = (slice(None),) * ax + (slice(i * step, (i + 1) * step),)
+        outs.append(Tensor._make(x.data[sl], (x,), make_backward(sl)))
+    return outs[0], outs[1], outs[2]
+
+
+def fused_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    num_heads: int,
+    mask: np.ndarray | None = None,
+    scale: float | None = None,
+    block_size: int | None = None,
+) -> Tensor:
+    """Multi-head causal self-attention as one autograd node (Eqs. 13-14).
+
+    ``q``, ``k``, ``v`` are ``(B, T, C)`` projections; ``mask`` is an
+    additive constant array broadcastable to ``(B, H, T, T)`` (use
+    :func:`repro.core.attention.causal_mask`); ``scale`` defaults to
+    ``1/sqrt(C // num_heads)``.  Returns the merged-head ``(B, T, C)``
+    context, i.e. ``softmax(q k^T * scale + mask) v`` per head.
+
+    Replaces the ~12-node composed graph (head split/merge reshapes and
+    transposes, score matmul, scale, mask add, softmax, weighted sum)
+    with a single node whose backward is the hand-derived closed form:
+    with ``P = softmax(S)`` and ``O = P V``,
+
+    ``dV = P^T dO``, ``dP = dO V^T``,
+    ``dS = P * (dP - rowsum(dP * P))``, ``dQ = dS K * scale``,
+    ``dK = dS^T Q * scale``.
+
+    Head split/merge happens inside the node as strided reshapes, so no
+    intermediate ``(B, H, T, *)`` tensors hit the graph.  In the default
+    (non-blocked) mode the forward is **bit-identical** to the composed
+    reference — every elementwise/matmul step runs in the same order on
+    identically-strided arrays — which is what lets ``fused=True`` keep
+    seeded training runs exactly reproducible.
+
+    ``block_size`` switches to a FlashAttention-style streaming softmax:
+    queries and keys are processed in row/column blocks with a running
+    (max, sum) pair, so at most ``(B, H, block, block)`` of scores is
+    ever materialised instead of ``(B, H, T, T)``, and the backward
+    recomputes per-block probabilities from the saved row logsumexp.
+    Blocked results agree with the reference to float64 round-off (the
+    softmax is reassociated), not bit-for-bit.
+    """
+    b, t, c = q.shape
+    if k.shape != q.shape or v.shape != q.shape:
+        raise ValueError(f"q/k/v shapes differ: {q.shape} {k.shape} {v.shape}")
+    if c % num_heads != 0:
+        raise ValueError(f"feature dim {c} not divisible by num_heads={num_heads}")
+    hd = c // num_heads
+    if scale is None:
+        scale = 1.0 / math.sqrt(hd)
+    if block_size is not None and block_size < 1:
+        raise ValueError("block_size must be >= 1 when set")
+    # Head split: (B, T, C) -> (B, H, T, hd).  The reshape copies when the
+    # input is a split3/slice view (same as the composed path's reshape),
+    # the transpose is a stride trick.
+    qh = q.data.reshape(b, t, num_heads, hd).transpose(0, 2, 1, 3)
+    kh = k.data.reshape(b, t, num_heads, hd).transpose(0, 2, 1, 3)
+    vh = v.data.reshape(b, t, num_heads, hd).transpose(0, 2, 1, 3)
+
+    if block_size is None:
+        out, ctx = _attention_forward_dense(qh, kh, vh, mask, scale, (b, t, c))
+        backward = _attention_backward_dense(q, k, v, qh, kh, vh, ctx,
+                                             scale, (b, t, num_heads, hd))
+    else:
+        out, ctx = _attention_forward_blocked(qh, kh, vh, mask, scale,
+                                              block_size, (b, t, c))
+        backward = _attention_backward_blocked(q, k, v, qh, kh, vh, mask, ctx,
+                                               scale, block_size,
+                                               (b, t, num_heads, hd))
+    return Tensor._make(out, (q, k, v), backward)
+
+
+def _attention_forward_dense(qh, kh, vh, mask, scale, btc):
+    """Dense fused-attention forward; returns (out, saved probabilities).
+
+    Mirrors the composed reference op for op — matmul on the same strided
+    views, then scale, mask add, shift, exp, normalise — but runs the
+    pointwise steps in place on the score buffer, so the only live
+    ``(B, H, T, T)`` array is the softmax output the backward needs.
+    """
+    b, t, c = btc
+    scores = qh @ kh.swapaxes(-1, -2)
+    scores *= scale
+    if mask is not None:
+        scores += mask
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    probs = scores
+    out = (probs @ vh).transpose(0, 2, 1, 3).reshape(b, t, c)
+    return out, probs
+
+
+def _attention_backward_dense(q, k, v, qh, kh, vh, probs, scale, bthd):
+    """Closed-form backward for the dense mode.
+
+    Computes exactly the arrays the composed graph's chain of backwards
+    would (same matmul operand layouts, same reduction order), so fused
+    gradients are bit-identical to composed ones.
+    """
+    b, t, h, hd = bthd
+
+    def backward(g, emit):
+        gh = g.reshape(b, t, h, hd).transpose(0, 2, 1, 3)
+        dv = probs.swapaxes(-1, -2) @ gh
+        dp = gh @ vh.swapaxes(-1, -2)
+        dp -= (dp * probs).sum(axis=-1, keepdims=True)
+        dp *= probs
+        dp *= scale  # now dS, the gradient of q k^T
+        dq = dp @ kh
+        dk = (qh.swapaxes(-1, -2) @ dp).swapaxes(-1, -2)
+        emit(q, dq.transpose(0, 2, 1, 3).reshape(b, t, h * hd), True)
+        emit(k, dk.transpose(0, 2, 1, 3).reshape(b, t, h * hd), True)
+        emit(v, dv.transpose(0, 2, 1, 3).reshape(b, t, h * hd), True)
+
+    return backward
+
+
+# Mask entries at or below this are treated as fully masked-out when the
+# blocked kernel decides whether a (row, column) tile can be skipped.
+_MASK_SKIP_THRESHOLD = -1e8
+
+
+def _attention_forward_blocked(qh, kh, vh, mask, scale, block, btc):
+    """Streaming-softmax forward over (row, column) tiles.
+
+    Classic FlashAttention recurrence on the running row maximum ``m``
+    and normaliser ``l``: each key tile rescales the accumulator by
+    ``exp(m_old - m_new)`` before folding its own ``exp(S - m_new)``
+    contribution.  Tiles whose additive mask is entirely below the skip
+    threshold (the upper triangle, or outside a local window) are never
+    formed.  Saves the per-row logsumexp and the merged output for the
+    recomputation backward.
+    """
+    b, t, c = btc
+    hd = qh.shape[-1]
+    h = qh.shape[1]
+    out_h = np.empty((b, h, t, hd))
+    lse = np.empty((b, h, t))
+    for i0 in range(0, t, block):
+        i1 = min(i0 + block, t)
+        qi = qh[:, :, i0:i1, :]
+        m = np.full((b, h, i1 - i0, 1), -np.inf)
+        norm = np.zeros((b, h, i1 - i0, 1))
+        acc = np.zeros((b, h, i1 - i0, hd))
+        for j0 in range(0, t, block):
+            j1 = min(j0 + block, t)
+            mblk = None
+            if mask is not None:
+                mblk = mask[..., i0:i1, j0:j1]
+                if np.all(mblk <= _MASK_SKIP_THRESHOLD):
+                    continue
+            s = qi @ kh[:, :, j0:j1, :].swapaxes(-1, -2)
+            s *= scale
+            if mblk is not None:
+                s = s + mblk
+            m_new = np.maximum(m, s.max(axis=-1, keepdims=True))
+            p = np.exp(s - m_new)
+            correction = np.exp(m - m_new)
+            norm = norm * correction + p.sum(axis=-1, keepdims=True)
+            acc = acc * correction + p @ vh[:, :, j0:j1, :]
+            m = m_new
+        out_h[:, :, i0:i1, :] = acc / norm
+        lse[:, :, i0:i1] = (m + np.log(norm))[..., 0]
+    return out_h.transpose(0, 2, 1, 3).reshape(b, t, c), (out_h, lse)
+
+
+def _attention_backward_blocked(q, k, v, qh, kh, vh, mask, ctx, scale,
+                                block, bthd):
+    """Recomputation backward for the blocked mode.
+
+    Never materialises ``(B, H, T, T)``: per tile it rebuilds
+    ``P = exp(S - lse)`` from the saved row logsumexp and accumulates
+    ``dQ``/``dK``/``dV`` tile sums, using the FlashAttention identity
+    ``rowsum(dP * P) = rowsum(dO * O)`` (valid because every row of
+    ``P`` sums to one).
+    """
+    b, t, h, hd = bthd
+    out_h, lse = ctx
+
+    def backward(g, emit):
+        gh = np.ascontiguousarray(
+            g.reshape(b, t, h, hd).transpose(0, 2, 1, 3))
+        row_dot = (gh * out_h).sum(axis=-1, keepdims=True)  # (B,H,T,1)
+        dq = np.zeros_like(qh)
+        dk = np.zeros_like(kh)
+        dv = np.zeros_like(vh)
+        for i0 in range(0, t, block):
+            i1 = min(i0 + block, t)
+            qi = qh[:, :, i0:i1, :]
+            gi = gh[:, :, i0:i1, :]
+            lse_i = lse[:, :, i0:i1, None]
+            dot_i = row_dot[:, :, i0:i1, :]
+            for j0 in range(0, t, block):
+                j1 = min(j0 + block, t)
+                mblk = None
+                if mask is not None:
+                    mblk = mask[..., i0:i1, j0:j1]
+                    if np.all(mblk <= _MASK_SKIP_THRESHOLD):
+                        continue
+                kj = kh[:, :, j0:j1, :]
+                vj = vh[:, :, j0:j1, :]
+                s = qi @ kj.swapaxes(-1, -2)
+                s *= scale
+                if mblk is not None:
+                    s = s + mblk
+                p = np.exp(s - lse_i)
+                dv[:, :, j0:j1, :] += p.swapaxes(-1, -2) @ gi
+                dp = gi @ vj.swapaxes(-1, -2)
+                dp -= dot_i
+                dp *= p
+                dp *= scale
+                dq[:, :, i0:i1, :] += dp @ kj
+                dk[:, :, j0:j1, :] += dp.swapaxes(-1, -2) @ qi
+        emit(q, dq.transpose(0, 2, 1, 3).reshape(b, t, h * hd), True)
+        emit(k, dk.transpose(0, 2, 1, 3).reshape(b, t, h * hd), True)
+        emit(v, dv.transpose(0, 2, 1, 3).reshape(b, t, h * hd), True)
+
+    return backward

@@ -24,6 +24,16 @@ Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
 
+# Monotone counter bumped at the start of every Tensor.backward() call.
+# Multi-output nodes (e.g. functional.split3) use it to tell one backward
+# pass from the next, so per-pass scratch buffers are never reused stale.
+_BACKWARD_PASS = 0
+
+
+def _backward_pass_id() -> int:
+    """Identifier of the backward pass currently (or last) running."""
+    return _BACKWARD_PASS
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -146,11 +156,19 @@ class Tensor:
             out._backward = None
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Fold one contribution into ``self.grad``.
+
+        ``owned=True`` means the caller guarantees ``grad`` is a freshly
+        allocated array nobody else references, so it can be adopted
+        directly (and mutated in place later) instead of copied.  Either
+        way ``self.grad`` is exclusively ours afterwards, which is what
+        makes the in-place ``+=`` on subsequent contributions safe.
+        """
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64)
+            self.grad = grad if owned else np.array(grad, dtype=np.float64)
         else:
-            self.grad = self.grad + grad
+            self.grad += grad
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor.
@@ -158,8 +176,10 @@ class Tensor:
         If ``grad`` is omitted the tensor must be a scalar, in which case
         the seed gradient is 1.0 (the usual loss.backward() convention).
         """
+        global _BACKWARD_PASS
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
+        _BACKWARD_PASS += 1
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("backward() without grad requires a scalar tensor")
@@ -187,35 +207,65 @@ class Tensor:
                     stack.append((parent, False))
 
         grads: dict[int, np.ndarray] = {id(self): grad}
+        owned: set[int] = set()
         for node in reversed(order):
             g = grads.pop(id(node), None)
+            owned.discard(id(node))
             if g is None:
                 continue
             if node._backward is None:
                 # Leaf: accumulate into .grad
                 node._accumulate(g)
                 continue
-            node._pass_down(g, grads)
+            node._pass_down(g, grads, owned)
 
-    def _pass_down(self, g: np.ndarray, grads: dict[int, np.ndarray]) -> None:
-        """Run this node's backward fn, routing parent grads via ``grads``."""
-        contributions: list[tuple[Tensor, np.ndarray]] = []
+    def _pass_down(
+        self,
+        g: np.ndarray,
+        grads: dict[int, np.ndarray],
+        owned: set[int],
+    ) -> None:
+        """Run this node's backward fn, routing parent grads via ``grads``.
 
-        def emit(parent: Tensor, pg: np.ndarray) -> None:
-            contributions.append((parent, pg))
+        Gradient accumulation owns its buffer: the first time a second
+        contribution arrives for a node, one buffer is allocated (or an
+        emitter-owned fresh array adopted) and recorded in ``owned``;
+        every later contribution is an in-place ``+=`` into it instead of
+        a fresh allocation per contribution.  Emitters flag contributions
+        they exclusively own (freshly allocated, emitted once) via
+        ``emit(parent, pg, True)``; unflagged contributions may alias
+        ``g`` or other live arrays and are never mutated.
+        """
+        contributions: list[tuple[Tensor, np.ndarray, bool]] = []
+
+        def emit(parent: Tensor, pg: np.ndarray, pg_owned: bool = False) -> None:
+            contributions.append((parent, pg, pg_owned))
 
         self._backward(g, emit)  # type: ignore[misc]
-        for parent, pg in contributions:
+        for parent, pg, pg_owned in contributions:
             if not parent.requires_grad:
                 continue
             if parent._backward is None and not parent._parents:
-                parent._accumulate(pg)
+                parent._accumulate(pg, owned=pg_owned)
+                continue
+            key = id(parent)
+            cur = grads.get(key)
+            if cur is None:
+                grads[key] = pg
+                if pg_owned:
+                    owned.add(key)
+            elif key in owned:
+                # In-place for ndarrays; the store-back also covers 0-d
+                # results that NumPy returned as (immutable) scalars.
+                cur += pg
+                grads[key] = cur
+            elif pg_owned:
+                pg += cur
+                grads[key] = pg
+                owned.add(key)
             else:
-                key = id(parent)
-                if key in grads:
-                    grads[key] = grads[key] + pg
-                else:
-                    grads[key] = pg
+                grads[key] = cur + pg
+                owned.add(key)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -237,7 +287,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(g, emit):
-            emit(self, -g)
+            emit(self, -g, True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -252,8 +302,8 @@ class Tensor:
         data = self.data * other.data
 
         def backward(g, emit):
-            emit(self, _unbroadcast(g * other.data, self.shape))
-            emit(other, _unbroadcast(g * self.data, other.shape))
+            emit(self, _unbroadcast(g * other.data, self.shape), True)
+            emit(other, _unbroadcast(g * self.data, other.shape), True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -264,8 +314,8 @@ class Tensor:
         data = self.data / other.data
 
         def backward(g, emit):
-            emit(self, _unbroadcast(g / other.data, self.shape))
-            emit(other, _unbroadcast(-g * self.data / (other.data**2), other.shape))
+            emit(self, _unbroadcast(g / other.data, self.shape), True)
+            emit(other, _unbroadcast(-g * self.data / (other.data**2), other.shape), True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -278,7 +328,7 @@ class Tensor:
         data = self.data**exponent
 
         def backward(g, emit):
-            emit(self, g * exponent * self.data ** (exponent - 1))
+            emit(self, g * exponent * self.data ** (exponent - 1), True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -292,8 +342,8 @@ class Tensor:
         def backward(g, emit):
             ga = g @ b.swapaxes(-1, -2)
             gb = a.swapaxes(-1, -2) @ g
-            emit(self, _unbroadcast(ga, a.shape))
-            emit(other, _unbroadcast(gb, b.shape))
+            emit(self, _unbroadcast(ga, a.shape), True)
+            emit(other, _unbroadcast(gb, b.shape), True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -304,13 +354,13 @@ class Tensor:
         data = np.exp(self.data)
 
         def backward(g, emit):
-            emit(self, g * data)
+            emit(self, g * data, True)
 
         return Tensor._make(data, (self,), backward)
 
     def log(self) -> "Tensor":
         def backward(g, emit):
-            emit(self, g / self.data)
+            emit(self, g / self.data, True)
 
         return Tensor._make(np.log(self.data), (self,), backward)
 
@@ -321,7 +371,7 @@ class Tensor:
         data = np.tanh(self.data)
 
         def backward(g, emit):
-            emit(self, g * (1.0 - data**2))
+            emit(self, g * (1.0 - data**2), True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -329,7 +379,7 @@ class Tensor:
         data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(g, emit):
-            emit(self, g * data * (1.0 - data))
+            emit(self, g * data * (1.0 - data), True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -338,7 +388,7 @@ class Tensor:
         data = np.where(mask, self.data, 0.0)
 
         def backward(g, emit):
-            emit(self, g * mask)
+            emit(self, g * mask, True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -349,7 +399,7 @@ class Tensor:
         sign = np.sign(self.data)
 
         def backward(g, emit):
-            emit(self, g * sign)
+            emit(self, g * sign, True)
 
         return Tensor._make(np.abs(self.data), (self,), backward)
 
@@ -357,39 +407,39 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        axis = _normalize_axes(axis)
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(g, emit):
             g = np.asarray(g)
             if axis is not None and not keepdims:
-                axes = axis if isinstance(axis, tuple) else (axis,)
-                g = np.expand_dims(g, axes)
-            emit(self, np.broadcast_to(g, self.shape).copy())
+                g = np.expand_dims(g, axis)
+            emit(self, np.broadcast_to(g, self.shape).copy(), True)
 
         return Tensor._make(data, (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        axis = _normalize_axes(axis)
         if axis is None:
             count = self.data.size
         else:
-            axes = axis if isinstance(axis, tuple) else (axis,)
-            count = int(np.prod([self.data.shape[a] for a in axes]))
+            count = int(np.prod([self.data.shape[a] for a in axis]))
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        axis = _normalize_axes(axis)
         data = self.data.max(axis=axis, keepdims=keepdims)
 
         def backward(g, emit):
             g = np.asarray(g)
             expanded = data
             if axis is not None and not keepdims:
-                axes = axis if isinstance(axis, tuple) else (axis,)
-                g = np.expand_dims(g, axes)
-                expanded = np.expand_dims(data, axes)
+                g = np.expand_dims(g, axis)
+                expanded = np.expand_dims(data, axis)
             mask = (self.data == expanded).astype(np.float64)
             # Split gradient evenly among ties, matching subgradient choice.
             mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            emit(self, g * mask)
+            emit(self, g * mask, True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -426,11 +476,20 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
+        basic = _is_basic_index(index)
 
         def backward(g, emit):
             buf = np.zeros_like(self.data)
-            np.add.at(buf, index, g)
-            emit(self, buf)
+            if basic:
+                # Basic (slice/int/ellipsis) indexing selects each source
+                # element at most once, so the gradient can be assigned
+                # straight into the zero buffer.  ``np.add.at`` — an order
+                # of magnitude slower — is only needed for integer-array
+                # indices, which may repeat elements.
+                buf[index] = g
+            else:
+                np.add.at(buf, index, g)
+            emit(self, buf, True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -445,6 +504,38 @@ class Tensor:
             emit(self, g[tuple(sl)])
 
         return Tensor._make(data, (self,), backward)
+
+
+def _normalize_axes(axis) -> tuple[int, ...] | None:
+    """Coerce a reduction ``axis`` argument to ``None`` or a tuple of ints.
+
+    NumPy reductions accept an int, a tuple, or a list; the backward
+    passes need one canonical form so ``np.expand_dims`` re-inserts the
+    reduced axes correctly (a bare list used to crash the backward).
+    """
+    if axis is None:
+        return None
+    if isinstance(axis, (list, np.ndarray)):
+        return tuple(int(a) for a in axis)
+    if isinstance(axis, tuple):
+        return axis
+    return (int(axis),)
+
+
+def _is_basic_index(index) -> bool:
+    """True when ``index`` triggers NumPy basic (non-repeating) indexing.
+
+    Boolean masks also select each element at most once, but they go
+    through the advanced-indexing machinery and are rare here, so only
+    the common scalar/slice forms take the fast path.
+    """
+    if isinstance(index, tuple):
+        return all(_is_basic_index(i) for i in index)
+    return (
+        index is None
+        or index is Ellipsis
+        or isinstance(index, (int, np.integer, slice))
+    )
 
 
 def as_tensor(value: Arrayish) -> Tensor:
@@ -477,7 +568,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 
     def backward(g, emit):
         for i, t in enumerate(tensors):
-            emit(t, np.take(g, i, axis=axis))
+            emit(t, np.take(g, i, axis=axis), True)
 
     return Tensor._make(data, tuple(tensors), backward)
 
@@ -489,7 +580,7 @@ def where(condition: np.ndarray, a: Arrayish, b: Arrayish) -> Tensor:
     data = np.where(cond, a.data, b.data)
 
     def backward(g, emit):
-        emit(a, _unbroadcast(np.where(cond, g, 0.0), a.shape))
-        emit(b, _unbroadcast(np.where(cond, 0.0, g), b.shape))
+        emit(a, _unbroadcast(np.where(cond, g, 0.0), a.shape), True)
+        emit(b, _unbroadcast(np.where(cond, 0.0, g), b.shape), True)
 
     return Tensor._make(data, (a, b), backward)

@@ -11,11 +11,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autograd import Tensor, softmax
+from ..autograd import Tensor, fused_attention, softmax, split3
 from ..autograd.functional import dropout as dropout_fn
 from ..nn import Linear, Module
 
 _MASK_VALUE = -1e9
+
+# Mask arrays keyed by (seq_len, window).  Every layer of every forward
+# used to rebuild the same (T, T) float64 triangle; masks are small and
+# few distinct (seq_len, window) pairs occur in a run, so cache them as
+# read-only arrays.  Bounded so pathological callers can't grow it forever.
+_MASK_CACHE: dict[tuple[int, int | None], np.ndarray] = {}
+_MASK_CACHE_MAX = 64
 
 
 def causal_mask(seq_len: int, window: int | None = None) -> np.ndarray:
@@ -27,13 +34,25 @@ def causal_mask(seq_len: int, window: int | None = None) -> np.ndarray:
     local/sparse-attention variant §6 cites (Child et al.) as the standard
     fix for the O(L^2) cost; compute here stays dense (NumPy), but the
     *connectivity* matches.
+
+    Results are cached per ``(seq_len, window)`` and returned as shared
+    **read-only** arrays — do not mutate; copy first if you must.
     """
+    if window is not None and window < 1:
+        raise ValueError("attention window must be >= 1")
+    key = (seq_len, window)
+    cached = _MASK_CACHE.get(key)
+    if cached is not None:
+        return cached
     mask = np.triu(np.full((seq_len, seq_len), _MASK_VALUE), k=1)
     if window is not None:
-        if window < 1:
-            raise ValueError("attention window must be >= 1")
         mask += np.tril(np.full((seq_len, seq_len), _MASK_VALUE), k=-window)
-    return mask[None, None, :, :]
+    mask = mask[None, None, :, :]
+    mask.setflags(write=False)
+    if len(_MASK_CACHE) >= _MASK_CACHE_MAX:
+        _MASK_CACHE.clear()
+    _MASK_CACHE[key] = mask
+    return mask
 
 
 class MultiHeadSelfAttention(Module):
@@ -47,6 +66,8 @@ class MultiHeadSelfAttention(Module):
         dropout: float = 0.0,
         causal: bool = True,
         window: int | None = None,
+        fused: bool = True,
+        block_size: int | None = None,
     ):
         super().__init__()
         if d_model % num_heads != 0:
@@ -57,6 +78,8 @@ class MultiHeadSelfAttention(Module):
         self.causal = causal
         self.window = window
         self.dropout_p = dropout
+        self.fused = fused
+        self.block_size = block_size
         self._rng = rng
         # Fused query/key/value projection (the factored B of Eq. 14) and
         # the output map W of Eq. 13.
@@ -65,8 +88,38 @@ class MultiHeadSelfAttention(Module):
 
     def forward(self, x: Tensor, cache: dict | None = None,
                 cache_key: str = "attn") -> Tensor:
+        """Eqs. 13-14 over a (B, T, d_model) batch.
+
+        Two numerically equivalent execution paths: the default **fused**
+        kernel (:func:`repro.autograd.fused_attention` fed by
+        :func:`~repro.autograd.split3`, one graph node for the whole
+        softmax-attention) and the **composed** reference built from
+        primitive ops.  The composed path is kept for attention-weights
+        capture (``cache=`` needs the intermediate softmax, which the
+        fused node never materialises as a Tensor) and for attention
+        dropout during training (the fused node has no hook between the
+        softmax and the weighted sum).
+        """
         batch, seq_len, _ = x.shape
         qkv = self.qkv(x)  # (B, T, 3C)
+        use_fused = (
+            self.fused
+            and cache is None
+            and not (self.training and self.dropout_p > 0.0)
+        )
+        mask = (
+            causal_mask(seq_len, window=self.window) if self.causal else None
+        )
+        if use_fused:
+            q, k, v = split3(qkv, axis=-1)
+            out = fused_attention(
+                q, k, v, self.num_heads,
+                mask=mask,
+                scale=1.0 / np.sqrt(self.head_dim),
+                block_size=self.block_size,
+            )
+            return self.proj(out)
+
         q = qkv[:, :, : self.d_model]
         k = qkv[:, :, self.d_model : 2 * self.d_model]
         v = qkv[:, :, 2 * self.d_model :]
@@ -77,7 +130,7 @@ class MultiHeadSelfAttention(Module):
         q, k, v = split_heads(q), split_heads(k), split_heads(v)  # (B, H, T, q)
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
         if self.causal:
-            scores = scores + Tensor(causal_mask(seq_len, window=self.window))
+            scores = scores + Tensor(mask)
         weights = softmax(scores, axis=-1)  # the c_ij of Eq. 14
         if cache is not None:
             cache[f"{cache_key}.weights"] = weights.data.copy()

@@ -49,7 +49,8 @@ class TransformerBlock(Module):
         self.ln1 = LayerNorm(config.d_model)
         self.attn = MultiHeadSelfAttention(
             config.d_model, config.num_heads, rng, dropout=config.dropout,
-            window=config.attention_window,
+            window=config.attention_window, fused=config.fused,
+            block_size=config.attention_block_size,
         )
         self.ln2 = LayerNorm(config.d_model)
         self.ffn = FeedForward(

@@ -33,6 +33,8 @@ class TransformerConfig:
     use_residual: bool = True      # residual connections (ablatable)
     activation: str = "gelu"
     attention_window: int | None = None  # local/sparse attention span (None = full)
+    fused: bool = True             # fused-attention kernel (vs composed ops)
+    attention_block_size: int | None = None  # flash-style row-block size (None = dense)
 
     def __post_init__(self) -> None:
         if self.d_ff is None:
@@ -47,6 +49,8 @@ class TransformerConfig:
             raise ValueError("vocab_size and max_seq_len must be positive")
         if self.attention_window is not None and self.attention_window < 1:
             raise ValueError("attention_window must be >= 1 when set")
+        if self.attention_block_size is not None and self.attention_block_size < 1:
+            raise ValueError("attention_block_size must be >= 1 when set")
 
     @property
     def head_dim(self) -> int:

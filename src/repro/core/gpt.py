@@ -10,6 +10,13 @@ descent (Eq. 16).
 activation ("contextualized embeddings", §7), which is what the
 interpretability toolkit (probes, interventions, induction-head scores)
 consumes.
+
+With ``config.fused`` (the default) attention runs through the
+single-node :func:`repro.autograd.fused_attention` kernel — numerically
+identical to the composed-op reference, including bit-identical seeded
+training trajectories.  Passing ``cache=`` (or training with attention
+dropout) transparently falls back to the composed path per forward, so
+activation capture always works regardless of the flag.
 """
 
 from __future__ import annotations

@@ -154,9 +154,9 @@ class Profiler:
                     profiler._keepalive.append(out)
             return out
 
-        def timed_pass_down(tensor, g, grads):
+        def timed_pass_down(tensor, *args, **kwargs):
             start = perf_counter()
-            orig_pass_down(tensor, g, grads)
+            orig_pass_down(tensor, *args, **kwargs)
             elapsed = perf_counter() - start
             label = profiler._owner.get(id(tensor))
             if label is None:

@@ -272,3 +272,124 @@ class TestCombinators:
         t = Tensor([1.0])
         assert as_tensor(t) is t
         assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+
+class TestMaxEdgeCases:
+    """ISSUE 5 satellite: ties x keepdims x tuple/list axes coverage."""
+
+    def test_max_ties_keepdims(self):
+        a = Tensor(np.array([[2.0, 2.0, 1.0]]), requires_grad=True)
+        a.max(axis=1, keepdims=True).sum().backward()
+        assert np.allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_max_tuple_axis(self):
+        a = _t((2, 3, 4))
+        check_gradients(lambda a: a.max(axis=(0, 2)).square().sum(), [a])
+        check_gradients(lambda a: a.max(axis=(1, 2), keepdims=True).square().sum(), [a])
+
+    def test_max_list_axis(self):
+        # regression: list-valued axis used to crash the backward with a
+        # TypeError inside np.expand_dims
+        a = _t((2, 3, 4))
+        check_gradients(lambda a: a.max(axis=[0, 1]).square().sum(), [a])
+
+    def test_max_negative_tuple_axis_ties(self):
+        data = np.zeros((2, 2, 2))
+        data[0, 0, 0] = data[0, 1, 1] = 1.0  # ties across the reduced axes
+        a = Tensor(data, requires_grad=True)
+        a.max(axis=(-2, -1)).sum().backward()
+        expected = np.zeros((2, 2, 2))
+        expected[0, 0, 0] = expected[0, 1, 1] = 0.5
+        expected[1] = 0.25  # four-way tie at 0.0 in the second batch
+        assert np.allclose(a.grad, expected)
+
+    def test_max_axis_none_ties(self):
+        a = Tensor(np.array([[4.0, 4.0], [4.0, 1.0]]), requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [[1 / 3, 1 / 3], [1 / 3, 0.0]])
+
+    def test_sum_list_axis(self):
+        a = _t((2, 3, 4))
+        check_gradients(lambda a: a.sum(axis=[0, 2]).square().sum(), [a])
+
+
+class TestGetitemFastPath:
+    """ISSUE 5 satellite: basic slices avoid np.add.at in the backward."""
+
+    def test_basic_slice_gradient(self):
+        a = _t((4, 6))
+        check_gradients(lambda a: a[1:3, ::2].square().sum(), [a])
+
+    def test_negative_step_slice(self):
+        a = _t((5,))
+        check_gradients(lambda a: a[::-1].square().sum(), [a])
+
+    def test_ellipsis_and_newaxis(self):
+        a = _t((3, 4))
+        check_gradients(lambda a: a[..., 1:][None].square().sum(), [a])
+
+    def test_scalar_index(self):
+        a = _t((3, 4))
+        check_gradients(lambda a: a[1].square().sum(), [a])
+
+    def test_same_slice_twice_accumulates(self):
+        # two graph uses of one slice: buffer must accumulate, not overwrite
+        a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        b = a[0:2]
+        (b.sum() + (b * 2.0).sum()).backward()
+        assert np.allclose(a.grad, [3.0, 3.0, 0.0])
+
+    def test_boolean_mask_still_correct(self):
+        a = _t((4,))
+        m = np.array([True, False, True, True])
+        check_gradients(lambda a: a[m].square().sum(), [a])
+
+    def test_integer_array_duplicates_still_scatter(self):
+        # fancy indexing with repeats must keep the add.at path
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        a[np.array([0, 0, 1])].sum().backward()
+        assert np.allclose(a.grad, [2.0, 1.0])
+
+
+class TestInPlaceAccumulation:
+    """ISSUE 5 tentpole rider: owned-buffer += gradient accumulation."""
+
+    def test_diamond_graph_accumulates(self):
+        # b feeds two consumers, so its pending gradient is accumulated
+        # in place in the owned buffer before flowing on to a
+        def diamond(a):
+            b = a.exp()
+            return (b * b.tanh()).sum()
+
+        check_gradients(diamond, [_t((3, 3))])
+
+    def test_zero_dim_double_use(self):
+        # regression: 0-d intermediates produce immutable np.float64
+        # contributions; += on a local must not drop the second one
+        x = Tensor(np.array(3.0), requires_grad=True)
+        y = x * x
+        y.backward()
+        assert float(x.grad) == 6.0
+
+    def test_repeated_backward_fresh_buffers(self):
+        # owned buffers are per-pass: a second backward on the same graph
+        # must not corrupt the first pass's accumulated .grad
+        a = _t((2, 2))
+        loss = (a.exp() + a.sigmoid()).sum()
+        loss.backward()
+        first = a.grad.copy()
+        loss.backward()
+        assert np.allclose(a.grad, 2 * first)
+
+    def test_unowned_view_contribution_not_mutated(self):
+        # reshape emits a view of the incoming gradient; sharing a parent
+        # with an owned contribution must not clobber the upstream array
+        a = _t((2, 3))
+        b = a.reshape(3, 2).reshape(2, 3) + a.exp()
+        b.sum().backward()
+        assert np.allclose(a.grad, 1.0 + np.exp(a.data))
+
+    def test_broadcast_add_gradients(self):
+        a = _t((2, 3))
+        b = _t((3,), seed=1)
+        check_gradients(lambda a, b: (a + b).square().sum(), [a, b])

@@ -1,0 +1,53 @@
+"""Tier-1 wiring for the training-step throughput bench.
+
+Runs ``benchmarks/bench_training_throughput.py --smoke`` as a subprocess
+(tiny config, seconds-scale) so a perf regression on the training path —
+e.g. losing the fused-attention kernel or the in-place gradient
+accumulation — fails the normal test run, not just a manually-invoked
+benchmark.  The bench itself also asserts the fused / composed / blocked
+loss trajectories agree, so this doubles as an end-to-end equivalence
+check under the real Trainer.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO, "benchmarks")
+
+
+def test_training_throughput_smoke(tmp_path):
+    out = tmp_path / "BENCH_training.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "bench_training_throughput.py", "--smoke",
+         "--out", str(out)],
+        cwd=BENCH_DIR, env=env, capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, \
+        f"smoke bench failed\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    # the bench's own gate: fused >= composed tokens/sec (with slack)
+    assert "SMOKE OK" in proc.stdout
+
+    record = json.loads(out.read_text())
+    assert record["bench"] == "training_throughput"
+    assert record["smoke"] is True
+    modes = [entry["mode"] for entry in record["modes"]]
+    assert modes == ["composed", "fused", "fused_blocked"]
+    for entry in record["modes"]:
+        assert entry["tokens_per_sec"] > 0
+        assert len(entry["losses"]) == record["steps_per_mode"]
+    # fused must be bit-exact vs composed — the bench asserts it too, but
+    # the record is the artifact regressions get debugged from
+    assert record["trajectory_identical"] is True
+    assert record["modes"][1]["losses"] == record["modes"][0]["losses"]
+    # provenance stamp present and well-formed
+    prov = record["provenance"]
+    assert {"git_sha", "numpy_version", "timestamp"} <= set(prov)
+    assert record["wall_seconds"] > 0
+    # the smoke gate with slack, re-checked from the record
+    assert record["speedup_fused"] >= 0.9
