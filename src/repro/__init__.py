@@ -8,6 +8,7 @@ Subpackages
 - ``repro.lm``            §5 simpler LMs (unigram, N-gram, FFN, RNN, LSTM)
 - ``repro.core``          §6 transformer LLM (attention, blocks, sampling)
 - ``repro.infer``         batched serving: preallocated KV cache + engine
+- ``repro.serve``         HTTP/streaming API + admission control over the engine
 - ``repro.obs``           telemetry: metrics, tracing, event log, profiler
 - ``repro.train``         training loops, metrics, checkpoints
 - ``repro.embeddings``    §5 co-occurrence / PPMI / SVD / analogies
@@ -48,6 +49,7 @@ from . import (
     obs,
     othello,
     phenomenology,
+    serve,
     train,
 )
 from .autograd import Tensor, no_grad
@@ -67,6 +69,7 @@ __all__ = [
     "lm",
     "core",
     "infer",
+    "serve",
     "obs",
     "train",
     "embeddings",

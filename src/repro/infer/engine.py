@@ -130,6 +130,7 @@ class GenerationEngine:
         greedy: bool = False,
         stop_token: int | None = None,
         obs: Observability | None = None,
+        on_token=None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -141,6 +142,12 @@ class GenerationEngine:
         self.top_p = top_p
         self.greedy = greedy
         self.stop_token = stop_token
+        # Per-token hook for streaming consumers (the serving layer):
+        # called as on_token(request_id, token) for every sampled token,
+        # stop tokens included, after the token lands on the sequence.
+        # Runs inside step(), so callbacks must be cheap and must never
+        # touch the engine's RNG.
+        self.on_token = on_token
         self.cache = KVCache.for_model(model, batch_size)
         self._slots: list[_Sequence | None] = [None] * batch_size
         self._queue: deque[_Sequence] = deque()
@@ -209,9 +216,64 @@ class GenerationEngine:
                                      first_token=now, finished=now,
                                      new_tokens=0),
             ))
+            # The request completes inline, but its lifecycle must still
+            # balance: event-log consumers count submitted vs finished.
+            self._events.emit(
+                "request_finished", request_id=request_id,
+                finish_reason="length", steps=0, new_tokens=0,
+                queue_wait_s=0.0, ttft_s=0.0, decode_s=0.0,
+                tokens_per_sec=0.0,
+            )
         else:
             self._queue.append(seq)
+        self._sync_gauges()
         return request_id
+
+    def cancel(self, request_id: int) -> GenerationResult | None:
+        """Abort a queued or in-flight request, reclaiming its slot now.
+
+        The partial sequence (prompt plus any tokens sampled so far) is
+        returned — and recorded in the drain queue — as a
+        :class:`GenerationResult` with ``finish_reason="cancelled"``, so
+        request accounting stays balanced (``request_finished`` is
+        emitted).  Returns None when the id is unknown or already done.
+        """
+        seq = None
+        for i, queued in enumerate(self._queue):
+            if queued.request_id == request_id:
+                seq = queued
+                del self._queue[i]
+                break
+        if seq is None:
+            for slot, active in enumerate(self._slots):
+                if active is not None and active.request_id == request_id:
+                    seq = active
+                    self._slots[slot] = None
+                    break
+        if seq is None:
+            return None
+        now = self._clock()
+        admitted = seq.admitted_t or now
+        first = seq.first_token_t if seq.first_token_t is not None else now
+        generated = len(seq.tokens) - seq.prompt_len
+        timing = RequestTiming(submitted=seq.submitted_t, admitted=admitted,
+                               first_token=first, finished=now,
+                               new_tokens=generated)
+        result = GenerationResult(
+            request_id=seq.request_id, tokens=seq.tokens,
+            prompt_len=seq.prompt_len, finish_reason="cancelled",
+            steps=seq.steps, timing=timing,
+        )
+        self._results.append(result)
+        self._completed += 1
+        self._events.emit(
+            "request_finished", request_id=seq.request_id,
+            finish_reason="cancelled", steps=seq.steps, new_tokens=generated,
+            queue_wait_s=timing.queue_wait_s, ttft_s=timing.ttft_s,
+            decode_s=timing.decode_s, tokens_per_sec=timing.tokens_per_sec,
+        )
+        self._sync_gauges()
+        return result
 
     @property
     def num_active(self) -> int:
@@ -243,6 +305,7 @@ class GenerationEngine:
                                   slot=slot, queue_wait_s=now - seq.submitted_t)
                 self._slots[slot] = seq
                 self.cache.reset_slot(slot)
+        self._sync_gauges()
 
     def step(self) -> list[GenerationResult]:
         """Advance every active sequence one token; return newly finished
@@ -264,8 +327,6 @@ class GenerationEngine:
         self.total_steps += 1
         self._active_slot_steps += len(active)
         self._c_steps.inc()
-        self._g_active.set(len(active))
-        self._g_queue.set(len(self._queue))
         for seq in sequences:
             seq.fed += 1
             seq.steps += 1
@@ -289,6 +350,8 @@ class GenerationEngine:
                 if seq.first_token_t is None:
                     seq.first_token_t = now
                     self._h_ttft.observe(now - seq.submitted_t)
+                if self.on_token is not None:
+                    self.on_token(seq.request_id, token)
                 generated = len(seq.tokens) - seq.prompt_len
                 if seq.stop_token is not None and token == seq.stop_token:
                     reason = "stop_token"
@@ -317,24 +380,71 @@ class GenerationEngine:
                 )
                 self._slots[active[row]] = None
         self._results.extend(finished)
+        self._sync_gauges()
         return finished
+
+    def _sync_gauges(self) -> None:
+        """Refresh serving gauges at every occupancy transition.
+
+        ``submit``/``_admit``/retirement/``cancel`` all change queue depth
+        or slot occupancy between steps; syncing here (not just once per
+        ``step()``) keeps out-of-band ``stats()`` scrapes — the server's
+        ``/v1/stats`` path — from reading stale values.
+        """
+        self._g_active.set(self.num_active)
+        self._g_queue.set(len(self._queue))
 
     def run(self) -> list[GenerationResult]:
         """Decode until queue and slots are empty; results in request order."""
         while self.has_work:
             self.step()
-        results, self._results = self._results, []
+        results = self.drain()
         results.sort(key=lambda r: r.request_id)
+        return results
+
+    def drain(self) -> list[GenerationResult]:
+        """Remove and return every finished-but-uncollected result.
+
+        The incremental counterpart to :meth:`run` for callers driving
+        :meth:`step` themselves (the serving layer's decode loop): each
+        call hands back only results finished since the last drain, so
+        long-lived engines never accumulate unbounded result lists.
+        """
+        results, self._results = self._results, []
         return results
 
     def generate(self, prompts, max_new_tokens: int) -> list[list[int]]:
         """Batch convenience: token lists (prompt + completion) in input
-        order, matching ``generate_fast(prompt, max_new_tokens)`` per row."""
-        first = self.submit(prompts[0], max_new_tokens) if prompts else 0
-        for prompt in prompts[1:]:
-            self.submit(prompt, max_new_tokens)
-        by_id = {r.request_id: r.tokens for r in self.run()}
-        return [by_id[first + i] for i in range(len(prompts))]
+        order, matching ``generate_fast(prompt, max_new_tokens)`` per row.
+
+        Tracks its own request ids rather than assuming they are
+        contiguous, so requests queued by other ``submit()`` callers are
+        neither mis-mapped into this batch nor silently discarded — their
+        results stay drainable via :meth:`run`.
+        """
+        ids = [self.submit(prompt, max_new_tokens) for prompt in prompts]
+        wanted = set(ids)
+        mine: dict[int, GenerationResult] = {}
+        self._drain_into(wanted, mine)
+        while len(mine) < len(wanted):
+            if not self.has_work:
+                missing = sorted(wanted - mine.keys())
+                raise RuntimeError(
+                    f"engine drained without finishing requests {missing}")
+            self.step()
+            self._drain_into(wanted, mine)
+        return [mine[request_id].tokens for request_id in ids]
+
+    def _drain_into(self, wanted: set, out: dict) -> None:
+        """Move finished results with ids in ``wanted`` out of the drain
+        queue, keeping everything else for other consumers."""
+        kept = []
+        for result in self._results:
+            if result.request_id in wanted:
+                out[result.request_id] = result
+            else:
+                kept.append(result)
+        self._results = kept
 
     # ------------------------------------------------------------------
     # Serving snapshot

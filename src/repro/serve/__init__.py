@@ -1,0 +1,50 @@
+"""Serving layer: HTTP/streaming API + admission control over the engine.
+
+``repro.infer`` gives the repo a continuous-batching
+:class:`~repro.infer.GenerationEngine`; this package is what finally
+puts it behind traffic — the ROADMAP's "millions of users" story — with
+nothing beyond the standard library:
+
+- :mod:`repro.serve.admission` — :class:`AdmissionPolicy` (queue-depth
+  cap → HTTP 429 shedding, per-request token budgets, wall-clock
+  timeouts) and the :class:`ShedError`/:class:`RejectError` it raises.
+- :mod:`repro.serve.worker` — :class:`EngineWorker`, the single decode
+  -loop thread that owns the engine, plus the lock-guarded submit path
+  that makes concurrent clients safe without perturbing the engine's
+  bit-identical RNG stream; per-request :class:`RequestHandle` for
+  streaming tokens or blocking on the result.
+- :mod:`repro.serve.server` — :class:`InferenceServer`, a threaded
+  stdlib HTTP front end: ``POST /v1/submit`` (blocking or chunked
+  NDJSON token streaming), ``GET /v1/stats``, ``GET /healthz``.
+- :mod:`repro.serve.client` — :class:`ServeClient`, the matching
+  ``http.client`` consumer used by the load bench and tests.
+
+Quick start::
+
+    from repro.infer import GenerationEngine
+    from repro.serve import AdmissionPolicy, InferenceServer, ServeClient
+
+    engine = GenerationEngine(model, batch_size=8, greedy=True)
+    policy = AdmissionPolicy(max_queue_depth=32, request_timeout_s=30.0)
+    with InferenceServer(engine, policy=policy) as server:
+        client = ServeClient(server.host, server.port)
+        print(client.submit([1, 2, 3], max_new_tokens=16)["completion"])
+"""
+
+from .admission import AdmissionPolicy, RejectError, ServeError, ShedError
+from .client import ServeClient, ServeClientError
+from .server import InferenceServer, result_to_json
+from .worker import EngineWorker, RequestHandle
+
+__all__ = [
+    "AdmissionPolicy",
+    "ServeError",
+    "ShedError",
+    "RejectError",
+    "EngineWorker",
+    "RequestHandle",
+    "InferenceServer",
+    "result_to_json",
+    "ServeClient",
+    "ServeClientError",
+]

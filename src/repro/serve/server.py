@@ -1,0 +1,244 @@
+"""Zero-dependency HTTP/streaming front end for the generation engine.
+
+Threading model: a :class:`http.server.ThreadingHTTPServer` spawns one
+handler thread per connection; every handler funnels into the shared
+:class:`~repro.serve.worker.EngineWorker`, whose lock-guarded submit
+path and single decode-loop thread keep the engine — and its RNG
+stream — exactly as a single-threaded caller would drive it.  The HTTP
+threads only ever block on their own request's
+:class:`~repro.serve.worker.RequestHandle`, never on the engine.
+
+Endpoints (all JSON):
+
+- ``POST /v1/submit`` — body ``{"prompt": [ids...], "max_new_tokens": N,
+  "stop_token": id?, "stream": bool?}``.  Non-streaming requests block
+  and return the finished result with timing; ``"stream": true``
+  responds ``application/x-ndjson`` over chunked transfer encoding, one
+  ``{"token": id}`` line per sampled token as it lands, then a final
+  ``{"done": true, ...}`` record.
+- ``GET /v1/stats`` — engine + server accounting snapshot (slot
+  occupancy, queue depth, shed/timeout counts, admission knobs).
+- ``GET /healthz`` — liveness probe.
+
+Admission control maps onto status codes: 429 + ``Retry-After`` when
+the queue-depth cap sheds the request, 400 for invalid/over-budget
+bodies, 504 when the request's wall-clock timeout cancelled it (the
+partial result is included), 503 once shutdown has begun.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..obs import Observability
+from .admission import AdmissionPolicy, ServeError
+from .worker import EngineWorker, RequestHandle
+
+
+def result_to_json(result) -> dict:
+    """JSON-ready dict for one :class:`~repro.infer.GenerationResult`."""
+    body = {
+        "request_id": result.request_id,
+        "tokens": list(result.tokens),
+        "completion": list(result.completion),
+        "prompt_len": result.prompt_len,
+        "finish_reason": result.finish_reason,
+        "steps": result.steps,
+    }
+    timing = result.timing
+    if timing is not None:
+        body["timing"] = {
+            "queue_wait_s": timing.queue_wait_s,
+            "ttft_s": timing.ttft_s,
+            "prefill_s": timing.prefill_s,
+            "decode_s": timing.decode_s,
+            "tokens_per_sec": timing.tokens_per_sec,
+            "new_tokens": timing.new_tokens,
+        }
+    return body
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the shared worker + telemetry."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, worker: EngineWorker,
+                 events) -> None:
+        super().__init__(address, handler)
+        self.worker = worker
+        self.events = events
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler: routes the three endpoints onto the worker."""
+
+    protocol_version = "HTTP/1.1"
+    server: _ServeHTTPServer  # narrowed for attribute access below
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt, *args):  # noqa: D102 - stdlib override
+        self.server.events.emit("http_log", line=fmt % args)
+
+    def _send_json(self, status: int, body: dict,
+                   headers: dict | None = None) -> None:
+        payload = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        body = json.loads(raw.decode() or "{}")
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    # -- chunked streaming --------------------------------------------
+    def _start_stream(self) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+
+    def _stream_line(self, record: dict) -> None:
+        data = (json.dumps(record) + "\n").encode()
+        self.wfile.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+        self.wfile.flush()
+
+    def _end_stream(self) -> None:
+        self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self):  # noqa: D102 - stdlib route dispatch
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif self.path == "/v1/stats":
+            self._send_json(200, self.server.worker.stats())
+        else:
+            self._send_json(404, {"error": "NotFound", "detail": self.path})
+
+    def do_POST(self):  # noqa: D102 - stdlib route dispatch
+        if self.path != "/v1/submit":
+            self._send_json(404, {"error": "NotFound", "detail": self.path})
+            return
+        try:
+            body = self._read_json()
+            prompt = body["prompt"]
+            max_new_tokens = int(body["max_new_tokens"])
+            stream = bool(body.get("stream", False))
+            # Distinguish absent (engine default) from explicit null
+            # (disable the stop token for this request).
+            stop_token = body["stop_token"] if "stop_token" in body else ...
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": "BadRequest", "detail": str(exc)})
+            return
+        try:
+            handle = self.server.worker.submit(prompt, max_new_tokens,
+                                               stop_token)
+        except ServeError as exc:
+            headers = {}
+            retry = getattr(exc, "retry_after_s", None)
+            if retry is not None:
+                headers["Retry-After"] = f"{retry:g}"
+            self._send_json(exc.status, exc.to_json(), headers)
+            return
+        if stream:
+            self._respond_streaming(handle)
+        else:
+            self._respond_blocking(handle)
+
+    def _respond_blocking(self, handle: RequestHandle) -> None:
+        result = handle.wait()
+        body = result_to_json(result)
+        if handle.timed_out:
+            body["error"] = "Timeout"
+            self._send_json(504, body)
+        else:
+            self._send_json(200, body)
+
+    def _respond_streaming(self, handle: RequestHandle) -> None:
+        try:
+            self._start_stream()
+            self._stream_line({"request_id": handle.request_id})
+            for token in handle.tokens():
+                self._stream_line({"token": token})
+            result = handle.wait()
+            final = {"done": True, "timed_out": handle.timed_out}
+            final.update(result_to_json(result))
+            self._stream_line(final)
+            self._end_stream()
+        except (BrokenPipeError, ConnectionResetError):
+            # Client went away mid-stream: reclaim the slot instead of
+            # decoding tokens nobody will read.
+            self.server.worker.cancel(handle.request_id)
+            self.close_connection = True
+
+
+class InferenceServer:
+    """HTTP serving facade: engine + worker + threaded HTTP front end.
+
+    Takes ownership of ``engine`` (single consumer — nothing else may
+    step it once the server starts).  ``port=0`` binds an ephemeral
+    port, exposed as :attr:`port`/:attr:`url` after construction.
+
+    Usage::
+
+        engine = GenerationEngine(model, batch_size=8, greedy=True)
+        with InferenceServer(engine, policy=AdmissionPolicy(
+                max_queue_depth=32, request_timeout_s=30.0)) as server:
+            print("listening on", server.url)
+            ...
+    """
+
+    def __init__(self, engine, policy: AdmissionPolicy | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 obs: Observability | None = None):
+        self.obs = obs
+        self.worker = EngineWorker(engine, policy=policy, obs=obs)
+        events = self.worker._events
+        self._httpd = _ServeHTTPServer((host, port), _Handler,
+                                       self.worker, events)
+        self.host, self.port = self._httpd.server_address[:2]
+        self.url = f"http://{self.host}:{self.port}"
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve-http",
+            daemon=True)
+        self._started = False
+
+    def start(self) -> "InferenceServer":
+        """Start the decode loop and the HTTP accept loop."""
+        if not self._started:
+            self._started = True
+            self.worker.start()
+            self._http_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, cancel pending requests, join both threads."""
+        if self._started:
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        self.worker.close()
+        if self._started:
+            self._http_thread.join(timeout=10.0)
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def stats(self) -> dict:
+        """In-process alias for ``GET /v1/stats``."""
+        return self.worker.stats()

@@ -1,0 +1,283 @@
+"""Single-consumer decode loop: the thread that owns the engine.
+
+:class:`~repro.infer.GenerationEngine` is single-threaded by design —
+its RNG stream, KV cache, and slot bookkeeping all assume one caller.
+:class:`EngineWorker` preserves that invariant under concurrent clients
+by making the engine single-*consumer*: exactly one background thread
+calls ``step()``, and every other entry point (``submit``, ``cancel``,
+``stats``) takes the same lock before touching the engine.  Because the
+decode thread holds the lock only per step, submitters interleave
+between steps; because nothing else ever steps, the RNG consumption
+order — and therefore bit-identical decoding — is exactly what a
+single-threaded caller would produce.
+
+The flow per request:
+
+1. ``submit()`` (any thread) — admission check against the
+   :class:`~repro.serve.admission.AdmissionPolicy`, then
+   ``engine.submit()`` under the lock, returning a
+   :class:`RequestHandle` the caller can stream from or block on.
+2. the decode loop — ``step()`` under the lock; sampled tokens are
+   pushed to each request's handle via the engine's ``on_token`` hook,
+   finished results are routed by id.
+3. timeouts — before each step the loop cancels requests past their
+   deadline (queued or active), reclaiming the slot; the handle
+   finishes with ``timed_out=True``.
+
+Everything observable goes through :mod:`repro.obs`: ``serve.*``
+counters/gauges and ``request_shed`` / ``request_timeout`` events on
+top of the engine's own lifecycle telemetry.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from ..infer.engine import GenerationResult
+from ..obs import NULL_OBS, Observability
+from .admission import AdmissionPolicy, RejectError, ShedError
+
+_DONE = object()
+
+
+class RequestHandle:
+    """Caller-side view of one accepted request.
+
+    Tokens stream into an internal queue as the decode loop samples
+    them; :meth:`tokens` yields them live, :meth:`wait` blocks for the
+    final :class:`~repro.infer.GenerationResult`.  ``timed_out`` is set
+    when the worker cancelled the request at its deadline.
+    """
+
+    def __init__(self, request_id: int, prompt_len: int,
+                 deadline: float | None):
+        self.request_id = request_id
+        self.prompt_len = prompt_len
+        self.deadline = deadline          # time.monotonic() seconds, or None
+        self.timed_out = False
+        self.result: GenerationResult | None = None
+        self._stream: queue.Queue = queue.Queue()
+        self._done = threading.Event()
+
+    # -- worker side ---------------------------------------------------
+    def _push(self, token: int) -> None:
+        self._stream.put(token)
+
+    def _finish(self, result: GenerationResult) -> None:
+        self.result = result
+        self._stream.put(_DONE)
+        self._done.set()
+
+    # -- client side ---------------------------------------------------
+    def tokens(self):
+        """Yield sampled tokens as they land; returns when the request
+        finishes (stop token included, matching ``generate_fast``)."""
+        while True:
+            item = self._stream.get()
+            if item is _DONE:
+                return
+            yield item
+
+    def wait(self, timeout: float | None = None) -> GenerationResult:
+        """Block until the request finishes; returns its result."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} still running after {timeout}s")
+        return self.result
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+class EngineWorker:
+    """Lock-guarded serving façade over a :class:`GenerationEngine`.
+
+    The worker takes ownership of the engine: it installs itself as the
+    ``on_token`` hook and is the only caller of ``step()``/``drain()``.
+    Construct, :meth:`start`, submit from any number of threads, and
+    :meth:`close` when done (pending requests are cancelled).
+    """
+
+    def __init__(self, engine, policy: AdmissionPolicy | None = None,
+                 obs: Observability | None = None,
+                 idle_wait_s: float = 0.02):
+        self.engine = engine
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        engine.on_token = self._on_token
+        self._idle_wait_s = idle_wait_s
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._handles: dict[int, RequestHandle] = {}
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-decode", daemon=True)
+        bundle = obs if obs is not None else NULL_OBS
+        self._events = bundle.events
+        metrics = bundle.metrics
+        self._c_accepted = metrics.counter("serve.accepted")
+        self._c_shed = metrics.counter("serve.shed")
+        self._c_rejected = metrics.counter("serve.rejected")
+        self._c_timeouts = metrics.counter("serve.timeouts")
+        self._c_completed = metrics.counter("serve.completed")
+        self._g_inflight = metrics.gauge("serve.inflight")
+        # Plain-int mirrors of the counters so stats() works with NULL_OBS.
+        self._n_accepted = 0
+        self._n_shed = 0
+        self._n_rejected = 0
+        self._n_timeouts = 0
+        self._n_completed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "EngineWorker":
+        """Start the decode-loop thread (idempotent via Thread rules)."""
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the loop; cancel and finish every pending request."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for request_id in list(self._handles):
+                self.engine.cancel(request_id)
+            self._dispatch_locked()
+            self._wake.notify_all()
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "EngineWorker":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Submit path (any thread)
+    # ------------------------------------------------------------------
+    def submit(self, prompt, max_new_tokens: int,
+               stop_token=...) -> RequestHandle:
+        """Admission-checked submit; returns a :class:`RequestHandle`.
+
+        Raises :class:`~repro.serve.admission.ShedError` at the queue
+        cap and :class:`~repro.serve.admission.RejectError` for invalid
+        or over-budget requests.
+        """
+        with self._lock:
+            if self._closed:
+                raise RejectError("server is shutting down", status=503)
+            free_slots = self.engine.batch_size - self.engine.num_active
+            try:
+                self.policy.check(self.engine.num_queued, free_slots,
+                                  max_new_tokens)
+            except RejectError:
+                self._c_rejected.inc()
+                self._n_rejected += 1
+                raise
+            except ShedError:
+                self._c_shed.inc()
+                self._n_shed += 1
+                self._events.emit("request_shed",
+                                  queue_depth=self.engine.num_queued,
+                                  max_new_tokens=max_new_tokens)
+                raise
+            try:
+                request_id = self.engine.submit(prompt, max_new_tokens,
+                                                stop_token)
+            except ValueError as exc:
+                self._c_rejected.inc()
+                self._n_rejected += 1
+                raise RejectError(str(exc)) from exc
+            deadline = None
+            if self.policy.request_timeout_s is not None:
+                deadline = time.monotonic() + self.policy.request_timeout_s
+            handle = RequestHandle(request_id, len(list(prompt)), deadline)
+            self._handles[request_id] = handle
+            self._c_accepted.inc()
+            self._n_accepted += 1
+            self._g_inflight.set(len(self._handles))
+            # max_new_tokens == 0 completes inline inside engine.submit();
+            # route it immediately so wait() never blocks on the loop.
+            self._dispatch_locked()
+            self._wake.notify()
+        return handle
+
+    def cancel(self, request_id: int) -> bool:
+        """Cancel one request by id; True if it was still in flight."""
+        with self._lock:
+            cancelled = self.engine.cancel(request_id) is not None
+            if cancelled:
+                self._dispatch_locked()
+            return cancelled
+
+    # ------------------------------------------------------------------
+    # Decode loop (worker thread only)
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                if not self.engine.has_work:
+                    # Bounded wait: also wakes to re-check deadlines of
+                    # nothing (no work => no deadlines) and closure.
+                    self._wake.wait(timeout=self._idle_wait_s)
+                    if self._closed:
+                        return
+                if self.engine.has_work:
+                    self._expire_locked(time.monotonic())
+                    self.engine.step()
+                    self._dispatch_locked()
+
+    def _on_token(self, request_id: int, token: int) -> None:
+        # Called by the engine inside step(); the worker already holds
+        # the lock, so plain dict access is safe.
+        handle = self._handles.get(request_id)
+        if handle is not None:
+            handle._push(token)
+
+    def _expire_locked(self, now: float) -> None:
+        expired = [h for h in self._handles.values()
+                   if h.deadline is not None and now >= h.deadline]
+        for handle in expired:
+            handle.timed_out = True
+            self.engine.cancel(handle.request_id)
+            self._c_timeouts.inc()
+            self._n_timeouts += 1
+            self._events.emit("request_timeout",
+                              request_id=handle.request_id,
+                              timeout_s=self.policy.request_timeout_s)
+        if expired:
+            self._dispatch_locked()
+
+    def _dispatch_locked(self) -> None:
+        for result in self.engine.drain():
+            handle = self._handles.pop(result.request_id, None)
+            if handle is not None:
+                handle._finish(result)
+                self._c_completed.inc()
+                self._n_completed += 1
+        self._g_inflight.set(len(self._handles))
+
+    # ------------------------------------------------------------------
+    # Observation (any thread)
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready snapshot: engine serving state + server accounting."""
+        with self._lock:
+            snapshot = self.engine.stats()
+            snapshot["server"] = {
+                "accepted": self._n_accepted,
+                "shed": self._n_shed,
+                "rejected": self._n_rejected,
+                "timeouts": self._n_timeouts,
+                "completed": self._n_completed,
+                "inflight": len(self._handles),
+                "policy": self.policy.to_dict(),
+            }
+        return snapshot

@@ -1,0 +1,55 @@
+"""Tier-1 wiring for the serving load bench.
+
+Runs ``benchmarks/bench_serving.py --smoke`` as a subprocess (tiny
+model, seconds-scale load) so serving regressions — lost or duplicated
+requests under concurrency, admission control that stalls instead of
+shedding, HTTP decode paths diverging from ``generate_fast`` — fail the
+normal test run, not just a manually-invoked benchmark.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO, "benchmarks")
+
+
+def test_serving_smoke(tmp_path):
+    out = tmp_path / "BENCH_serving.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "bench_serving.py", "--smoke", "--out", str(out)],
+        cwd=BENCH_DIR, env=env, capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, \
+        f"smoke bench failed\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    # the bench's own gates: integrity + shedding
+    assert "SMOKE OK" in proc.stdout
+
+    record = json.loads(out.read_text())
+    assert record["bench"] == "serving"
+    assert record["smoke"] is True
+    assert "provenance" in record
+
+    phases = record["phases"]
+    # batch-1 greedy over HTTP is bit-identical to generate_fast
+    assert phases["bit_identity"]["identical"] is True
+    # zero lost / duplicated / corrupted requests across all load phases
+    totals = record["totals"]
+    assert totals["lost"] == 0
+    assert totals["duplicated"] == 0
+    assert totals["mismatched"] == 0
+    # the bursty herd exceeded the queue cap and was shed, not stalled
+    assert phases["bursty"]["shed"] > 0
+    assert 0.0 < phases["bursty"]["shed_rate"] < 1.0
+    for name in ("poisson", "bursty", "closed_loop"):
+        phase = phases[name]
+        assert phase["completed"] + phase["shed"] == phase["sent"]
+        assert phase["other_failures"] == 0
+        assert phase["accounting_balanced"]
+        assert 0.0 <= phase["ttft_p50_s"] <= phase["ttft_p99_s"]
+        assert phase["tokens_per_sec"] > 0

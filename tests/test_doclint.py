@@ -48,6 +48,16 @@ def test_sources_found():
     assert len(iter_sources()) > 50  # the walk really covers the package
 
 
+def test_serve_package_in_scope():
+    """The serving layer (PR 6) is covered by the same docstring contract
+    as the rest of the public API — guard against the package being
+    skipped by a future scoping change."""
+    serve = [p for p in iter_sources() if p.parent.name == "serve"]
+    assert len(serve) >= 5  # __init__, admission, worker, server, client
+    for path in serve:
+        assert not docstring_violations(path), path
+
+
 def test_public_api_is_documented():
     violations = []
     for path in iter_sources():

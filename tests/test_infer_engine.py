@@ -14,6 +14,7 @@ import pytest
 
 from repro.core import TransformerConfig, TransformerLM
 from repro.infer import GenerationEngine
+from repro.obs import Observability
 
 SAMPLING_CONFIGS = [
     {"greedy": True},
@@ -177,6 +178,160 @@ class TestEngineValidation:
         assert result.completion == result.tokens[3:]
         assert len(result.completion) == 6
         assert result.steps == 3 + 6 - 1  # prefill + decode, sharing one step
+
+
+class TestInterleavedSubmitters:
+    """PR 6 satellites: generate() must not assume contiguous request
+    ids, engines must be reusable, and serving state must stay fresh —
+    the invariants the HTTP serving layer depends on."""
+
+    def test_generate_keeps_foreign_results(self):
+        """A request submitted outside generate() is neither mis-mapped
+        into its output nor discarded: the old first+i indexing lost it."""
+        model = tiny_model()
+        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        foreign = engine.submit([7, 8], 5)
+        outs = engine.generate([[1, 2], [3]], 6)
+        assert outs == [model.generate_fast([1, 2], 6, greedy=True),
+                        model.generate_fast([3], 6, greedy=True)]
+        leftovers = engine.run()
+        assert [r.request_id for r in leftovers] == [foreign]
+        assert leftovers[0].tokens == model.generate_fast([7, 8], 5,
+                                                          greedy=True)
+
+    def test_back_to_back_generate_calls_on_one_engine(self):
+        model = tiny_model()
+        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        for _ in range(3):  # request ids keep climbing across calls
+            outs = engine.generate([[1], [2, 3]], 7)
+            assert outs == [model.generate_fast([1], 7, greedy=True),
+                            model.generate_fast([2, 3], 7, greedy=True)]
+
+    def test_back_to_back_run_calls_on_one_engine(self):
+        model = tiny_model()
+        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        first = engine.submit([1], 5)
+        assert [r.request_id for r in engine.run()] == [first]
+        second = engine.submit([2], 5)
+        third = engine.submit([3], 5)
+        results = engine.run()
+        assert [r.request_id for r in results] == [second, third]
+        assert results[0].tokens == model.generate_fast([2], 5, greedy=True)
+
+    def test_generate_with_zero_token_and_normal_requests(self):
+        model = tiny_model()
+        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        outs = engine.generate([[1, 2], [3, 4]], 0)
+        assert outs == [[1, 2], [3, 4]]
+        assert engine.generate([[5]], 4) == \
+            [model.generate_fast([5], 4, greedy=True)]
+
+
+class TestServingSupport:
+    def test_cancel_queued_request(self):
+        model = tiny_model()
+        engine = GenerationEngine(model, batch_size=1, greedy=True)
+        keep = engine.submit([1], 6)
+        dropped = engine.submit([2, 3], 6)  # waits behind `keep`
+        result = engine.cancel(dropped)
+        assert result.request_id == dropped
+        assert result.finish_reason == "cancelled"
+        assert result.tokens == [2, 3]  # nothing decoded yet
+        finished = engine.run()
+        assert [r.request_id for r in finished] == [keep, dropped]
+        assert engine.total_steps == 6  # queue never reached the model
+
+    def test_cancel_active_request_reclaims_slot(self):
+        model = tiny_model()
+        engine = GenerationEngine(model, batch_size=1, greedy=True)
+        victim = engine.submit([1], 20)
+        queued = engine.submit([2], 3)
+        for _ in range(4):
+            engine.step()
+        assert engine.cancel(victim).steps == 4
+        assert engine.num_active == 0  # slot reclaimed immediately
+        results = {r.request_id: r for r in engine.run()}
+        assert results[queued].tokens == model.generate_fast([2], 3,
+                                                             greedy=True)
+
+    def test_cancel_unknown_or_finished_returns_none(self):
+        model = tiny_model()
+        engine = GenerationEngine(model, batch_size=1, greedy=True)
+        request = engine.submit([1], 3)
+        engine.run()
+        assert engine.cancel(request) is None
+        assert engine.cancel(999) is None
+
+    def test_on_token_callback_streams_every_sampled_token(self):
+        model = tiny_model()
+        streamed: dict[int, list[int]] = {}
+        engine = GenerationEngine(
+            model, batch_size=2, greedy=True, stop_token=5,
+            on_token=lambda rid, tok: streamed.setdefault(rid, []).append(tok))
+        ids = [engine.submit([t], 12) for t in (1, 2, 3)]
+        results = {r.request_id: r for r in engine.run()}
+        assert set(streamed) == set(ids)
+        for request_id in ids:
+            # stop token included, matching the completion convention
+            assert streamed[request_id] == results[request_id].completion
+
+    def test_drain_is_incremental(self):
+        model = tiny_model()
+        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        short = engine.submit([1], 2)
+        long = engine.submit([2], 10)
+        drained = []
+        while engine.has_work:
+            engine.step()
+            drained.extend(engine.drain())
+            assert engine.drain() == []  # nothing left behind
+        assert [r.request_id for r in drained] == [short, long]
+        assert engine.run() == []
+
+    def test_zero_token_request_emits_finished_event(self):
+        model = tiny_model()
+        obs = Observability.standard()
+        engine = GenerationEngine(model, batch_size=1, greedy=True, obs=obs)
+        engine.submit([1, 2], 0)
+        engine.submit([3], 4)
+        engine.run()
+        submitted = obs.events.of_type("request_submitted")
+        finished = obs.events.of_type("request_finished")
+        assert len(submitted) == len(finished) == 2
+        inline = [e for e in finished if e["request_id"] == 0]
+        assert inline[0]["finish_reason"] == "length"
+        assert inline[0]["new_tokens"] == 0
+
+    def test_gauges_fresh_at_every_transition(self):
+        model = tiny_model()
+        obs = Observability.standard()
+        engine = GenerationEngine(model, batch_size=2, greedy=True, obs=obs)
+        active = obs.metrics.gauge("engine.active_slots")
+        queued = obs.metrics.gauge("engine.queue_depth")
+        for prompt in ([1], [2], [3]):
+            engine.submit(prompt, 4)
+        # stats scraped *between* submit and the first step must be live
+        assert queued.value == 3 and active.value == 0
+        engine.step()  # admits 2, queue drops to 1
+        assert queued.value == 1 and active.value == 2
+        engine.run()
+        assert queued.value == 0 and active.value == 0
+
+    def test_stats_consistent_midflight(self):
+        model = tiny_model()
+        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        for prompt in ([1], [2], [3]):
+            engine.submit(prompt, 6)
+        stats = engine.stats()
+        assert stats["queue_depth"] == 3 and stats["active_slots"] == 0
+        engine.step()
+        stats = engine.stats()
+        assert stats["queue_depth"] == 1 and stats["active_slots"] == 2
+        assert stats["requests_submitted"] == 3
+        engine.run()
+        stats = engine.stats()
+        assert stats["requests_completed"] == 3
+        assert stats["active_slots"] == stats["queue_depth"] == 0
 
 
 class TestGenerateFastStopSemantics:

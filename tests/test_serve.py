@@ -1,0 +1,366 @@
+"""Serving-layer suite: worker concurrency, HTTP endpoints, admission.
+
+Three layers under test, bottom up: :class:`EngineWorker` (the lock-
+guarded single-consumer decode loop), admission control (shed / reject /
+timeout semantics), and the HTTP front end (status codes, chunked
+streaming, stats).  The load-level integrity story — zero lost or
+duplicated requests under bursty arrivals — is exercised end-to-end by
+``benchmarks/bench_serving.py --smoke`` via its own tier-1 test.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import TransformerConfig, TransformerLM
+from repro.infer import GenerationEngine
+from repro.obs import Observability
+from repro.serve import (
+    AdmissionPolicy,
+    EngineWorker,
+    InferenceServer,
+    RejectError,
+    ServeClient,
+    ServeClientError,
+    ShedError,
+)
+
+
+def tiny_model(**kwargs):
+    cfg = TransformerConfig(vocab_size=11, max_seq_len=64, d_model=16,
+                            num_heads=2, num_layers=2, **kwargs)
+    return TransformerLM(cfg, rng=0)
+
+
+class SlowModel:
+    """decode_step with a fixed sleep: makes serving timing controllable."""
+
+    def __init__(self, inner, delay_s):
+        self._inner = inner
+        self.delay_s = delay_s
+        self.config = inner.config
+
+    def decode_step(self, tokens, positions, states):
+        time.sleep(self.delay_s)
+        return self._inner.decode_step(tokens, positions, states)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return tiny_model()
+
+
+def make_worker(model_, batch_size=2, policy=None, **engine_kwargs):
+    engine = GenerationEngine(model_, batch_size=batch_size, greedy=True,
+                              **engine_kwargs)
+    return EngineWorker(engine, policy=policy)
+
+
+class TestEngineWorker:
+    def test_blocking_roundtrip_matches_generate_fast(self, model):
+        with make_worker(model) as worker:
+            handle = worker.submit([1, 2, 3], 8)
+            result = handle.wait(timeout=30)
+        assert result.tokens == model.generate_fast([1, 2, 3], 8, greedy=True)
+        assert result.finish_reason == "length"
+        assert not handle.timed_out
+
+    def test_streamed_tokens_match_final_completion(self, model):
+        with make_worker(model) as worker:
+            handle = worker.submit([4, 5], 6)
+            streamed = list(handle.tokens())
+            result = handle.wait(timeout=30)
+        assert streamed == result.completion
+        assert result.tokens == model.generate_fast([4, 5], 6, greedy=True)
+
+    def test_submit_while_running_from_second_thread(self, model):
+        """The server pattern: one thread streams while another submits."""
+        with make_worker(model, batch_size=2) as worker:
+            first = worker.submit([1], 20)
+            second_result = {}
+
+            def late_submit():
+                # Interleaves with the decode loop mid-flight of `first`.
+                handle = worker.submit([2, 3], 10)
+                second_result["result"] = handle.wait(timeout=30)
+
+            thread = threading.Thread(target=late_submit)
+            thread.start()
+            first_result = first.wait(timeout=30)
+            thread.join(timeout=30)
+        assert first_result.tokens == model.generate_fast([1], 20, greedy=True)
+        assert second_result["result"].tokens == \
+            model.generate_fast([2, 3], 10, greedy=True)
+
+    def test_many_concurrent_submitters_no_loss_no_mixups(self, model):
+        prompts = [[p] for p in range(1, 9)]
+        refs = {tuple(p): model.generate_fast(p, 10, greedy=True)
+                for p in prompts}
+        outcomes = []
+        lock = threading.Lock()
+        with make_worker(model, batch_size=4,
+                         policy=AdmissionPolicy(max_queue_depth=32)) as worker:
+            def drive(prompt):
+                result = worker.submit(prompt, 10).wait(timeout=60)
+                with lock:
+                    outcomes.append((prompt, result))
+
+            threads = [threading.Thread(target=drive, args=(p,))
+                       for p in prompts]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert len(outcomes) == len(prompts)
+        ids = [r.request_id for _, r in outcomes]
+        assert len(set(ids)) == len(ids)
+        for prompt, result in outcomes:
+            assert result.tokens == refs[tuple(prompt)]
+
+    def test_zero_new_tokens_completes_inline(self, model):
+        with make_worker(model) as worker:
+            result = worker.submit([3, 4], 0).wait(timeout=5)
+        assert result.tokens == [3, 4]
+        assert result.finish_reason == "length"
+
+    def test_invalid_requests_reject_without_engine_damage(self, model):
+        with make_worker(model) as worker:
+            with pytest.raises(RejectError):
+                worker.submit([], 5)
+            with pytest.raises(RejectError):
+                worker.submit([1], -1)
+            with pytest.raises(RejectError):
+                worker.submit([1] * 60, 30)  # exceeds model window
+            # engine still serves fine afterwards
+            assert worker.submit([1], 4).wait(timeout=30).tokens == \
+                model.generate_fast([1], 4, greedy=True)
+            stats = worker.stats()
+        assert stats["server"]["rejected"] == 3
+        assert stats["server"]["accepted"] == 1
+
+    def test_token_budget_rejected(self, model):
+        policy = AdmissionPolicy(max_tokens_per_request=8)
+        with make_worker(model, policy=policy) as worker:
+            with pytest.raises(RejectError):
+                worker.submit([1], 9)
+            assert worker.submit([1], 8).wait(timeout=30) is not None
+
+    def test_queue_cap_sheds(self, model):
+        slow = SlowModel(model, 0.01)
+        policy = AdmissionPolicy(max_queue_depth=0)
+        with make_worker(slow, batch_size=1, policy=policy) as worker:
+            first = worker.submit([1], 25)
+            next(first.tokens())  # admitted: slot busy, queue empty
+            with pytest.raises(ShedError):
+                worker.submit([2], 5)
+            stats = worker.stats()
+            assert stats["server"]["shed"] == 1
+            first.wait(timeout=60)
+
+    def test_timeout_cancels_and_reclaims_slot(self, model):
+        slow = SlowModel(model, 0.02)
+        policy = AdmissionPolicy(max_queue_depth=4, request_timeout_s=0.15)
+        with make_worker(slow, batch_size=1, policy=policy) as worker:
+            handle = worker.submit([1, 2], 40)
+            result = handle.wait(timeout=30)
+            assert handle.timed_out
+            assert result.finish_reason == "cancelled"
+            assert len(result.tokens) < 2 + 40  # partial
+            # slot is free again: a short request completes normally
+            quick = worker.submit([3], 2).wait(timeout=30)
+            assert quick.finish_reason == "length"
+            stats = worker.stats()
+        assert stats["active_slots"] == 0
+        assert stats["server"]["timeouts"] == 1
+
+    def test_close_cancels_pending_and_rejects_new(self, model):
+        slow = SlowModel(model, 0.02)
+        worker = make_worker(slow, batch_size=1).start()
+        handle = worker.submit([1], 40)
+        worker.close()
+        assert handle.wait(timeout=5).finish_reason == "cancelled"
+        with pytest.raises(RejectError) as excinfo:
+            worker.submit([2], 5)
+        assert excinfo.value.status == 503
+
+
+def serve(model_, batch_size=2, policy=None, obs=None, **engine_kwargs):
+    engine = GenerationEngine(model_, batch_size=batch_size, greedy=True,
+                              obs=obs, **engine_kwargs)
+    return InferenceServer(engine, policy=policy, obs=obs)
+
+
+class TestHTTPServer:
+    def test_healthz_and_404(self, model):
+        with serve(model) as server:
+            client = ServeClient(server.host, server.port)
+            assert client.healthz() == {"ok": True}
+            with pytest.raises(ServeClientError) as excinfo:
+                client._request("GET", "/nope")
+            assert excinfo.value.status == 404
+
+    def test_batch1_greedy_bit_identical_to_generate_fast(self, model):
+        with serve(model, batch_size=1) as server:
+            client = ServeClient(server.host, server.port)
+            for prompt in ([1, 2, 3], [9], [4, 5, 6, 7]):
+                body = client.submit(prompt, 10)
+                assert body["tokens"] == \
+                    model.generate_fast(prompt, 10, greedy=True)
+                assert body["completion"] == body["tokens"][len(prompt):]
+                assert body["timing"]["ttft_s"] >= 0
+
+    def test_streaming_ndjson_matches_blocking(self, model):
+        with serve(model) as server:
+            client = ServeClient(server.host, server.port)
+            records = list(client.stream([2, 4], 7))
+        assert "request_id" in records[0]
+        tokens = [r["token"] for r in records if "token" in r]
+        final = records[-1]
+        assert final["done"] is True
+        assert tokens == final["completion"]
+        assert final["tokens"] == model.generate_fast([2, 4], 7, greedy=True)
+
+    def test_stop_token_semantics_over_http(self, model):
+        with serve(model, batch_size=1, stop_token=5) as server:
+            client = ServeClient(server.host, server.port)
+            default = client.submit([1], 12)
+            assert default["tokens"] == \
+                model.generate_fast([1], 12, greedy=True, stop_token=5)
+            # explicit null disables the engine-wide stop token
+            overridden = client.submit([1], 12, stop_token=None)
+            assert overridden["tokens"] == \
+                model.generate_fast([1], 12, greedy=True)
+
+    def test_bad_request_400(self, model):
+        with serve(model) as server:
+            client = ServeClient(server.host, server.port)
+            for body in ({}, {"prompt": [1]}, {"max_new_tokens": 3},
+                         {"prompt": [1], "max_new_tokens": "many"}):
+                with pytest.raises(ServeClientError) as excinfo:
+                    client._request("POST", "/v1/submit", body)
+                assert excinfo.value.status == 400
+
+    def test_queue_cap_returns_429_with_retry_after(self, model):
+        slow = SlowModel(model, 0.01)
+        policy = AdmissionPolicy(max_queue_depth=0, retry_after_s=0.5)
+        with serve(slow, batch_size=1, policy=policy) as server:
+            client = ServeClient(server.host, server.port)
+            stream = client.stream([1, 2, 3], 30)
+            next(stream)            # request_id line
+            next(stream)            # first token: admitted, slot busy
+            with pytest.raises(ServeClientError) as excinfo:
+                client.submit([4], 5)
+            assert excinfo.value.status == 429
+            assert float(excinfo.value.headers["Retry-After"]) == 0.5
+            for _ in stream:        # let the in-flight request finish
+                pass
+            assert client.stats()["server"]["shed"] == 1
+
+    def test_timeout_returns_504_with_partial_result(self, model):
+        slow = SlowModel(model, 0.02)
+        policy = AdmissionPolicy(max_queue_depth=4, request_timeout_s=0.15)
+        with serve(slow, batch_size=1, policy=policy) as server:
+            client = ServeClient(server.host, server.port)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.submit([1, 2, 3], 50)
+            assert excinfo.value.status == 504
+            assert excinfo.value.body["finish_reason"] == "cancelled"
+            assert len(excinfo.value.body["tokens"]) >= 3
+            # slot reclaimed: the next request is served
+            assert client.submit([1], 2)["finish_reason"] == "length"
+
+    def test_stats_midflight_and_after(self, model):
+        slow = SlowModel(model, 0.01)
+        with serve(slow, batch_size=2) as server:
+            client = ServeClient(server.host, server.port)
+            stream = client.stream([1, 2], 30)
+            next(stream)
+            next(stream)            # admitted and decoding
+            mid = client.stats()
+            assert mid["active_slots"] == 1
+            assert mid["server"]["inflight"] == 1
+            assert mid["server"]["accepted"] == 1
+            for _ in stream:
+                pass
+            done = client.stats()
+        assert done["active_slots"] == 0
+        assert done["server"]["completed"] == 1
+        assert done["requests_submitted"] == done["requests_completed"] == 1
+
+    def test_concurrent_http_clients(self, model):
+        prompts = [[p] for p in range(8)]
+        refs = {tuple(p): model.generate_fast(p, 8, greedy=True)
+                for p in prompts}
+        results = {}
+        lock = threading.Lock()
+        with serve(model, batch_size=4,
+                   policy=AdmissionPolicy(max_queue_depth=16)) as server:
+            def drive(prompt):
+                client = ServeClient(server.host, server.port)
+                body = client.submit(prompt, 8)
+                with lock:
+                    results[tuple(prompt)] = body
+
+            threads = [threading.Thread(target=drive, args=(p,))
+                       for p in prompts]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            stats = server.stats()
+        assert len(results) == len(prompts)
+        for prompt, body in results.items():
+            assert body["tokens"] == refs[prompt]
+        ids = [body["request_id"] for body in results.values()]
+        assert len(set(ids)) == len(ids)
+        assert stats["server"]["accepted"] == stats["server"]["completed"] == 8
+
+    def test_serving_metrics_and_events_surface(self, model):
+        obs = Observability.standard()
+        with serve(model, obs=obs) as server:
+            client = ServeClient(server.host, server.port)
+            client.submit([1, 2], 5)
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["serve.accepted"]["value"] == 1
+        assert snapshot["serve.completed"]["value"] == 1
+        assert snapshot["engine.ttft_seconds"]["count"] == 1
+        assert len(obs.events.of_type("request_submitted")) == 1
+        assert len(obs.events.of_type("request_finished")) == 1
+
+
+class TestAdmissionPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue_depth=-1)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(request_timeout_s=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_tokens_per_request=-1)
+
+    def test_free_slots_admit_even_at_cap_zero(self):
+        policy = AdmissionPolicy(max_queue_depth=0)
+        policy.check(queue_depth=0, free_slots=2, max_new_tokens=4)  # ok
+        with pytest.raises(ShedError):
+            policy.check(queue_depth=0, free_slots=0, max_new_tokens=4)
+
+    def test_waiting_counts_exclude_immediately_admitted(self):
+        policy = AdmissionPolicy(max_queue_depth=2)
+        # queue of 3 but 2 free slots -> only 1 actually waits
+        policy.check(queue_depth=3, free_slots=2, max_new_tokens=4)
+        with pytest.raises(ShedError):
+            policy.check(queue_depth=4, free_slots=2, max_new_tokens=4)
+
+    def test_token_budget(self):
+        policy = AdmissionPolicy(max_tokens_per_request=16)
+        policy.check(queue_depth=0, free_slots=1, max_new_tokens=16)
+        with pytest.raises(RejectError):
+            policy.check(queue_depth=0, free_slots=1, max_new_tokens=17)
+
+    def test_to_dict_roundtrips_knobs(self):
+        policy = AdmissionPolicy(max_queue_depth=3, max_tokens_per_request=9,
+                                 request_timeout_s=1.5, retry_after_s=0.2)
+        assert policy.to_dict() == {
+            "max_queue_depth": 3, "max_tokens_per_request": 9,
+            "request_timeout_s": 1.5, "retry_after_s": 0.2,
+        }
