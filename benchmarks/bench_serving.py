@@ -26,12 +26,22 @@ Reported per phase: p50/p99 TTFT (client-measured, first streamed
 token), p50/p99 queue wait (server-stamped), tokens/sec, and shed
 rate — emitted as a provenance-stamped ``BENCH_serving.json``.
 
+Every run also probes the observability plane on a live server: one
+``/metrics`` scrape (validated line by line), a ``/healthz`` verdict,
+and a ``/v1/trace`` export for a real request.  ``--slo`` adds a phase
+that drives a tight-threshold :class:`~repro.obs.SLOMonitor` through a
+breach (thundering herd against a queue cap of 1) and back to recovery,
+recording the breach/recovery timeline into the JSON record.
+``--overhead`` (E24) runs the Poisson phase twice — bare vs. fully
+instrumented — and reports the telemetry tax on p50 TTFT.
+
 ``--smoke`` runs a seconds-scale configuration and asserts the
 integrity + shedding gates; the tier-1 suite invokes it so serving
 regressions fail the normal test run.
 """
 
 import argparse
+import re
 import sys
 import threading
 import time
@@ -42,7 +52,7 @@ from _util import BenchRun, banner, fmt_table, scale
 
 from repro.core import TransformerConfig, TransformerLM
 from repro.infer import GenerationEngine
-from repro.obs import Observability
+from repro.obs import EventLog, Observability, SLOMonitor, SLOThresholds
 from repro.serve import (
     AdmissionPolicy,
     InferenceServer,
@@ -210,7 +220,135 @@ def _bit_identity(model, obs) -> dict:
     return {"requests": len(workload), "identical": identical}
 
 
-def run(smoke: bool = False, obs: Observability | None = None) -> dict:
+_METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$")
+
+
+def _observability_probe(model, obs) -> dict:
+    """Scrape /metrics, /healthz, and /v1/trace on a live server."""
+    engine = GenerationEngine(model, batch_size=1, greedy=True, obs=obs)
+    with InferenceServer(engine, policy=AdmissionPolicy(max_queue_depth=4),
+                         obs=obs) as server:
+        client = ServeClient(server.host, server.port)
+        client.submit([1, 2, 3], 4)
+        health = client.healthz()
+        metrics_text = client.metrics()
+        trace_events = 0
+        tracing = obs is not None and obs.tracer.enabled
+        if tracing:
+            finished = obs.events.of_type("request_finished")
+            trace_id = finished[-1]["trace_id"]
+            trace_events = len(client.trace(trace_id)["traceEvents"])
+    sample_lines = [line for line in metrics_text.splitlines()
+                    if line.strip() and not line.startswith("#")]
+    return {
+        "healthz_status": health["status"],
+        "metrics_sample_lines": len(sample_lines),
+        "metrics_parseable": all(_METRIC_LINE.match(line)
+                                 for line in sample_lines),
+        "trace_export_events": trace_events,
+        "tracing_enabled": tracing,
+    }
+
+
+def _slo_phase(model, smoke: bool) -> dict:
+    """Drive a tight SLO monitor through breach and back to recovery.
+
+    A thundering herd against a queue cap of 1 sheds most arrivals,
+    breaching a ``max_shed_rate`` threshold (health leaves ``ok``);
+    sequential clean traffic then pushes the sheds out of the sliding
+    window until health recovers.  Returns the event timeline.
+    """
+    log = EventLog()
+    slo = SLOMonitor(SLOThresholds(ttft_p99_s=None, max_shed_rate=0.1,
+                                   max_error_rate=None, min_requests=4),
+                     window=16, events=log)
+    engine = GenerationEngine(model, batch_size=2, greedy=True)
+    rng = np.random.default_rng(11)
+    herd_n = 8 if smoke else 16
+    workload = _make_workload(rng, herd_n, model.config.vocab_size, 4, 8)
+    wall0 = time.time()
+    records: list[dict] = []
+    lock = threading.Lock()
+    drain_requests = 0
+    with InferenceServer(engine,
+                         policy=AdmissionPolicy(max_queue_depth=1,
+                                                retry_after_s=0.05,
+                                                request_timeout_s=120.0),
+                         slo=slo) as server:
+        client = ServeClient(server.host, server.port)
+        threads = [threading.Thread(target=_fire,
+                                    args=(client, prompt, max_new,
+                                          records, lock))
+                   for prompt, max_new in workload]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        status_after_herd = slo.status
+        # drain: clean sequential traffic until the window forgets the herd
+        while slo.status != "ok" and drain_requests < 4 * slo.window:
+            client.submit([1, 2], 2)
+            drain_requests += 1
+        final_status = slo.status
+    timeline = [{"t_s": r["t"] - wall0, "event": r["event"],
+                 "status": r.get("status", "ok"),
+                 "signals": r.get("signals", [])}
+                for r in log.records
+                if r["event"] in ("slo_breach", "slo_recovered")]
+    shed = sum(1 for r in records if r["status"] == "shed")
+    return {
+        "herd_size": herd_n,
+        "herd_shed": shed,
+        "status_after_herd": status_after_herd,
+        "drain_requests": drain_requests,
+        "final_status": final_status,
+        "breaches": sum(1 for t in timeline if t["event"] == "slo_breach"),
+        "recoveries": sum(1 for t in timeline
+                          if t["event"] == "slo_recovered"),
+        "timeline": timeline,
+    }
+
+
+def _overhead_phase(model, smoke: bool) -> dict:
+    """E24: the same open-loop workload bare vs. fully instrumented.
+
+    Single-pair measurements at millisecond TTFT scale are dominated by
+    scheduler jitter, so the modes run in alternating repeats and the
+    comparison is between per-mode *medians* of the p50 TTFT.
+    """
+    repeats = 1 if smoke else 5
+    n = 16 if smoke else 48
+    samples = {"bare": [], "instrumented": []}
+    last = {}
+    for _ in range(repeats):
+        for mode in ("bare", "instrumented"):
+            obs = Observability.standard() if mode == "instrumented" \
+                else None
+            rng = np.random.default_rng(5)
+            workload = _make_workload(rng, n, model.config.vocab_size,
+                                      4, 12)
+            offsets = np.cumsum(rng.exponential(0.02, size=n)).tolist()
+            result = _run_phase(
+                model, workload, offsets, batch_size=4,
+                policy=AdmissionPolicy(max_queue_depth=max(64, n),
+                                       request_timeout_s=120.0),
+                obs=obs)
+            samples[mode].append(result["ttft_p50_s"])
+            last[mode] = result
+    bare_p50 = float(np.median(samples["bare"]))
+    inst_p50 = float(np.median(samples["instrumented"]))
+    overhead = ((inst_p50 - bare_p50) / bare_p50) if bare_p50 else 0.0
+    return {"bare": last["bare"], "instrumented": last["instrumented"],
+            "repeats": repeats,
+            "ttft_p50_bare_s": bare_p50,
+            "ttft_p50_instrumented_s": inst_p50,
+            "ttft_p50_samples": samples,
+            "ttft_p50_overhead_frac": overhead}
+
+
+def run(smoke: bool = False, obs: Observability | None = None,
+        slo: bool = False, overhead: bool = False) -> dict:
     model = _build_model(smoke)
     rng = np.random.default_rng(42)
     vocab = model.config.vocab_size
@@ -249,6 +387,12 @@ def run(smoke: bool = False, obs: Observability | None = None) -> dict:
         policy=AdmissionPolicy(max_queue_depth=max(64, n),
                                request_timeout_s=120.0),
         obs=obs, closed_loop_workers=4 if smoke else 8)
+
+    phases["observability"] = _observability_probe(model, obs)
+    if slo:
+        phases["slo"] = _slo_phase(model, smoke)
+    if overhead:
+        phases["overhead"] = _overhead_phase(model, smoke)
 
     load_phases = [phases[k] for k in ("poisson", "bursty", "closed_loop")]
     return {
@@ -290,6 +434,29 @@ def report(result: dict) -> str:
         f"{ident['identical']} ({ident['requests']} requests); "
         f"lost={totals['lost']} duplicated={totals['duplicated']} "
         f"mismatched={totals['mismatched']} over {totals['sent']} requests")
+    probe = result["phases"]["observability"]
+    lines.append(
+        f"observability probe: healthz={probe['healthz_status']} "
+        f"metrics_lines={probe['metrics_sample_lines']} "
+        f"(parseable={probe['metrics_parseable']}) "
+        f"trace_export_events={probe['trace_export_events']}")
+    if "slo" in result["phases"]:
+        phase = result["phases"]["slo"]
+        steps = " -> ".join(
+            f"{t['event']}@{t['t_s']:.2f}s({t['status']})"
+            for t in phase["timeline"])
+        lines.append(
+            f"slo timeline: herd of {phase['herd_size']} shed "
+            f"{phase['herd_shed']}; {steps or 'no transitions'}; "
+            f"final={phase['final_status']} after "
+            f"{phase['drain_requests']} drain requests")
+    if "overhead" in result["phases"]:
+        phase = result["phases"]["overhead"]
+        lines.append(
+            f"telemetry overhead (E24): median-of-{phase['repeats']} "
+            f"ttft p50 bare={phase['ttft_p50_bare_s'] * 1e3:.2f}ms "
+            f"instrumented={phase['ttft_p50_instrumented_s'] * 1e3:.2f}ms "
+            f"({phase['ttft_p50_overhead_frac']:+.1%})")
     return "\n".join(lines)
 
 
@@ -311,6 +478,20 @@ def _gate(result: dict) -> list[str]:
                             "non-shed failures")
         if not phase["accounting_balanced"]:
             failures.append(f"{name}: client/server accounting imbalance")
+    probe = result["phases"]["observability"]
+    if not probe["metrics_parseable"]:
+        failures.append("/metrics emitted unparseable sample lines")
+    if probe["healthz_status"] not in ("ok", "degraded"):
+        failures.append(
+            f"/healthz reported {probe['healthz_status']} on a healthy run")
+    if probe["tracing_enabled"] and probe["trace_export_events"] == 0:
+        failures.append("/v1/trace exported no spans for a real request")
+    if "slo" in result["phases"]:
+        phase = result["phases"]["slo"]
+        if not phase["breaches"]:
+            failures.append("slo phase: herd never breached the threshold")
+        if phase["final_status"] != "ok":
+            failures.append("slo phase: monitor never recovered after drain")
     return failures
 
 
@@ -325,11 +506,19 @@ def main(argv=None) -> int:
                         help="skip writing the JSON record")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="also write a Chrome trace of the run")
+    parser.add_argument("--slo", action="store_true",
+                        help="add a breach/recovery phase: drive a tight "
+                             "SLO monitor through degraded and back, "
+                             "recording the timeline")
+    parser.add_argument("--overhead", action="store_true",
+                        help="add an instrumented-vs-bare comparison of "
+                             "the Poisson phase (E24)")
     args = parser.parse_args(argv)
     obs = Observability.standard()
     out = None if args.no_record else args.out
     with BenchRun("serving", out=out, trace_out=args.trace, obs=obs) as br:
-        br.record(run(smoke=args.smoke, obs=obs))
+        br.record(run(smoke=args.smoke, obs=obs, slo=args.slo,
+                      overhead=args.overhead))
     result = br.result
     print(report(result))
     if out is not None:

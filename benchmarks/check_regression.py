@@ -1,0 +1,130 @@
+"""Throughput regression gate between two benchmark JSON records.
+
+Compares a freshly produced ``BENCH_*.json`` against a committed
+baseline and fails (exit 1) when any throughput-style metric — a
+numeric leaf whose key name contains ``tokens_per_sec`` or
+``throughput`` — regresses by more than ``--threshold`` (default 20%).
+Metric identity is the JSON path, so the two records must come from the
+same bench; the tool refuses to compare different ``bench`` names or a
+``--smoke`` record against a full one (override with ``--allow-mixed``
+if you really mean it).
+
+Improvements never fail the gate, and only metrics present in *both*
+records are compared — except that a throughput metric present in the
+baseline but missing from the fresh record is itself a failure (a
+silently dropped phase is the oldest way to "fix" a regression).
+
+Committed baselines live in ``benchmarks/baselines/`` (the root
+``BENCH_*.json`` outputs are gitignored working artifacts).
+
+Usage::
+
+    python check_regression.py BASELINE FRESH [--threshold 0.2]
+    python check_regression.py baselines/serving.json ../BENCH_serving.json
+"""
+
+import argparse
+import json
+import sys
+
+# substrings of leaf key names treated as higher-is-better throughput
+THROUGHPUT_TAGS = ("tokens_per_sec", "throughput", "tok_per_s")
+# top-level subtrees that never carry comparable metrics
+SKIP_SUBTREES = ("provenance", "model")
+
+
+def numeric_leaves(obj, path=()):
+    """Yield (path_tuple, value) for every numeric scalar in ``obj``."""
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            yield from numeric_leaves(value, path + (str(key),))
+    elif isinstance(obj, bool) or obj is None:
+        return
+    elif isinstance(obj, (int, float)):
+        yield path, float(obj)
+    # list elements have positional, not named, identity: not comparable
+
+
+def throughput_metrics(record: dict) -> dict:
+    """``{"path/to/metric": value}`` for every throughput-style leaf."""
+    return {
+        "/".join(path): value
+        for path, value in numeric_leaves(record)
+        if path and path[0] not in SKIP_SUBTREES
+        and any(tag in path[-1] for tag in THROUGHPUT_TAGS)
+    }
+
+
+def compare(baseline: dict, fresh: dict, threshold: float):
+    """Returns (rows, failures): per-metric report + gate violations."""
+    base_metrics = throughput_metrics(baseline)
+    fresh_metrics = throughput_metrics(fresh)
+    rows, failures = [], []
+    for name in sorted(base_metrics):
+        base_value = base_metrics[name]
+        if name not in fresh_metrics:
+            failures.append(f"{name}: present in baseline, missing from "
+                            "fresh record")
+            continue
+        fresh_value = fresh_metrics[name]
+        if base_value <= 0:
+            rows.append((name, base_value, fresh_value, None))
+            continue
+        change = fresh_value / base_value - 1.0
+        rows.append((name, base_value, fresh_value, change))
+        if change < -threshold:
+            failures.append(
+                f"{name}: {base_value:.4g} -> {fresh_value:.4g} "
+                f"({change:+.1%}, allowed -{threshold:.0%})")
+    return rows, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed benchmark JSON record")
+    parser.add_argument("fresh", help="freshly produced record to gate")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="max tolerated fractional throughput drop "
+                             "(default: %(default)s)")
+    parser.add_argument("--allow-mixed", action="store_true",
+                        help="compare records even when bench names or "
+                             "smoke flags differ")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    if not args.allow_mixed:
+        if baseline.get("bench") != fresh.get("bench"):
+            print(f"refusing to compare bench={baseline.get('bench')!r} "
+                  f"against bench={fresh.get('bench')!r} "
+                  "(--allow-mixed to override)", file=sys.stderr)
+            return 2
+        if bool(baseline.get("smoke")) != bool(fresh.get("smoke")):
+            print("refusing to compare a --smoke record against a full "
+                  "record (--allow-mixed to override)", file=sys.stderr)
+            return 2
+
+    rows, failures = compare(baseline, fresh, args.threshold)
+    if not rows:
+        print("no throughput metrics found to compare", file=sys.stderr)
+        return 2
+    width = max(len(name) for name, *_ in rows)
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'fresh':>12}  change")
+    for name, base_value, fresh_value, change in rows:
+        shown = "n/a" if change is None else f"{change:+.1%}"
+        print(f"{name:<{width}}  {base_value:>12.4g}  "
+              f"{fresh_value:>12.4g}  {shown}")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: no throughput metric regressed more than "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,6 +108,7 @@ class _Sequence:
     submitted_t: float = 0.0
     admitted_t: float = 0.0
     first_token_t: float | None = None
+    trace_ctx: object | None = None   # TraceContext of the request root span
 
 
 class GenerationEngine:
@@ -176,12 +177,19 @@ class GenerationEngine:
     # ------------------------------------------------------------------
     # Request intake
     # ------------------------------------------------------------------
-    def submit(self, prompt, max_new_tokens: int, stop_token=...) -> int:
+    def submit(self, prompt, max_new_tokens: int, stop_token=...,
+               trace_ctx=None) -> int:
         """Queue one prompt; returns its request id.
 
         ``stop_token`` defaults (via the ``...`` sentinel) to the
         engine-wide value, so an explicit ``None`` disables stopping for
         this request only.
+
+        ``trace_ctx`` (a :class:`~repro.obs.TraceContext`) scopes this
+        request's lifecycle telemetry to an end-to-end trace: queue-wait
+        / prefill / per-step decode spans are recorded under it — even
+        though they complete on the decode thread, not the caller's —
+        and every event for the request is stamped with its trace id.
         """
         ids = [int(i) for i in prompt]
         if not ids:
@@ -204,9 +212,11 @@ class GenerationEngine:
             max_new_tokens=max_new_tokens,
             stop_token=self.stop_token if stop_token is ... else stop_token,
             submitted_t=now,
+            trace_ctx=trace_ctx,
         )
         self._events.emit("request_submitted", request_id=request_id,
-                          prompt_len=len(ids), max_new_tokens=max_new_tokens)
+                          prompt_len=len(ids), max_new_tokens=max_new_tokens,
+                          **self._trace_fields(trace_ctx))
         if max_new_tokens == 0:
             self._completed += 1
             self._results.append(GenerationResult(
@@ -222,7 +232,7 @@ class GenerationEngine:
                 "request_finished", request_id=request_id,
                 finish_reason="length", steps=0, new_tokens=0,
                 queue_wait_s=0.0, ttft_s=0.0, decode_s=0.0,
-                tokens_per_sec=0.0,
+                tokens_per_sec=0.0, **self._trace_fields(trace_ctx),
             )
         else:
             self._queue.append(seq)
@@ -271,9 +281,17 @@ class GenerationEngine:
             finish_reason="cancelled", steps=seq.steps, new_tokens=generated,
             queue_wait_s=timing.queue_wait_s, ttft_s=timing.ttft_s,
             decode_s=timing.decode_s, tokens_per_sec=timing.tokens_per_sec,
+            **self._trace_fields(seq.trace_ctx),
         )
         self._sync_gauges()
         return result
+
+    @staticmethod
+    def _trace_fields(trace_ctx) -> dict:
+        """Event fields stamping a request's trace id (empty when untraced)."""
+        if trace_ctx is None:
+            return {}
+        return {"trace_id": trace_ctx.trace_id}
 
     @property
     def num_active(self) -> int:
@@ -302,7 +320,16 @@ class GenerationEngine:
                 seq.admitted_t = now
                 self._h_queue_wait.observe(now - seq.submitted_t)
                 self._events.emit("request_admitted", request_id=seq.request_id,
-                                  slot=slot, queue_wait_s=now - seq.submitted_t)
+                                  slot=slot, queue_wait_s=now - seq.submitted_t,
+                                  **self._trace_fields(seq.trace_ctx))
+                if seq.trace_ctx is not None:
+                    # Recorded retrospectively on the decode thread but
+                    # parented under the request's root span, which lives
+                    # on the submitting thread (cross-thread reparenting).
+                    self._tracer.record_span(
+                        "request.queue_wait", seq.submitted_t, now,
+                        parent=seq.trace_ctx, request_id=seq.request_id,
+                        slot=slot)
                 self._slots[slot] = seq
                 self.cache.reset_slot(slot)
         self._sync_gauges()
@@ -320,6 +347,7 @@ class GenerationEngine:
         positions = np.array([seq.fed for seq in sequences], dtype=np.int64)
 
         self.cache.set_active(np.asarray(active, dtype=np.int64))
+        step_t0 = self._clock() if self._tracer.enabled else 0.0
         with self._tracer.span("engine.step", active=len(active),
                                queued=len(self._queue)):
             logits = self.model.decode_step(tokens, positions, self.cache.layers)
@@ -350,6 +378,18 @@ class GenerationEngine:
                 if seq.first_token_t is None:
                     seq.first_token_t = now
                     self._h_ttft.observe(now - seq.submitted_t)
+                    if seq.trace_ctx is not None:
+                        self._tracer.record_span(
+                            "request.prefill", seq.admitted_t, now,
+                            parent=seq.trace_ctx, request_id=seq.request_id,
+                            prompt_len=seq.prompt_len)
+                elif seq.trace_ctx is not None and self._tracer.enabled:
+                    # One span per decode step per traced request, covering
+                    # this batched model step from the request's viewpoint.
+                    self._tracer.record_span(
+                        "request.decode_step", step_t0, now,
+                        parent=seq.trace_ctx, request_id=seq.request_id,
+                        step=seq.steps)
                 if self.on_token is not None:
                     self.on_token(seq.request_id, token)
                 generated = len(seq.tokens) - seq.prompt_len
@@ -377,6 +417,7 @@ class GenerationEngine:
                     new_tokens=generated, queue_wait_s=timing.queue_wait_s,
                     ttft_s=timing.ttft_s, decode_s=timing.decode_s,
                     tokens_per_sec=timing.tokens_per_sec,
+                    **self._trace_fields(seq.trace_ctx),
                 )
                 self._slots[active[row]] = None
         self._results.extend(finished)

@@ -14,6 +14,19 @@ dependencies beyond the standard library:
 - :mod:`repro.obs.profiler` — opt-in per-module forward/backward timing
   and array-``nbytes`` memory accounting, hooked into
   :class:`repro.nn.Module` and the autograd tape.
+- :mod:`repro.obs.exposition` — Prometheus text exposition of the
+  metrics registry (``GET /metrics`` on the serving layer).
+- :mod:`repro.obs.slo` — sliding-window SLO evaluation (p99 TTFT, shed
+  rate, error rate, queue depth) with a three-state
+  ``ok|degraded|failing`` verdict and breach/recovery events.
+- :mod:`repro.obs.flight` — crash flight recorder: a bounded ring of
+  recent events + spans dumped as ``flightrecord.json`` when a serving
+  process dies.
+
+Request-scoped tracing crosses threads via
+:class:`~repro.obs.tracing.TraceContext` (W3C ``traceparent``-style
+ids): the serving layer mints one per HTTP request and the engine's
+decode thread parents queue-wait/prefill/decode spans under it.
 
 Everything is off by default.  Instrumented layers (:class:`Trainer`,
 :class:`GenerationEngine`, the bench harness) accept an
@@ -38,6 +51,8 @@ import json
 import os
 
 from .events import NULL_EVENTS, EventLog
+from .exposition import to_prometheus
+from .flight import FlightRecorder
 from .metrics import (
     NULL_METRICS,
     Counter,
@@ -48,7 +63,8 @@ from .metrics import (
     default_registry,
 )
 from .profiler import ModuleStats, Profiler, parameter_bytes
-from .tracing import NULL_TRACER, Tracer
+from .slo import SLOMonitor, SLOThresholds
+from .tracing import NULL_TRACER, TraceContext, Tracer
 
 
 class Observability:
@@ -113,7 +129,12 @@ __all__ = [
     "Observability",
     "NULL_OBS",
     "Tracer",
+    "TraceContext",
     "NULL_TRACER",
+    "to_prometheus",
+    "SLOMonitor",
+    "SLOThresholds",
+    "FlightRecorder",
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",

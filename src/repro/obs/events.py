@@ -6,11 +6,22 @@ times, the event log keeps the raw facts: one dict per occurrence
 wall-clock time.  Records accumulate in memory and — when constructed
 with a path — stream to disk as JSON Lines, one object per line, so a
 crashed run still leaves a readable log behind.
+
+The serving layer emits from many handler threads at once, so
+:meth:`EventLog.emit` is re-entrant-safe: a lock serializes record
+append + file write, and each record hits the file as a single
+``write`` call (never ``json.dump`` + a separate newline write, which
+two threads can interleave into half-lines).  ``fsync=True`` flushes
+and fsyncs after every emit for crash-safe logs at the cost of one
+syscall pair per record.  Sinks registered with :meth:`add_sink` (the
+flight recorder) see every record as it is emitted.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
 
 
@@ -27,26 +38,49 @@ class EventLog:
         :data:`NULL_EVENTS` instance is the usual way to get this).
     clock:
         Wall-clock source for the ``t`` field; ``time.time`` by default.
+    fsync:
+        When True (and ``path`` is given) every emit is flushed and
+        fsynced, so a SIGKILL loses at most the record being written.
     """
 
-    def __init__(self, path=None, enabled: bool = True, clock=time.time):
+    def __init__(self, path=None, enabled: bool = True, clock=time.time,
+                 fsync: bool = False):
         self.enabled = enabled
         self.clock = clock
         self.path = path
+        self.fsync = fsync
         self.records: list[dict] = []
         self._fh = None
+        # RLock: a sink may itself consult the log without deadlocking.
+        self._lock = threading.RLock()
+        self._sinks: list = []
+
+    def add_sink(self, sink) -> None:
+        """Register ``sink(record)`` to observe every emitted record."""
+        self._sinks.append(sink)
 
     def emit(self, event: str, **fields) -> dict | None:
-        """Record one event; returns the stored record (None when disabled)."""
+        """Record one event; returns the stored record (None when disabled).
+
+        Safe to call from multiple threads: the in-memory append and the
+        file write happen under one lock, and the JSON line is written
+        with a single ``write`` call so concurrent emitters can never
+        interleave partial lines.
+        """
         if not self.enabled:
             return None
         record = {"event": event, "t": self.clock(), **fields}
-        self.records.append(record)
-        if self.path is not None:
-            if self._fh is None:
-                self._fh = open(self.path, "a")
-            json.dump(record, self._fh, default=float)
-            self._fh.write("\n")
+        with self._lock:
+            self.records.append(record)
+            if self.path is not None:
+                if self._fh is None:
+                    self._fh = open(self.path, "a")
+                self._fh.write(json.dumps(record, default=float) + "\n")
+                if self.fsync:
+                    self._fh.flush()
+                    os.fsync(self._fh.fileno())
+            for sink in self._sinks:
+                sink(record)
         return record
 
     def __len__(self) -> int:
@@ -56,17 +90,27 @@ class EventLog:
         return [r for r in self.records if r["event"] == event]
 
     def to_jsonl(self) -> str:
-        return "".join(json.dumps(r, default=float) + "\n" for r in self.records)
+        with self._lock:
+            records = list(self.records)
+        return "".join(json.dumps(r, default=float) + "\n" for r in records)
 
     def write(self, path) -> None:
         """Dump every in-memory record to ``path`` as JSON Lines."""
         with open(path, "w") as f:
             f.write(self.to_jsonl())
 
+    def flush(self) -> None:
+        """Flush the streaming file handle (no-op without a path)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        """Flush and close the streaming file handle, releasing it."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self):
         return self

@@ -1,0 +1,164 @@
+"""Crash flight recorder: a bounded blackbox of recent telemetry.
+
+When a serving process dies, the post-mortem question is always "what
+was it doing in the last few seconds?" — and the full event log or
+trace may be huge, unwritten, or lost with the process.
+:class:`FlightRecorder` keeps a fixed-size ring of the most recent
+events and completed spans (attached as an
+:meth:`~repro.obs.events.EventLog.add_sink` sink and the tracer's
+``on_record`` hook), and dumps them as one ``flightrecord.json`` when
+something goes wrong:
+
+- the serving decode loop crashes (including faults injected through
+  the :func:`repro.train.faults.failpoint` named ``"serve.step"``),
+- an uncaught exception reaches :func:`sys.excepthook` after
+  :meth:`FlightRecorder.install`,
+- the process exits after a recorded crash (``atexit`` backstop, in
+  case the crash path itself could not finish the dump).
+
+The ring is two ``deque(maxlen=...)`` — O(1) per record, bounded
+memory, no RNG — and recording is lock-guarded for multi-threaded
+serve use.  A recorder only sees what the attached telemetry emits, so
+with telemetry disabled it costs nothing and records nothing.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import sys
+import threading
+import time
+from collections import deque
+
+
+class FlightRecorder:
+    """Ring buffer of recent events + spans, dumped on crash.
+
+    Parameters
+    ----------
+    path:
+        Where :meth:`dump` writes the blackbox (default
+        ``flightrecord.json`` in the working directory).
+    capacity:
+        Ring size for events and for spans, each.
+    clock:
+        Wall-clock source for the dump timestamp.
+    """
+
+    def __init__(self, path="flightrecord.json", capacity: int = 512,
+                 clock=time.time):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.path = path
+        self.capacity = capacity
+        self.clock = clock
+        self._events: deque = deque(maxlen=capacity)
+        self._spans: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._installed = False
+        self._crashed = False
+        self.dumps = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, obs) -> "FlightRecorder":
+        """Subscribe to an :class:`~repro.obs.Observability` bundle.
+
+        Events flow in through an event-log sink; completed spans
+        through the tracer's ``on_record`` hook (chained if another
+        hook is already installed).
+        """
+        obs.events.add_sink(self.record_event)
+        previous = obs.tracer.on_record
+
+        def hook(record, _previous=previous):
+            if _previous is not None:
+                _previous(record)
+            self.record_span(record)
+
+        obs.tracer.on_record = hook
+        return self
+
+    def install(self) -> "FlightRecorder":
+        """Arm process-level crash hooks (idempotent).
+
+        Chains :func:`sys.excepthook` so an uncaught exception dumps the
+        blackbox before the interpreter dies, and registers an
+        ``atexit`` backstop that dumps at exit if a crash was recorded
+        but the dump never landed (e.g. the crash handler itself was
+        interrupted).
+        """
+        if self._installed:
+            return self
+        self._installed = True
+        previous_hook = sys.excepthook
+
+        def excepthook(exc_type, exc, tb):
+            self.record_crash(exc, dump=True)
+            previous_hook(exc_type, exc, tb)
+
+        sys.excepthook = excepthook
+        atexit.register(self._atexit_dump)
+        return self
+
+    def _atexit_dump(self) -> None:
+        with self._lock:
+            crashed_without_dump = self._crashed and self.dumps == 0
+        if crashed_without_dump:
+            self.dump(reason="atexit_after_crash")
+
+    # ------------------------------------------------------------------
+    # Recording (sink side)
+    # ------------------------------------------------------------------
+    def record_event(self, record: dict) -> None:
+        """Ring-buffer one event-log record."""
+        with self._lock:
+            self._events.append(record)
+
+    def record_span(self, record: dict) -> None:
+        """Ring-buffer one completed span record."""
+        with self._lock:
+            self._spans.append(record)
+
+    def record_crash(self, exc: BaseException, dump: bool = True,
+                     **context) -> str | None:
+        """Note a crash (with its exception) and, by default, dump.
+
+        Returns the dump path when a dump was written.
+        """
+        with self._lock:
+            self._crashed = True
+            self._events.append({
+                "event": "crash", "t": self.clock(),
+                "error": repr(exc), **context,
+            })
+        if dump:
+            return self.dump(reason="crash", error=repr(exc), **context)
+        return None
+
+    # ------------------------------------------------------------------
+    # Dumping
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready view of the ring contents (newest last)."""
+        with self._lock:
+            return {
+                "captured_at": self.clock(),
+                "capacity": self.capacity,
+                "events": list(self._events),
+                "spans": list(self._spans),
+            }
+
+    def dump(self, reason: str = "manual", **context) -> str:
+        """Write the blackbox to :attr:`path`; returns the path written."""
+        record = self.snapshot()
+        record["reason"] = reason
+        record.update(context)
+        with open(self.path, "w") as f:
+            json.dump(record, f, indent=1, default=str)
+            f.write("\n")
+        with self._lock:
+            self.dumps += 1
+        return str(self.path)

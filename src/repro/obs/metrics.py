@@ -115,6 +115,25 @@ class Histogram:
         frac = pos - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
+    def bucket_counts(self, bounds: list[float]) -> list[int]:
+        """Cumulative counts at each upper bound (Prometheus ``le`` style).
+
+        Exact counts per bucket are not kept — only the decimated sample
+        — so each bucket's cumulative count is estimated from the
+        sample's empirical CDF scaled to the true total.  The estimate
+        is deterministic, monotone non-decreasing, and pinned so that a
+        final ``+Inf`` bucket equals :attr:`count` exactly, which is
+        what the text exposition format requires.
+        """
+        if not self.count:
+            return [0] * len(bounds)
+        ordered = sorted(self._samples)
+        counts = []
+        for bound in bounds:
+            covered = sum(1 for v in ordered if v <= bound)
+            counts.append(round(self.count * covered / len(ordered)))
+        return counts
+
     def snapshot(self) -> dict:
         if not self.count:
             return {"type": "histogram", "count": 0}
@@ -164,6 +183,10 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
+    def get(self, name: str):
+        """The registered instrument for ``name``, or None."""
+        return self._metrics.get(name)
+
     def names(self) -> list[str]:
         return sorted(self._metrics)
 
@@ -209,6 +232,9 @@ class NullMetrics:
 
     def __contains__(self, name: str) -> bool:
         return False
+
+    def get(self, name: str) -> None:
+        return None
 
     def names(self) -> list[str]:
         return []

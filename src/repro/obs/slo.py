@@ -1,0 +1,198 @@
+"""Sliding-window SLO evaluation over recent serving observations.
+
+Health that answers "is the process alive?" is nearly useless for a
+serving system — the interesting question is "is it *meeting its
+objectives*?".  :class:`SLOMonitor` holds a deterministic ring of the
+most recent request observations (TTFT, shed/error outcomes, queue
+depth at admission time) and evaluates them against declared
+:class:`SLOThresholds`:
+
+- **p99 TTFT** over the window vs. ``ttft_p99_s``
+- **shed rate** (fraction of arrivals refused with 429) vs.
+  ``max_shed_rate``
+- **error rate** (timeouts/cancellations/failures) vs.
+  ``max_error_rate``
+- **queue depth** (latest observed) vs. ``max_queue_depth``
+
+The verdict is three-state: ``ok`` (no signal breached), ``degraded``
+(exactly one breached), ``failing`` (two or more).  Transitions emit
+``slo_breach`` / ``slo_recovered`` events naming the breached signals —
+the hook point for autoscaling or routing policy (ROADMAP item 4), and
+what drives the serving layer's ``GET /healthz`` payload.
+
+Everything is deterministic and RNG-free: a fixed-capacity
+``deque`` ring, exact arithmetic over it, no sampling.  A monitor with
+an empty window reports ``ok`` (no evidence of trouble is not
+trouble).  All entry points are lock-guarded for multi-threaded serve
+use.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from collections import deque
+
+from .events import NULL_EVENTS
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_FAILING = "failing"
+
+
+@dataclass(frozen=True)
+class SLOThresholds:
+    """Declared objectives; ``None`` disables the corresponding signal.
+
+    Parameters
+    ----------
+    ttft_p99_s:
+        Ceiling on the window's p99 time-to-first-token, seconds.
+    max_shed_rate:
+        Ceiling on the fraction of window arrivals shed with 429.
+    max_error_rate:
+        Ceiling on the fraction of window requests that ended in
+        timeout/cancellation/failure.
+    max_queue_depth:
+        Ceiling on the most recently observed engine queue depth.
+    min_requests:
+        Rate signals (shed/error/ttft) only activate once the window
+        holds at least this many observations, so one unlucky first
+        request cannot flap health.
+    """
+
+    ttft_p99_s: float | None = 2.0
+    max_shed_rate: float | None = 0.5
+    max_error_rate: float | None = 0.25
+    max_queue_depth: int | None = None
+    min_requests: int = 5
+
+
+class SLOMonitor:
+    """Ring-buffered serving observations + three-state SLO verdict.
+
+    Parameters
+    ----------
+    thresholds:
+        The declared objectives (defaults are deliberately loose).
+    window:
+        Ring capacity: how many recent request observations the rate
+        and percentile signals are computed over.
+    events:
+        Optional :class:`~repro.obs.events.EventLog`; status transitions
+        emit ``slo_breach``/``slo_recovered`` records onto it.
+    """
+
+    def __init__(self, thresholds: SLOThresholds | None = None,
+                 window: int = 256, events=None):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.thresholds = thresholds if thresholds is not None \
+            else SLOThresholds()
+        self.window = window
+        self._events = events if events is not None else NULL_EVENTS
+        self._ring: deque = deque(maxlen=window)
+        self._queue_depth = 0
+        self._status = STATUS_OK
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Observation (any thread)
+    # ------------------------------------------------------------------
+    def observe_request(self, ttft_s: float | None = None,
+                        shed: bool = False, error: bool = False) -> None:
+        """Record one request outcome into the ring.
+
+        Completed requests pass their ``ttft_s``; shed arrivals pass
+        ``shed=True``; timeouts/cancellations/failures pass
+        ``error=True``.  Each call re-evaluates the verdict so breach /
+        recovery events fire as soon as the window crosses a threshold,
+        without waiting for a health poll.
+        """
+        with self._lock:
+            self._ring.append((ttft_s, bool(shed), bool(error)))
+            self._evaluate_locked()
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Record the engine's current queue depth (latest value wins)."""
+        with self._lock:
+            self._queue_depth = int(depth)
+            self._evaluate_locked()
+
+    # ------------------------------------------------------------------
+    # Verdict
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _p99(values: list[float]) -> float:
+        ordered = sorted(values)
+        pos = 0.99 * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def _signals_locked(self) -> dict:
+        t = self.thresholds
+        n = len(self._ring)
+        ttfts = [ttft for ttft, _, _ in self._ring if ttft is not None]
+        sheds = sum(1 for _, shed, _ in self._ring if shed)
+        errors = sum(1 for _, _, error in self._ring if error)
+        enough = n >= t.min_requests
+        signals = {}
+
+        def signal(name, value, threshold, active):
+            signals[name] = {
+                "value": value,
+                "threshold": threshold,
+                "breached": bool(active and threshold is not None
+                                 and value is not None
+                                 and value > threshold),
+            }
+
+        signal("ttft_p99_s", self._p99(ttfts) if ttfts else None,
+               t.ttft_p99_s, enough and bool(ttfts))
+        signal("shed_rate", sheds / n if n else 0.0,
+               t.max_shed_rate, enough)
+        signal("error_rate", errors / n if n else 0.0,
+               t.max_error_rate, enough)
+        signal("queue_depth", self._queue_depth, t.max_queue_depth, True)
+        return signals
+
+    def _evaluate_locked(self) -> dict:
+        signals = self._signals_locked()
+        breached = sorted(name for name, s in signals.items()
+                          if s["breached"])
+        if not breached:
+            status = STATUS_OK
+        elif len(breached) == 1:
+            status = STATUS_DEGRADED
+        else:
+            status = STATUS_FAILING
+        previous, self._status = self._status, status
+        if status != previous:
+            if status == STATUS_OK:
+                self._events.emit("slo_recovered", previous=previous)
+            else:
+                self._events.emit("slo_breach", status=status,
+                                  previous=previous, signals=breached)
+        return {
+            "status": status,
+            "breached": breached,
+            "signals": signals,
+            "window_size": len(self._ring),
+            "window_capacity": self.window,
+        }
+
+    def evaluate(self) -> dict:
+        """Current verdict: status, breached signal names, per-signal detail.
+
+        The returned dict is JSON-ready — it is exactly what
+        ``GET /healthz`` serves.
+        """
+        with self._lock:
+            return self._evaluate_locked()
+
+    @property
+    def status(self) -> str:
+        """Shortcut for ``evaluate()["status"]``."""
+        return self.evaluate()["status"]

@@ -15,9 +15,18 @@ nothing beyond the standard library:
   streaming tokens or blocking on the result.
 - :mod:`repro.serve.server` — :class:`InferenceServer`, a threaded
   stdlib HTTP front end: ``POST /v1/submit`` (blocking or chunked
-  NDJSON token streaming), ``GET /v1/stats``, ``GET /healthz``.
+  NDJSON token streaming, with W3C ``traceparent`` propagation into
+  per-request queue/prefill/decode spans), ``GET /v1/stats``,
+  ``GET /healthz`` (three-state SLO verdict), ``GET /metrics``
+  (Prometheus text exposition), and ``GET /v1/trace?id=...`` (one
+  request's Chrome-trace slice).
 - :mod:`repro.serve.client` — :class:`ServeClient`, the matching
   ``http.client`` consumer used by the load bench and tests.
+
+The observability side — :class:`~repro.obs.SLOMonitor` behind
+``/healthz``, the optional :class:`~repro.obs.FlightRecorder` crash
+blackbox, trace-context plumbing — is documented in
+``docs/ARCHITECTURE.md`` ("The observability plane").
 
 Quick start::
 

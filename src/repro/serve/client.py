@@ -75,8 +75,31 @@ class ServeClient:
     # API
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
-        """``GET /healthz``."""
+        """``GET /healthz`` — the three-state SLO verdict.
+
+        Raises :class:`ServeClientError` with ``status == 503`` when the
+        server reports ``failing``; the decoded verdict is still on the
+        exception's ``body``.
+        """
         return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — raw Prometheus text exposition."""
+        conn = self._connect()
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            text = response.read().decode()
+            if response.status >= 300:
+                raise ServeClientError(response.status, {},
+                                       dict(response.getheaders()))
+            return text
+        finally:
+            conn.close()
+
+    def trace(self, trace_id: str) -> dict:
+        """``GET /v1/trace?id=...`` — one request's Chrome-trace slice."""
+        return self._request("GET", f"/v1/trace?id={trace_id}")
 
     def stats(self) -> dict:
         """``GET /v1/stats``."""

@@ -8,7 +8,7 @@ stream — exactly as a single-threaded caller would drive it.  The HTTP
 threads only ever block on their own request's
 :class:`~repro.serve.worker.RequestHandle`, never on the engine.
 
-Endpoints (all JSON):
+Endpoints:
 
 - ``POST /v1/submit`` — body ``{"prompt": [ids...], "max_new_tokens": N,
   "stop_token": id?, "stream": bool?}``.  Non-streaming requests block
@@ -16,9 +16,24 @@ Endpoints (all JSON):
   responds ``application/x-ndjson`` over chunked transfer encoding, one
   ``{"token": id}`` line per sampled token as it lands, then a final
   ``{"done": true, ...}`` record.
-- ``GET /v1/stats`` — engine + server accounting snapshot (slot
-  occupancy, queue depth, shed/timeout counts, admission knobs).
-- ``GET /healthz`` — liveness probe.
+- ``GET /v1/stats`` — engine + server accounting snapshot plus the
+  metrics-registry snapshot and the SLO verdict.
+- ``GET /v1/trace?id=<trace_id>`` — one request's spans as a
+  self-contained Chrome trace JSON slice.
+- ``GET /metrics`` — the metrics registry in Prometheus text
+  exposition format, scrapeable while the server runs.
+- ``GET /healthz`` — three-state SLO-driven health:
+  ``ok|degraded|failing`` (failing responds 503 so load balancers can
+  act on it).
+
+**Request tracing**: every ``POST /v1/submit`` gets a
+:class:`~repro.obs.TraceContext` — continuing the trace of an incoming
+W3C ``traceparent`` header when present, freshly minted otherwise.
+The handler thread opens the request's root span; the context rides
+into the decode-loop thread so the engine's queue-wait / prefill /
+per-step decode spans land under the same trace; and the trace id is
+echoed back in ``traceparent`` / ``X-Trace-Id`` response headers, ready
+to paste into ``GET /v1/trace?id=...``.
 
 Admission control maps onto status codes: 429 + ``Retry-After`` when
 the queue-depth cap sheds the request, 400 for invalid/over-budget
@@ -30,9 +45,12 @@ from __future__ import annotations
 
 import json
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..obs import Observability
+from ..obs import NULL_OBS, Observability, TraceContext
+from ..obs.exposition import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from ..obs.exposition import to_prometheus
 from .admission import AdmissionPolicy, ServeError
 from .worker import EngineWorker, RequestHandle
 
@@ -67,10 +85,11 @@ class _ServeHTTPServer(ThreadingHTTPServer):
     allow_reuse_address = True
 
     def __init__(self, address, handler, worker: EngineWorker,
-                 events) -> None:
+                 bundle: Observability) -> None:
         super().__init__(address, handler)
         self.worker = worker
-        self.events = events
+        self.bundle = bundle
+        self.events = bundle.events
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -78,10 +97,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     server: _ServeHTTPServer  # narrowed for attribute access below
+    trace_ctx: TraceContext | None = None  # set per request in do_POST
 
     # -- plumbing ------------------------------------------------------
     def log_message(self, fmt, *args):  # noqa: D102 - stdlib override
         self.server.events.emit("http_log", line=fmt % args)
+
+    def _trace_headers(self) -> dict:
+        if self.trace_ctx is None:
+            return {}
+        return {"traceparent": self.trace_ctx.to_traceparent(),
+                "X-Trace-Id": self.trace_ctx.trace_id}
 
     def _send_json(self, status: int, body: dict,
                    headers: dict | None = None) -> None:
@@ -89,8 +115,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
-        for name, value in (headers or {}).items():
+        merged = {**self._trace_headers(), **(headers or {})}
+        for name, value in merged.items():
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        payload = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
 
@@ -107,6 +142,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
+        for name, value in self._trace_headers().items():
+            self.send_header(name, value)
         self.end_headers()
 
     def _stream_line(self, record: dict) -> None:
@@ -120,17 +157,51 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
     def do_GET(self):  # noqa: D102 - stdlib route dispatch
-        if self.path == "/healthz":
-            self._send_json(200, {"ok": True})
-        elif self.path == "/v1/stats":
+        parsed = urllib.parse.urlsplit(self.path)
+        if parsed.path == "/healthz":
+            verdict = self.server.worker.health()
+            status = 503 if verdict["status"] == "failing" else 200
+            self._send_json(status, verdict)
+        elif parsed.path == "/v1/stats":
             self._send_json(200, self.server.worker.stats())
+        elif parsed.path == "/metrics":
+            body = to_prometheus(self.server.bundle.metrics,
+                                 labels={"job": "repro_serve"})
+            self._send_text(200, body, _PROM_CONTENT_TYPE)
+        elif parsed.path == "/v1/trace":
+            self._respond_trace(parsed.query)
         else:
             self._send_json(404, {"error": "NotFound", "detail": self.path})
+
+    def _respond_trace(self, query: str) -> None:
+        params = urllib.parse.parse_qs(query)
+        trace_ids = params.get("id")
+        if not trace_ids:
+            self._send_json(400, {"error": "BadRequest",
+                                  "detail": "missing ?id=<trace_id>"})
+            return
+        tracer = self.server.bundle.tracer
+        chrome = tracer.trace_slice(trace_ids[0])
+        chrome["tracing_enabled"] = tracer.enabled
+        self._send_json(200, chrome)
 
     def do_POST(self):  # noqa: D102 - stdlib route dispatch
         if self.path != "/v1/submit":
             self._send_json(404, {"error": "NotFound", "detail": self.path})
             return
+        # One TraceContext per request: continue the caller's trace when
+        # a traceparent header arrives, mint a fresh one otherwise.  The
+        # ids come from os.urandom, never a seeded generator, so request
+        # handling stays bit-identical for seeded decoding runs.
+        remote = TraceContext.from_traceparent(self.headers.get("traceparent"))
+        self.trace_ctx = remote.child() if remote is not None \
+            else TraceContext.new()
+        tracer = self.server.bundle.tracer
+        with tracer.span("serve.request", ctx=self.trace_ctx,
+                         path=self.path):
+            self._handle_submit()
+
+    def _handle_submit(self) -> None:
         try:
             body = self._read_json()
             prompt = body["prompt"]
@@ -144,7 +215,8 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             handle = self.server.worker.submit(prompt, max_new_tokens,
-                                               stop_token)
+                                               stop_token,
+                                               trace_ctx=self.trace_ctx)
         except ServeError as exc:
             headers = {}
             retry = getattr(exc, "retry_after_s", None)
@@ -169,7 +241,10 @@ class _Handler(BaseHTTPRequestHandler):
     def _respond_streaming(self, handle: RequestHandle) -> None:
         try:
             self._start_stream()
-            self._stream_line({"request_id": handle.request_id})
+            first = {"request_id": handle.request_id}
+            if self.trace_ctx is not None:
+                first["trace_id"] = self.trace_ctx.trace_id
+            self._stream_line(first)
             for token in handle.tokens():
                 self._stream_line({"token": token})
             result = handle.wait()
@@ -191,6 +266,12 @@ class InferenceServer:
     step it once the server starts).  ``port=0`` binds an ephemeral
     port, exposed as :attr:`port`/:attr:`url` after construction.
 
+    ``slo`` (an :class:`~repro.obs.SLOMonitor`) drives the three-state
+    ``/healthz`` verdict; omitted, a default monitor with loose
+    thresholds is created.  ``flight`` (an
+    :class:`~repro.obs.FlightRecorder`) is attached to the telemetry
+    streams and dumped if the decode loop crashes.
+
     Usage::
 
         engine = GenerationEngine(model, batch_size=8, greedy=True)
@@ -202,12 +283,21 @@ class InferenceServer:
 
     def __init__(self, engine, policy: AdmissionPolicy | None = None,
                  host: str = "127.0.0.1", port: int = 0,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 slo=None, flight=None):
         self.obs = obs
-        self.worker = EngineWorker(engine, policy=policy, obs=obs)
-        events = self.worker._events
+        bundle = obs if obs is not None else NULL_OBS
+        self.flight = flight
+        if flight is not None:
+            # The blackbox rides on the telemetry streams: event-log
+            # sink + tracer record hook, plus process-level crash hooks.
+            flight.attach(bundle)
+            flight.install()
+        self.worker = EngineWorker(engine, policy=policy, obs=obs,
+                                   slo=slo, flight=flight)
+        self.slo = self.worker.slo
         self._httpd = _ServeHTTPServer((host, port), _Handler,
-                                       self.worker, events)
+                                       self.worker, bundle)
         self.host, self.port = self._httpd.server_address[:2]
         self.url = f"http://{self.host}:{self.port}"
         self._http_thread = threading.Thread(

@@ -36,7 +36,8 @@ import threading
 import time
 
 from ..infer.engine import GenerationResult
-from ..obs import NULL_OBS, Observability
+from ..obs import NULL_OBS, Observability, SLOMonitor
+from ..train.faults import failpoint
 from .admission import AdmissionPolicy, RejectError, ShedError
 
 _DONE = object()
@@ -103,7 +104,9 @@ class EngineWorker:
 
     def __init__(self, engine, policy: AdmissionPolicy | None = None,
                  obs: Observability | None = None,
-                 idle_wait_s: float = 0.02):
+                 idle_wait_s: float = 0.02,
+                 slo: SLOMonitor | None = None,
+                 flight=None):
         self.engine = engine
         self.policy = policy if policy is not None else AdmissionPolicy()
         engine.on_token = self._on_token
@@ -112,10 +115,19 @@ class EngineWorker:
         self._wake = threading.Condition(self._lock)
         self._handles: dict[int, RequestHandle] = {}
         self._closed = False
+        self.crashed = False
         self._thread = threading.Thread(
             target=self._loop, name="repro-serve-decode", daemon=True)
         bundle = obs if obs is not None else NULL_OBS
         self._events = bundle.events
+        self._metrics = bundle.metrics
+        # The SLO monitor is always real (it is deterministic and RNG-
+        # free), so /healthz gives a three-state verdict even without an
+        # Observability bundle; breach events go wherever events go.
+        self.slo = slo if slo is not None \
+            else SLOMonitor(events=bundle.events)
+        # Optional FlightRecorder: dumped when the decode loop crashes.
+        self.flight = flight
         metrics = bundle.metrics
         self._c_accepted = metrics.counter("serve.accepted")
         self._c_shed = metrics.counter("serve.shed")
@@ -161,12 +173,14 @@ class EngineWorker:
     # Submit path (any thread)
     # ------------------------------------------------------------------
     def submit(self, prompt, max_new_tokens: int,
-               stop_token=...) -> RequestHandle:
+               stop_token=..., trace_ctx=None) -> RequestHandle:
         """Admission-checked submit; returns a :class:`RequestHandle`.
 
         Raises :class:`~repro.serve.admission.ShedError` at the queue
         cap and :class:`~repro.serve.admission.RejectError` for invalid
-        or over-budget requests.
+        or over-budget requests.  ``trace_ctx`` (the request's
+        :class:`~repro.obs.TraceContext`, minted by the HTTP layer) is
+        forwarded to the engine so decode-thread spans land under it.
         """
         with self._lock:
             if self._closed:
@@ -185,14 +199,17 @@ class EngineWorker:
                 self._events.emit("request_shed",
                                   queue_depth=self.engine.num_queued,
                                   max_new_tokens=max_new_tokens)
+                self.slo.observe_request(shed=True)
                 raise
             try:
                 request_id = self.engine.submit(prompt, max_new_tokens,
-                                                stop_token)
+                                                stop_token,
+                                                trace_ctx=trace_ctx)
             except ValueError as exc:
                 self._c_rejected.inc()
                 self._n_rejected += 1
                 raise RejectError(str(exc)) from exc
+            self.slo.observe_queue_depth(self.engine.num_queued)
             deadline = None
             if self.policy.request_timeout_s is not None:
                 deadline = time.monotonic() + self.policy.request_timeout_s
@@ -219,20 +236,52 @@ class EngineWorker:
     # Decode loop (worker thread only)
     # ------------------------------------------------------------------
     def _loop(self) -> None:
-        while True:
-            with self._lock:
-                if self._closed:
-                    return
-                if not self.engine.has_work:
-                    # Bounded wait: also wakes to re-check deadlines of
-                    # nothing (no work => no deadlines) and closure.
-                    self._wake.wait(timeout=self._idle_wait_s)
+        try:
+            while True:
+                with self._lock:
                     if self._closed:
                         return
-                if self.engine.has_work:
-                    self._expire_locked(time.monotonic())
-                    self.engine.step()
-                    self._dispatch_locked()
+                    if not self.engine.has_work:
+                        # Bounded wait: also wakes to re-check deadlines of
+                        # nothing (no work => no deadlines) and closure.
+                        self._wake.wait(timeout=self._idle_wait_s)
+                        if self._closed:
+                            return
+                    if self.engine.has_work:
+                        self._expire_locked(time.monotonic())
+                        # Named failpoint: tests (and chaos drills) inject
+                        # a crash here to prove the flight-recorder path.
+                        failpoint("serve.step")
+                        self.engine.step()
+                        self._dispatch_locked()
+        except BaseException as exc:  # decode loop must never die silently
+            self._crash(exc)
+
+    def _crash(self, exc: BaseException) -> None:
+        """Decode-loop crash path: finish handles, dump the blackbox.
+
+        Cancels every in-flight request (their handles finish with
+        ``finish_reason="cancelled"`` so blocked clients unblock instead
+        of hanging forever), emits a ``server_crash`` event, and — when a
+        :class:`~repro.obs.FlightRecorder` is attached — dumps
+        ``flightrecord.json`` with the last N events/spans, the injected
+        or real exception included.
+        """
+        with self._lock:
+            self.crashed = True
+            self._closed = True
+            self._events.emit("server_crash", error=repr(exc))
+            try:
+                for request_id in list(self._handles):
+                    self.engine.cancel(request_id)
+                self._dispatch_locked()
+            except BaseException:
+                # The engine may be arbitrarily broken mid-step; handles
+                # that could not be finished are abandoned, the dump
+                # below is what matters now.
+                pass
+        if self.flight is not None:
+            self.flight.record_crash(exc, dump=True)
 
     def _on_token(self, request_id: int, token: int) -> None:
         # Called by the engine inside step(); the worker already holds
@@ -256,19 +305,38 @@ class EngineWorker:
             self._dispatch_locked()
 
     def _dispatch_locked(self) -> None:
+        dispatched = False
         for result in self.engine.drain():
             handle = self._handles.pop(result.request_id, None)
             if handle is not None:
                 handle._finish(result)
                 self._c_completed.inc()
                 self._n_completed += 1
+                dispatched = True
+                if result.finish_reason == "cancelled":
+                    self.slo.observe_request(error=True)
+                else:
+                    ttft = (result.timing.ttft_s
+                            if result.timing is not None else None)
+                    self.slo.observe_request(ttft_s=ttft)
         self._g_inflight.set(len(self._handles))
+        if dispatched:
+            self.slo.observe_queue_depth(self.engine.num_queued)
 
     # ------------------------------------------------------------------
     # Observation (any thread)
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """JSON-ready snapshot: engine serving state + server accounting."""
+        """JSON-ready snapshot: engine state, server accounting, SLO, metrics.
+
+        Top-level keys: the engine's own ``stats()`` fields (batch size,
+        occupancy, queue depth, ...), plus ``server`` (accepted / shed /
+        rejected / timeouts / completed / inflight / crashed + the
+        admission policy), ``slo`` (the monitor's current
+        :meth:`~repro.obs.SLOMonitor.evaluate` verdict), and ``metrics``
+        (the full metrics-registry snapshot; ``{}`` without an
+        Observability bundle).
+        """
         with self._lock:
             snapshot = self.engine.stats()
             snapshot["server"] = {
@@ -278,6 +346,24 @@ class EngineWorker:
                 "timeouts": self._n_timeouts,
                 "completed": self._n_completed,
                 "inflight": len(self._handles),
+                "crashed": self.crashed,
                 "policy": self.policy.to_dict(),
             }
+        # Outside the worker lock: the SLO monitor and registry have
+        # their own synchronization and never touch the engine.
+        snapshot["slo"] = self.slo.evaluate()
+        snapshot["metrics"] = self._metrics.snapshot()
         return snapshot
+
+    def health(self) -> dict:
+        """Three-state health verdict for ``GET /healthz``.
+
+        The SLO monitor's ``ok|degraded|failing`` evaluation, forced to
+        ``failing`` once the decode loop has crashed (a crashed server
+        may still answer HTTP but can no longer decode).
+        """
+        verdict = self.slo.evaluate()
+        if self.crashed:
+            verdict["status"] = "failing"
+            verdict["crashed"] = True
+        return verdict

@@ -22,7 +22,8 @@ def test_serving_smoke(tmp_path):
     env["PYTHONPATH"] = os.path.join(REPO, "src") + os.pathsep + \
         env.get("PYTHONPATH", "")
     proc = subprocess.run(
-        [sys.executable, "bench_serving.py", "--smoke", "--out", str(out)],
+        [sys.executable, "bench_serving.py", "--smoke", "--slo",
+         "--out", str(out)],
         cwd=BENCH_DIR, env=env, capture_output=True, text=True, timeout=600,
     )
     assert proc.returncode == 0, \
@@ -53,3 +54,17 @@ def test_serving_smoke(tmp_path):
         assert phase["accounting_balanced"]
         assert 0.0 <= phase["ttft_p50_s"] <= phase["ttft_p99_s"]
         assert phase["tokens_per_sec"] > 0
+    # the live observability plane answered: /metrics parsed cleanly,
+    # /healthz reported a verdict, /v1/trace exported the request's spans
+    probe = phases["observability"]
+    assert probe["metrics_parseable"] and probe["metrics_sample_lines"] > 0
+    assert probe["healthz_status"] == "ok"
+    assert probe["trace_export_events"] > 0
+    # --slo drove the monitor through breach and back; the timeline is
+    # ordered and lands in the JSON record
+    slo = phases["slo"]
+    assert slo["breaches"] >= 1 and slo["recoveries"] >= 1
+    assert slo["final_status"] == "ok"
+    times = [t["t_s"] for t in slo["timeline"]]
+    assert times == sorted(times)
+    assert slo["timeline"][0]["event"] == "slo_breach"

@@ -1,0 +1,127 @@
+"""Tier-1 wiring for the benchmark regression gate.
+
+``benchmarks/check_regression.py`` diffs a fresh ``BENCH_*.json``
+against a committed baseline (benchmarks/baselines/) and fails on a >20% throughput drop.
+These tests run it as a subprocess the same way CI would: an identical
+record passes, a degraded record fails with a named metric, and the
+mixed-mode guards refuse apples-to-oranges comparisons.  The committed
+``BENCH_serving.json`` baseline is exercised directly so the gate and
+the checked-in record can never drift apart silently.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO, "benchmarks")
+BASELINE = os.path.join(BENCH_DIR, "baselines", "serving.json")
+
+
+def run_checker(*argv):
+    return subprocess.run(
+        [sys.executable, "check_regression.py", *argv],
+        cwd=BENCH_DIR, capture_output=True, text=True, timeout=60)
+
+
+def sample_record():
+    return {
+        "bench": "serving",
+        "smoke": False,
+        "phases": {
+            "poisson": {"tokens_per_sec": 400.0, "ttft_p50_s": 0.006},
+            "closed_loop": {"tokens_per_sec": 2000.0},
+        },
+        "provenance": {"tokens_per_sec": 999.0},  # must be ignored
+    }
+
+
+def write(path, record):
+    path.write_text(json.dumps(record))
+    return str(path)
+
+
+class TestGate:
+    def test_identical_records_pass(self, tmp_path):
+        base = write(tmp_path / "base.json", sample_record())
+        proc = run_checker(base, base)
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_regressed_throughput_fails(self, tmp_path):
+        base = write(tmp_path / "base.json", sample_record())
+        degraded = sample_record()
+        degraded["phases"]["closed_loop"]["tokens_per_sec"] *= 0.5
+        fresh = write(tmp_path / "fresh.json", degraded)
+        proc = run_checker(base, fresh)
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stderr
+        assert "closed_loop/tokens_per_sec" in proc.stderr
+        # the untouched metric is not reported as a failure
+        assert "poisson" not in proc.stderr
+
+    def test_small_drop_within_threshold_passes(self, tmp_path):
+        base = write(tmp_path / "base.json", sample_record())
+        wobbled = sample_record()
+        wobbled["phases"]["poisson"]["tokens_per_sec"] *= 0.9
+        fresh = write(tmp_path / "fresh.json", wobbled)
+        assert run_checker(base, fresh).returncode == 0
+
+    def test_improvement_passes(self, tmp_path):
+        base = write(tmp_path / "base.json", sample_record())
+        better = sample_record()
+        for phase in better["phases"].values():
+            phase["tokens_per_sec"] *= 3.0
+        fresh = write(tmp_path / "fresh.json", better)
+        assert run_checker(base, fresh).returncode == 0
+
+    def test_dropped_metric_fails(self, tmp_path):
+        base = write(tmp_path / "base.json", sample_record())
+        partial = sample_record()
+        del partial["phases"]["closed_loop"]
+        fresh = write(tmp_path / "fresh.json", partial)
+        proc = run_checker(base, fresh)
+        assert proc.returncode == 1
+        assert "missing from" in proc.stderr
+
+    def test_threshold_is_configurable(self, tmp_path):
+        base = write(tmp_path / "base.json", sample_record())
+        wobbled = sample_record()
+        wobbled["phases"]["poisson"]["tokens_per_sec"] *= 0.9
+        fresh = write(tmp_path / "fresh.json", wobbled)
+        assert run_checker(base, fresh, "--threshold", "0.05").returncode == 1
+
+
+class TestMixedModeGuards:
+    def test_different_bench_names_refused(self, tmp_path):
+        base = write(tmp_path / "base.json", sample_record())
+        other = sample_record()
+        other["bench"] = "training"
+        fresh = write(tmp_path / "fresh.json", other)
+        proc = run_checker(base, fresh)
+        assert proc.returncode == 2
+        assert "refusing" in proc.stderr
+
+    def test_smoke_vs_full_refused_unless_allowed(self, tmp_path):
+        base = write(tmp_path / "base.json", sample_record())
+        smoke = sample_record()
+        smoke["smoke"] = True
+        fresh = write(tmp_path / "fresh.json", smoke)
+        assert run_checker(base, fresh).returncode == 2
+        assert run_checker(base, fresh, "--allow-mixed").returncode == 0
+
+
+class TestCommittedBaseline:
+    def test_committed_serving_baseline_gates_itself(self):
+        assert os.path.exists(BASELINE), \
+            "benchmarks/baselines/serving.json baseline is missing"
+        proc = run_checker(BASELINE, BASELINE)
+        assert proc.returncode == 0, proc.stderr
+        record = json.loads(open(BASELINE).read())
+        assert record["bench"] == "serving"
+        # the baseline carries the metrics the gate watches
+        assert "tokens_per_sec" in json.dumps(record)

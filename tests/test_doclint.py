@@ -58,6 +58,18 @@ def test_serve_package_in_scope():
         assert not docstring_violations(path), path
 
 
+def test_obs_package_in_scope():
+    """The observability plane (PR 7) — tracing, exposition, SLO, flight
+    recorder — carries the same docstring contract; guard against the
+    package being skipped by a future scoping change."""
+    obs = [p for p in iter_sources() if p.parent.name == "obs"]
+    names = {p.name for p in obs}
+    assert {"__init__.py", "tracing.py", "metrics.py", "events.py",
+            "exposition.py", "slo.py", "flight.py"} <= names
+    for path in obs:
+        assert not docstring_violations(path), path
+
+
 def test_public_api_is_documented():
     violations = []
     for path in iter_sources():

@@ -1,6 +1,7 @@
 """Unit tests for repro.obs: metrics, tracing, events, profiler, bundle,
 and the instrumentation hooks in the trainer and generation engine."""
 
+import threading
 import json
 
 import numpy as np
@@ -189,6 +190,67 @@ class TestEventLog:
     def test_disabled_is_noop(self):
         assert NULL_EVENTS.emit("x", a=1) is None
         assert len(NULL_EVENTS) == 0
+
+    def test_close_releases_file_handle(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path)
+        log.emit("one", n=1)
+        log.close()
+        assert log._fh is None
+        log.emit("two", n=2)  # reopens in append mode; nothing is lost
+        log.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["n"] for r in records] == [1, 2]
+
+    def test_fsync_emits_are_durable_per_record(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path, fsync=True)
+        log.emit("one", n=1)
+        # no flush/close: the line must already be on disk
+        assert json.loads(path.read_text())["n"] == 1
+        log.close()
+
+    def test_concurrent_emit_never_interleaves_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path)
+        payload = "x" * 256
+
+        def spin(tag):
+            for i in range(200):
+                log.emit("spin", tag=tag, i=i, pad=payload)
+
+        threads = [threading.Thread(target=spin, args=(t,))
+                   for t in "abcd"]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 800
+        for line in lines:  # every line is one complete JSON object
+            record = json.loads(line)
+            assert record["pad"] == payload
+        assert len(log) == 800
+
+    def test_sinks_see_every_record(self):
+        log = EventLog()
+        seen = []
+        log.add_sink(seen.append)
+        log.emit("a", n=1)
+        log.emit("b", n=2)
+        assert [r["event"] for r in seen] == ["a", "b"]
+
+    def test_reentrant_emit_from_sink(self):
+        log = EventLog()
+
+        def echo(record):
+            if record["event"] != "echo":
+                log.emit("echo", of=record["event"])
+
+        log.add_sink(echo)
+        log.emit("ping")
+        assert [r["event"] for r in log.records] == ["ping", "echo"]
 
 
 def _tiny_transformer():

@@ -8,6 +8,8 @@ duplicated requests under bursty arrivals — is exercised end-to-end by
 ``benchmarks/bench_serving.py --smoke`` via its own tier-1 test.
 """
 
+import http.client
+import json
 import threading
 import time
 
@@ -15,7 +17,8 @@ import pytest
 
 from repro.core import TransformerConfig, TransformerLM
 from repro.infer import GenerationEngine
-from repro.obs import Observability
+from repro.obs import FlightRecorder, Observability, SLOMonitor, SLOThresholds
+from repro.train import faults
 from repro.serve import (
     AdmissionPolicy,
     EngineWorker,
@@ -185,17 +188,38 @@ class TestEngineWorker:
         assert excinfo.value.status == 503
 
 
-def serve(model_, batch_size=2, policy=None, obs=None, **engine_kwargs):
+def serve(model_, batch_size=2, policy=None, obs=None, slo=None, flight=None,
+          **engine_kwargs):
     engine = GenerationEngine(model_, batch_size=batch_size, greedy=True,
                               obs=obs, **engine_kwargs)
-    return InferenceServer(engine, policy=policy, obs=obs)
+    return InferenceServer(engine, policy=policy, obs=obs, slo=slo,
+                           flight=flight)
+
+
+def raw_submit(server, prompt, max_new_tokens, headers=None):
+    """POST /v1/submit via raw http.client, returning response headers too."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        payload = json.dumps({"prompt": list(prompt),
+                              "max_new_tokens": max_new_tokens}).encode()
+        conn.request("POST", "/v1/submit", body=payload,
+                     headers={"Content-Type": "application/json",
+                              **(headers or {})})
+        response = conn.getresponse()
+        body = json.loads(response.read().decode())
+        return response.status, dict(response.getheaders()), body
+    finally:
+        conn.close()
 
 
 class TestHTTPServer:
     def test_healthz_and_404(self, model):
         with serve(model) as server:
             client = ServeClient(server.host, server.port)
-            assert client.healthz() == {"ok": True}
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert set(health["signals"]) == {
+                "ttft_p99_s", "shed_rate", "error_rate", "queue_depth"}
             with pytest.raises(ServeClientError) as excinfo:
                 client._request("GET", "/nope")
             assert excinfo.value.status == 404
@@ -327,6 +351,205 @@ class TestHTTPServer:
         assert snapshot["engine.ttft_seconds"]["count"] == 1
         assert len(obs.events.of_type("request_submitted")) == 1
         assert len(obs.events.of_type("request_finished")) == 1
+
+
+class TestTracePropagation:
+    def test_traceparent_roundtrip_and_cross_thread_export(self, model):
+        obs = Observability.standard()
+        trace_id, caller_span = "ab" * 16, "cd" * 8
+        with serve(model, obs=obs) as server:
+            status, headers, _ = raw_submit(
+                server, [1, 2], 5,
+                headers={"traceparent": f"00-{trace_id}-{caller_span}-01"})
+            assert status == 200
+            assert headers["X-Trace-Id"] == trace_id
+            assert headers["traceparent"].split("-")[1] == trace_id
+            exported = ServeClient(server.host, server.port).trace(trace_id)
+        assert exported["trace_id"] == trace_id
+        events = exported["traceEvents"]
+        assert events and all(
+            e["args"]["trace_id"] == trace_id for e in events)
+        by_name = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(event)
+        assert {"serve.request", "request.queue_wait",
+                "request.prefill", "request.decode_step"} <= set(by_name)
+        (root,) = by_name["serve.request"]
+        # the handler's root span continues the remote caller's span
+        assert root["args"]["parent_id"] == caller_span
+        # engine-side phases are parented under the request's root span
+        # even though they are recorded from the decode thread
+        engine_spans = (by_name["request.queue_wait"]
+                        + by_name["request.prefill"]
+                        + by_name["request.decode_step"])
+        for span in engine_spans:
+            assert span["args"]["parent_id"] == root["args"]["span_id"]
+        assert {span["tid"] for span in engine_spans} != {root["tid"]}
+
+    def test_fresh_trace_minted_without_header(self, model):
+        obs = Observability.standard()
+        with serve(model, obs=obs) as server:
+            _, first, _ = raw_submit(server, [1], 3)
+            _, second, _ = raw_submit(server, [2], 3)
+        assert len(first["X-Trace-Id"]) == 32
+        assert int(first["X-Trace-Id"], 16) != 0
+        assert first["X-Trace-Id"] != second["X-Trace-Id"]
+
+    def test_malformed_traceparent_gets_fresh_trace(self, model):
+        obs = Observability.standard()
+        with serve(model, obs=obs) as server:
+            for bad in ("nonsense", "00-zz-yy-01",
+                        "00-" + "0" * 32 + "-" + "cd" * 8 + "-01"):
+                status, headers, _ = raw_submit(
+                    server, [1], 3, headers={"traceparent": bad})
+                assert status == 200
+                assert len(headers["X-Trace-Id"]) == 32
+
+    def test_streaming_first_record_carries_trace_id(self, model):
+        obs = Observability.standard()
+        with serve(model, obs=obs) as server:
+            client = ServeClient(server.host, server.port)
+            records = list(client.stream([1, 2], 4))
+        assert len(records[0]["trace_id"]) == 32
+
+    def test_trace_ids_surface_in_request_events(self, model):
+        obs = Observability.standard()
+        trace_id = "ef" * 16
+        with serve(model, obs=obs) as server:
+            raw_submit(server, [1, 2], 3,
+                       headers={"traceparent":
+                                f"00-{trace_id}-{'cd' * 8}-01"})
+        for name in ("request_submitted", "request_admitted",
+                     "request_finished"):
+            (event,) = obs.events.of_type(name)
+            assert event["trace_id"] == trace_id
+
+
+class TestObservabilityPlane:
+    def test_metrics_endpoint_is_prometheus_parseable(self, model):
+        from tests.test_obs_exposition import parse_exposition
+
+        obs = Observability.standard()
+        with serve(model, obs=obs) as server:
+            client = ServeClient(server.host, server.port)
+            client.submit([1, 2], 5)
+            text = client.metrics()
+        families = parse_exposition(text)
+        assert families["serve_accepted_total"]["type"] == "counter"
+        ((_, labels, value),) = families["serve_accepted_total"]["samples"]
+        assert labels["job"] == "repro_serve" and value == "1"
+        assert families["engine_ttft_seconds"]["type"] == "histogram"
+
+    def test_metrics_endpoint_with_telemetry_disabled(self, model):
+        with serve(model) as server:
+            client = ServeClient(server.host, server.port)
+            client.submit([1], 3)
+            text = client.metrics()
+        assert text.strip() == ""  # NullMetrics: empty but valid exposition
+
+    def test_trace_endpoint_requires_id(self, model):
+        with serve(model) as server:
+            client = ServeClient(server.host, server.port)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.trace("")
+            assert excinfo.value.status == 400
+            body = client.trace("deadbeef")
+            assert body["traceEvents"] == []
+            assert body["tracing_enabled"] is False
+
+    def test_healthz_degraded_on_one_breach(self, model):
+        slo = SLOMonitor(SLOThresholds(ttft_p99_s=0.0, min_requests=1))
+        with serve(model, slo=slo) as server:
+            client = ServeClient(server.host, server.port)
+            client.submit([1, 2], 3)
+            health = client.healthz()
+        assert health["status"] == "degraded"
+        assert health["breached"] == ["ttft_p99_s"]
+
+    def test_healthz_503_when_failing(self, model):
+        slo = SLOMonitor(SLOThresholds(ttft_p99_s=0.0, max_queue_depth=-1,
+                                       min_requests=1))
+        with serve(model, slo=slo) as server:
+            client = ServeClient(server.host, server.port)
+            client.submit([1, 2], 3)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.healthz()
+        assert excinfo.value.status == 503
+        assert excinfo.value.body["status"] == "failing"
+
+    def test_stats_carry_slo_verdict_and_metrics(self, model):
+        obs = Observability.standard()
+        with serve(model, obs=obs) as server:
+            client = ServeClient(server.host, server.port)
+            client.submit([1, 2], 4)
+            stats = client.stats()
+        assert stats["slo"]["status"] == "ok"
+        assert "ttft_p99_s" in stats["slo"]["signals"]
+        assert stats["metrics"]["serve.completed"]["value"] == 1
+
+    def test_shed_and_timeout_feed_slo_window(self, model):
+        slow = SlowModel(model, 0.01)
+        policy = AdmissionPolicy(max_queue_depth=0, retry_after_s=0.1)
+        slo = SLOMonitor(SLOThresholds(max_shed_rate=0.0, min_requests=1))
+        with serve(slow, batch_size=1, policy=policy, slo=slo) as server:
+            client = ServeClient(server.host, server.port)
+            stream = client.stream([1, 2, 3], 20)
+            next(stream)
+            next(stream)            # slot busy now
+            with pytest.raises(ServeClientError):
+                client.submit([4], 5)       # shed -> 429
+            health_body = client.healthz()
+            for _ in stream:
+                pass
+        assert health_body["status"] == "degraded"
+        assert health_body["breached"] == ["shed_rate"]
+        assert health_body["signals"]["shed_rate"]["value"] > 0
+
+
+class TestFlightRecorderOverHTTP:
+    def test_crash_mid_stream_dumps_blackbox(self, model, tmp_path):
+        path = tmp_path / "flightrecord.json"
+        obs = Observability.standard()
+        flight = FlightRecorder(path=path, capacity=256)
+        slow = SlowModel(model, 0.005)
+        with serve(slow, obs=obs, flight=flight) as server:
+            client = ServeClient(server.host, server.port)
+            with faults.inject("serve.step", faults.SimulatedCrash, skip=3):
+                records = list(client.stream([1, 2], 30))
+            final = records[-1]
+            assert final["finish_reason"] == "cancelled"
+            # the worker is down: health reports failing, new work is shed
+            with pytest.raises(ServeClientError) as excinfo:
+                client.healthz()
+            assert excinfo.value.status == 503
+            assert excinfo.value.body["crashed"] is True
+        assert path.exists()
+        blackbox = json.loads(path.read_text())
+        assert blackbox["reason"] == "crash"
+        assert "SimulatedCrash" in blackbox["error"]
+        names = [e["event"] for e in blackbox["events"]]
+        assert "server_crash" in names
+        assert "request_submitted" in names
+
+    def test_blackbox_contains_inflight_request_trace(self, model, tmp_path):
+        path = tmp_path / "flightrecord.json"
+        obs = Observability.standard()
+        flight = FlightRecorder(path=path, capacity=256)
+        slow = SlowModel(model, 0.005)
+        trace_id = "ba" * 16
+        with serve(slow, obs=obs, flight=flight) as server:
+            with faults.inject("serve.step", faults.SimulatedCrash, skip=4):
+                status, headers, body = raw_submit(
+                    server, [1, 2, 3], 30,
+                    headers={"traceparent":
+                             f"00-{trace_id}-{'cd' * 8}-01"})
+        assert body["finish_reason"] == "cancelled"
+        blackbox = json.loads(path.read_text())
+        event_traces = {e.get("trace_id") for e in blackbox["events"]}
+        assert trace_id in event_traces
+        span_names = {s["name"] for s in blackbox["spans"]}
+        assert "request.prefill" in span_names
+        assert "request.decode_step" in span_names
 
 
 class TestAdmissionPolicy:
