@@ -15,9 +15,19 @@ batch size and to demonstrate the PR 2 acceptance bar: instrumented
 decoding is bit-identical to ``generate_fast`` and within a few percent
 of its uninstrumented throughput.  ``--trace`` dumps the Chrome trace.
 
+Two PR 8 phases ride along in the same record: ``memory`` runs the
+workload on the dense and paged KV backends, asserts bit-identical
+outputs, and reports held KV bytes per concurrent request (the paged
+pool only pays for pages actually written); ``prefix`` decodes requests
+sharing a 48-token system prompt and reports cold-vs-warm TTFT and
+prefill steps — warm requests reuse the cached prompt pages and skip
+the covered positions.
+
 ``--smoke`` runs a seconds-scale configuration and asserts the batched
-engine at full batch is at least as fast as the single stream; the
-tier-1 test suite invokes it so decode-path perf regressions fail loudly.
+engine at full batch is at least as fast as the single stream, the
+paged backend saves >=2x KV memory per request, and warm requests hit
+the prefix cache; the tier-1 test suite invokes it so decode-path perf
+and KV-memory regressions fail loudly.
 """
 
 import argparse
@@ -52,6 +62,84 @@ def _build(smoke: bool) -> tuple[TransformerLM, list[list[int]], int]:
     max_new = (16 if smoke else 64) * scale()
     max_new = min(max_new, cfg.max_seq_len - _PROMPT_LEN)
     return model, prompts, max_new
+
+
+def _memory_phase(model, prompts, max_new) -> dict:
+    """KV memory per concurrent request: dense buffer vs paged pool.
+
+    Runs the same workload on both backends, asserts the outputs are
+    bit-identical (the PR 8 acceptance bar), and reports held KV bytes
+    per concurrent request — the dense cache pays ``max_seq_len``
+    positions per slot up front, the paged pool only what the sequences
+    actually used at peak.
+    """
+    batch = len(prompts)
+    dense = GenerationEngine(model, batch_size=batch, greedy=True,
+                             paged=False)
+    dense_out = dense.generate(prompts, max_new)
+    dense_bytes = dense.cache.nbytes
+
+    paged = GenerationEngine(model, batch_size=batch, greedy=True)
+    paged_out = paged.generate(prompts, max_new)
+    assert paged_out == dense_out, "paged engine diverged from dense"
+    cache = paged.cache
+    paged_bytes = cache.peak_pages_used * cache.page_bytes
+    return {
+        "batch_size": batch,
+        "dense_kv_bytes": dense_bytes,
+        "paged_kv_peak_bytes": paged_bytes,
+        "dense_kv_bytes_per_request": dense_bytes / batch,
+        "paged_kv_bytes_per_request": paged_bytes / batch,
+        "memory_saving_ratio": dense_bytes / paged_bytes,
+        "page_size": cache.page_size,
+        "peak_pages_used": cache.peak_pages_used,
+        "pool_pages": cache.num_pages,
+        "bit_identical_to_dense": True,   # the assert above just proved it
+    }
+
+
+def _prefix_phase(model) -> dict:
+    """Cache-hit TTFT: requests sharing a system prompt skip its prefill.
+
+    One cold request pays the full prompt; each warm request reuses the
+    cached system-prompt pages and prefills only its unique suffix.
+    Decode *steps* per request are reported alongside wall-clock TTFT —
+    steps are deterministic, so the speedup gate cannot flake on a busy
+    machine.
+    """
+    rng = np.random.default_rng(2)
+    system = list(rng.integers(0, model.config.vocab_size, size=48))
+    suffixes = [list(rng.integers(0, model.config.vocab_size, size=4))
+                for _ in range(6)]
+    max_new = 8
+    engine = GenerationEngine(model, batch_size=1, greedy=True)
+    ttfts, steps = [], []
+    for suffix in suffixes:
+        before = engine.total_steps
+        engine.submit(system + suffix, max_new)
+        result = engine.run()[0]
+        steps.append(engine.total_steps - before)
+        ttfts.append(result.timing.ttft_s)
+        assert result.tokens == model.generate_fast(
+            system + suffix, max_new, greedy=True), \
+            "prefix-cache hit changed the sampled tokens"
+    stats = engine.stats()["kv"]["prefix_cache"]
+    warm_ttft = float(np.mean(ttfts[1:]))
+    warm_steps = float(np.mean(steps[1:]))
+    return {
+        "system_prompt_len": len(system),
+        "num_requests": len(suffixes),
+        "cold_ttft_s": ttfts[0],
+        "warm_ttft_mean_s": warm_ttft,
+        "ttft_speedup": ttfts[0] / warm_ttft if warm_ttft > 0 else 0.0,
+        "cold_prefill_steps": steps[0],
+        "warm_prefill_steps_mean": warm_steps,
+        "step_speedup": steps[0] / warm_steps if warm_steps else 0.0,
+        "prefix_hits": stats["hits"],
+        "prefix_hit_rate": stats["hits"] / len(suffixes),
+        "hit_tokens": stats["hit_tokens"],
+        "warm_matches_reference": True,   # asserted per request above
+    }
 
 
 def run(smoke: bool = False, obs: Observability | None = None) -> dict:
@@ -97,6 +185,8 @@ def run(smoke: bool = False, obs: Observability | None = None) -> dict:
         "sequential": {"seconds": sequential_s, "tokens_per_sec": sequential_tps},
         "batched": batched,
         "speedup_at_full_batch": full_batch["tokens_per_sec"] / sequential_tps,
+        "memory": _memory_phase(model, prompts, max_new),
+        "prefix": _prefix_phase(model),
     }
 
 
@@ -118,6 +208,31 @@ def report(result: dict) -> str:
         f"({result['num_prompts']} prompts x {result['max_new_tokens']} new); "
         f"full-batch speedup {result['speedup_at_full_batch']:.1f}x"
     )
+    memory = result["memory"]
+    lines.append(banner("Paged KV memory — held bytes per concurrent request"))
+    lines.append(fmt_table(
+        ["backend", "bytes/request", "total bytes", "pages"],
+        [["dense", memory["dense_kv_bytes_per_request"],
+          memory["dense_kv_bytes"], "-"],
+         ["paged (peak)", memory["paged_kv_bytes_per_request"],
+          memory["paged_kv_peak_bytes"],
+          f"{memory['peak_pages_used']}/{memory['pool_pages']}"]]))
+    lines.append(
+        f"paged engine holds {memory['memory_saving_ratio']:.1f}x less KV "
+        f"memory at peak, bit-identical outputs")
+    prefix = result["prefix"]
+    lines.append(banner("Prefix cache — shared system prompt TTFT"))
+    lines.append(fmt_table(
+        ["request", "prefill steps", "ttft ms"],
+        [["cold (1st)", prefix["cold_prefill_steps"],
+          prefix["cold_ttft_s"] * 1e3],
+         ["warm (mean)", prefix["warm_prefill_steps_mean"],
+          prefix["warm_ttft_mean_s"] * 1e3]]))
+    lines.append(
+        f"{prefix['prefix_hits']}/{prefix['num_requests']} requests hit the "
+        f"cache ({prefix['hit_tokens']} tokens reused); "
+        f"TTFT speedup {prefix['ttft_speedup']:.1f}x, "
+        f"step speedup {prefix['step_speedup']:.1f}x")
     return "\n".join(lines)
 
 
@@ -133,6 +248,13 @@ def test_inference_throughput(benchmark):
     # throughput should grow monotonically-ish with batch size
     tps = [entry["tokens_per_sec"] for entry in result["batched"]]
     assert tps[-1] > tps[0]
+    # PR 8 acceptance: >=2x lower KV memory per concurrent short request,
+    # and prefix hits must cut prefill steps (deterministic, never flaky)
+    assert result["memory"]["memory_saving_ratio"] >= 2.0
+    assert result["memory"]["bit_identical_to_dense"]
+    prefix = result["prefix"]
+    assert prefix["prefix_hits"] == prefix["num_requests"] - 1
+    assert prefix["warm_prefill_steps_mean"] < prefix["cold_prefill_steps"] / 3
 
 
 def main(argv=None) -> int:
@@ -162,7 +284,18 @@ def main(argv=None) -> int:
             print("SMOKE FAIL: batched engine slower than sequential decode",
                   file=sys.stderr)
             return 1
-        print("SMOKE OK: batched >= sequential tokens/sec")
+        if result["memory"]["memory_saving_ratio"] < 2.0:
+            print("SMOKE FAIL: paged KV saves <2x memory per request",
+                  file=sys.stderr)
+            return 1
+        prefix = result["prefix"]
+        if prefix["prefix_hits"] < prefix["num_requests"] - 1:
+            print("SMOKE FAIL: warm requests missed the prefix cache",
+                  file=sys.stderr)
+            return 1
+        print("SMOKE OK: batched >= sequential tokens/sec, "
+              f"{result['memory']['memory_saving_ratio']:.1f}x KV saving, "
+              f"{prefix['step_speedup']:.1f}x prefill-step win on cache hits")
     return 0
 
 

@@ -17,6 +17,10 @@ a live :class:`~repro.serve.InferenceServer`:
   accepted request still completes.
 - **closed_loop** — a fixed pool of always-busy clients: the
   max-throughput picture.
+- **prefix** (PR 8) — sequential requests sharing a 48-token system
+  prompt: warm requests must hit the paged-KV prefix cache (verified
+  via ``/v1/stats``), cut client-measured TTFT, and still return
+  bit-identical tokens.
 
 Every phase runs against a fresh engine+server and verifies **zero
 lost, zero duplicated, zero corrupted** responses: request ids are
@@ -220,6 +224,56 @@ def _bit_identity(model, obs) -> dict:
     return {"requests": len(workload), "identical": identical}
 
 
+def _prefix_phase(model, obs) -> dict:
+    """Cache-hit TTFT over HTTP: requests sharing a system prompt.
+
+    Sequential streamed requests against a batch-1 server, all sharing a
+    48-token system prompt with unique short suffixes.  The first (cold)
+    request prefills everything; later (warm) requests reuse the cached
+    prompt pages, so their client-measured TTFT — submit to first
+    streamed token — drops.  ``/v1/stats`` must report the hits, and
+    every completion still matches its greedy reference.
+    """
+    engine = GenerationEngine(model, batch_size=1, greedy=True, obs=obs)
+    rng = np.random.default_rng(11)
+    vocab = model.config.vocab_size
+    system = [int(t) for t in rng.integers(0, vocab, size=48)]
+    suffixes = [[int(t) for t in rng.integers(0, vocab, size=3)]
+                for _ in range(6)]
+    reference = _Reference(model)
+    ttfts = []
+    identical = True
+    with InferenceServer(engine, policy=AdmissionPolicy(max_queue_depth=8),
+                         obs=obs) as server:
+        client = ServeClient(server.host, server.port)
+        for suffix in suffixes:
+            prompt = system + suffix
+            t0 = time.perf_counter()
+            ttft = None
+            final = None
+            for line in client.stream(prompt, 8):
+                if "token" in line and ttft is None:
+                    ttft = time.perf_counter() - t0
+                if line.get("done"):
+                    final = line
+            ttfts.append(ttft)
+            if final["tokens"] != reference(prompt, 8):
+                identical = False
+        kv = client.stats()["kv"]
+    warm = float(np.mean(ttfts[1:]))
+    return {
+        "system_prompt_len": len(system),
+        "requests": len(suffixes),
+        "cold_ttft_s": ttfts[0],
+        "warm_ttft_mean_s": warm,
+        "ttft_speedup": ttfts[0] / warm if warm > 0 else 0.0,
+        "prefix_hits": kv["prefix_cache"]["hits"],
+        "prefix_hit_tokens": kv["prefix_cache"]["hit_tokens"],
+        "kv_pages_used": kv["pages_used"],
+        "identical": identical,
+    }
+
+
 _METRIC_LINE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$")
 
@@ -388,6 +442,7 @@ def run(smoke: bool = False, obs: Observability | None = None,
                                request_timeout_s=120.0),
         obs=obs, closed_loop_workers=4 if smoke else 8)
 
+    phases["prefix"] = _prefix_phase(model, obs)
     phases["observability"] = _observability_probe(model, obs)
     if slo:
         phases["slo"] = _slo_phase(model, smoke)
@@ -434,6 +489,14 @@ def report(result: dict) -> str:
         f"{ident['identical']} ({ident['requests']} requests); "
         f"lost={totals['lost']} duplicated={totals['duplicated']} "
         f"mismatched={totals['mismatched']} over {totals['sent']} requests")
+    prefix = result["phases"]["prefix"]
+    lines.append(
+        f"prefix caching over HTTP: cold ttft "
+        f"{prefix['cold_ttft_s'] * 1e3:.1f}ms vs warm "
+        f"{prefix['warm_ttft_mean_s'] * 1e3:.1f}ms "
+        f"({prefix['ttft_speedup']:.1f}x), {prefix['prefix_hits']} hits / "
+        f"{prefix['prefix_hit_tokens']} tokens reused, "
+        f"identical={prefix['identical']}")
     probe = result["phases"]["observability"]
     lines.append(
         f"observability probe: healthz={probe['healthz_status']} "
@@ -478,6 +541,13 @@ def _gate(result: dict) -> list[str]:
                             "non-shed failures")
         if not phase["accounting_balanced"]:
             failures.append(f"{name}: client/server accounting imbalance")
+    prefix = result["phases"]["prefix"]
+    if not prefix["identical"]:
+        failures.append("prefix phase: cache hits changed sampled tokens")
+    if prefix["prefix_hits"] < prefix["requests"] - 1:
+        failures.append(
+            f"prefix phase: only {prefix['prefix_hits']} cache hits for "
+            f"{prefix['requests'] - 1} warm requests")
     probe = result["phases"]["observability"]
     if not probe["metrics_parseable"]:
         failures.append("/metrics emitted unparseable sample lines")

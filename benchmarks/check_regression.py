@@ -1,9 +1,13 @@
 """Throughput regression gate between two benchmark JSON records.
 
 Compares a freshly produced ``BENCH_*.json`` against a committed
-baseline and fails (exit 1) when any throughput-style metric — a
-numeric leaf whose key name contains ``tokens_per_sec`` or
-``throughput`` — regresses by more than ``--threshold`` (default 20%).
+baseline and fails (exit 1) when any gated metric regresses by more
+than ``--threshold`` (default 20%).  Gated metrics are numeric leaves
+matched by key name: throughput-style (``tokens_per_sec``,
+``throughput``) and efficiency ratios (``*speedup*``,
+``*saving_ratio*``, ``*hit_rate*``) are higher-is-better; KV-memory
+capacity leaves (``*bytes_per_request*``) are lower-is-better and fail
+when they *grow* past the threshold.
 Metric identity is the JSON path, so the two records must come from the
 same bench; the tool refuses to compare different ``bench`` names or a
 ``--smoke`` record against a full one (override with ``--allow-mixed``
@@ -29,6 +33,11 @@ import sys
 
 # substrings of leaf key names treated as higher-is-better throughput
 THROUGHPUT_TAGS = ("tokens_per_sec", "throughput", "tok_per_s")
+# higher-is-better efficiency ratios (PR 8: paged-KV memory saving and
+# prefix-cache TTFT win) — gated exactly like throughput
+RATIO_TAGS = ("speedup", "saving_ratio", "hit_rate")
+# lower-is-better capacity metrics: fail when they *grow* past threshold
+LOWER_BETTER_TAGS = ("bytes_per_request",)
 # top-level subtrees that never carry comparable metrics
 SKIP_SUBTREES = ("provenance", "model")
 
@@ -45,37 +54,65 @@ def numeric_leaves(obj, path=()):
     # list elements have positional, not named, identity: not comparable
 
 
+def _direction(key: str) -> str | None:
+    """``"higher"``/``"lower"`` for gated leaf names, None for ungated."""
+    if any(tag in key for tag in THROUGHPUT_TAGS + RATIO_TAGS):
+        return "higher"
+    if any(tag in key for tag in LOWER_BETTER_TAGS):
+        return "lower"
+    return None
+
+
+def gated_metrics(record: dict) -> dict:
+    """``{"path/to/metric": (value, direction)}`` for every gated leaf."""
+    return {
+        "/".join(path): (value, _direction(path[-1]))
+        for path, value in numeric_leaves(record)
+        if path and path[0] not in SKIP_SUBTREES and _direction(path[-1])
+    }
+
+
 def throughput_metrics(record: dict) -> dict:
     """``{"path/to/metric": value}`` for every throughput-style leaf."""
     return {
-        "/".join(path): value
-        for path, value in numeric_leaves(record)
-        if path and path[0] not in SKIP_SUBTREES
-        and any(tag in path[-1] for tag in THROUGHPUT_TAGS)
+        name: value
+        for name, (value, direction) in gated_metrics(record).items()
+        if direction == "higher"
     }
 
 
 def compare(baseline: dict, fresh: dict, threshold: float):
-    """Returns (rows, failures): per-metric report + gate violations."""
-    base_metrics = throughput_metrics(baseline)
-    fresh_metrics = throughput_metrics(fresh)
+    """Returns (rows, failures): per-metric report + gate violations.
+
+    Higher-is-better metrics (throughput, speedups, saving ratios) fail
+    on a drop past ``threshold``; lower-is-better metrics (bytes per
+    request) fail on *growth* past it.  Either way an improvement never
+    fails, and a gated metric that vanished from the fresh record is
+    itself a failure.
+    """
+    base_metrics = gated_metrics(baseline)
+    fresh_metrics = gated_metrics(fresh)
     rows, failures = [], []
     for name in sorted(base_metrics):
-        base_value = base_metrics[name]
+        base_value, direction = base_metrics[name]
         if name not in fresh_metrics:
             failures.append(f"{name}: present in baseline, missing from "
                             "fresh record")
             continue
-        fresh_value = fresh_metrics[name]
+        fresh_value, _ = fresh_metrics[name]
         if base_value <= 0:
             rows.append((name, base_value, fresh_value, None))
             continue
         change = fresh_value / base_value - 1.0
         rows.append((name, base_value, fresh_value, change))
-        if change < -threshold:
+        if direction == "higher" and change < -threshold:
             failures.append(
                 f"{name}: {base_value:.4g} -> {fresh_value:.4g} "
                 f"({change:+.1%}, allowed -{threshold:.0%})")
+        elif direction == "lower" and change > threshold:
+            failures.append(
+                f"{name}: {base_value:.4g} -> {fresh_value:.4g} "
+                f"({change:+.1%} growth, allowed +{threshold:.0%})")
     return rows, failures
 
 
@@ -109,7 +146,7 @@ def main(argv=None) -> int:
 
     rows, failures = compare(baseline, fresh, args.threshold)
     if not rows:
-        print("no throughput metrics found to compare", file=sys.stderr)
+        print("no gated metrics found to compare", file=sys.stderr)
         return 2
     width = max(len(name) for name, *_ in rows)
     print(f"{'metric':<{width}}  {'baseline':>12}  {'fresh':>12}  change")
@@ -121,7 +158,7 @@ def main(argv=None) -> int:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         return 1
-    print(f"OK: no throughput metric regressed more than "
+    print(f"OK: no gated metric regressed more than "
           f"{args.threshold:.0%}")
     return 0
 

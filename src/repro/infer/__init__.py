@@ -6,15 +6,29 @@ per-token ``np.concatenate`` cache growth with one up-front allocation
 and in-place appends, and :class:`GenerationEngine` decodes a whole pool
 of prompts per model step, admitting queued prompts into retired slots so
 throughput scales with batch size instead of user count.
+
+:class:`PagedKVCache` (PR 8) is the engine's default backend: KV storage
+lives in fixed-size refcounted pages with per-slot block tables, so
+memory tracks actual sequence lengths, identical prompt prefixes are
+shared across requests via :class:`PrefixCache`, and forks copy-on-write
+— bit-identical to the dense cache on non-shared workloads (see
+docs/KV_CACHE.md).
 """
 
-from .engine import GenerationEngine, GenerationResult, RequestTiming
-from .kv_cache import KVCache, LayerKV
+from .engine import (GenerationEngine, GenerationResult, PromptLimitError,
+                     RequestTiming)
+from .kv_cache import KVCache, LayerKV, ragged_key_mask
+from .paged_kv import PagedKVCache, PagePoolExhausted, PrefixCache
 
 __all__ = [
     "KVCache",
     "LayerKV",
+    "ragged_key_mask",
+    "PagedKVCache",
+    "PagePoolExhausted",
+    "PrefixCache",
     "GenerationEngine",
     "GenerationResult",
+    "PromptLimitError",
     "RequestTiming",
 ]

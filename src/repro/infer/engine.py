@@ -26,6 +26,16 @@ wait, prefill vs. decode split, time-to-first-token, and tokens/sec.
 :class:`~repro.obs.Observability` additionally emits per-step spans,
 ``engine.*`` metrics, and request lifecycle events; the stamps never
 touch the RNG stream, so instrumented decoding stays bit-identical.
+
+KV backends (PR 8): the engine runs on the paged
+:class:`~repro.infer.PagedKVCache` by default — admission reserves KV
+*pages* instead of assuming a dense ``slots x max_len`` buffer, prompts
+sharing a cached prefix skip the covered prefill positions, retirement
+and :meth:`GenerationEngine.cancel` return pages to the pool, and an
+oversubscribed pool preempts the youngest sequence instead of crashing
+mid-decode.  ``paged=False`` restores the dense cache; the two produce
+bit-identical trajectories on non-shared workloads (docs/KV_CACHE.md
+gives the argument, tests/test_infer_engine.py the proof).
 """
 
 from __future__ import annotations
@@ -39,6 +49,22 @@ import numpy as np
 from ..core.sampling import sample_token
 from ..obs import NULL_OBS, Observability
 from .kv_cache import KVCache
+from .paged_kv import PagedKVCache
+
+
+class PromptLimitError(ValueError):
+    """A request that can never fit: structured rejection for serving.
+
+    Raised by :meth:`GenerationEngine.submit` with a ``limits`` dict
+    (prompt_len, max_new_tokens, the cache's max_seq_len, and — under a
+    paged cache — pool capacity) so the HTTP layer can return the same
+    structured 400 on the blocking and streaming paths instead of each
+    reformatting a bare string.
+    """
+
+    def __init__(self, message: str, limits: dict):
+        super().__init__(message)
+        self.limits = limits
 
 
 @dataclass
@@ -132,6 +158,10 @@ class GenerationEngine:
         stop_token: int | None = None,
         obs: Observability | None = None,
         on_token=None,
+        paged: bool = True,
+        kv_page_size: int = 16,
+        kv_num_pages: int | None = None,
+        prefix_cache: bool = True,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -149,7 +179,17 @@ class GenerationEngine:
         # Runs inside step(), so callbacks must be cheap and must never
         # touch the engine's RNG.
         self.on_token = on_token
-        self.cache = KVCache.for_model(model, batch_size)
+        # Paged is the default backend: same bits out (see
+        # docs/KV_CACHE.md), far less memory held per short request, and
+        # prefix sharing across requests.  ``paged=False`` keeps the
+        # dense preallocated cache, the equivalence oracle.
+        self._paged = paged
+        if paged:
+            self.cache = PagedKVCache.for_model(
+                model, batch_size, page_size=kv_page_size,
+                num_pages=kv_num_pages, prefix_sharing=prefix_cache)
+        else:
+            self.cache = KVCache.for_model(model, batch_size)
         self._slots: list[_Sequence | None] = [None] * batch_size
         self._queue: deque[_Sequence] = deque()
         self._results: list[GenerationResult] = []
@@ -173,6 +213,18 @@ class GenerationEngine:
         self._g_queue = metrics.gauge("engine.queue_depth")
         self._h_ttft = metrics.histogram("engine.ttft_seconds")
         self._h_queue_wait = metrics.histogram("engine.queue_wait_seconds")
+        self._g_pages_free = metrics.gauge("engine.kv_pages_free")
+        self._g_pages_used = metrics.gauge("engine.kv_pages_used")
+        self._g_pages_shared = metrics.gauge("engine.kv_pages_shared")
+        self._c_preempt = metrics.counter("engine.preemptions")
+        self._c_prefix_hit = metrics.counter("prefix_cache.hit")
+        self._c_prefix_miss = metrics.counter("prefix_cache.miss")
+        self._c_prefix_evict = metrics.counter("prefix_cache.evict")
+        # Counters are monotonic; the prefix cache keeps running totals.
+        # Track what has already been pushed (null instruments expose no
+        # readable value) and emit only the delta on each sync.
+        self._prefix_pushed = {"hits": 0, "misses": 0, "evictions": 0}
+        self.preemptions = 0
 
     # ------------------------------------------------------------------
     # Request intake
@@ -196,11 +248,7 @@ class GenerationEngine:
             raise ValueError("GenerationEngine requires a non-empty prompt")
         if max_new_tokens < 0:
             raise ValueError("max_new_tokens must be >= 0")
-        if len(ids) + max_new_tokens > self.model.config.max_seq_len:
-            raise ValueError(
-                f"prompt + max_new_tokens = {len(ids) + max_new_tokens} "
-                f"exceeds window L={self.model.config.max_seq_len}"
-            )
+        self._check_limits(len(ids), max_new_tokens)
         request_id = self._next_id
         self._next_id += 1
         self._submitted += 1
@@ -259,6 +307,9 @@ class GenerationEngine:
                 if active is not None and active.request_id == request_id:
                     seq = active
                     self._slots[slot] = None
+                    # Cancellation reclaims KV pages immediately — a
+                    # timed-out request must not pin pool capacity.
+                    self.cache.reset_slot(slot)
                     break
         if seq is None:
             return None
@@ -285,6 +336,37 @@ class GenerationEngine:
         )
         self._sync_gauges()
         return result
+
+    def _check_limits(self, prompt_len: int, max_new_tokens: int) -> None:
+        """Single source of truth for "can this request ever complete?".
+
+        Validates against the *cache's* ``max_seq_len`` (not the model
+        config read separately — the two can differ when a cache is
+        sized explicitly), and under a paged cache also against total
+        pool capacity.  Every ``submit`` caller — blocking and streaming
+        serving paths included — hits this one check, so a borderline
+        request (``prompt_len + max_new_tokens == max_seq_len``) is
+        accepted or rejected identically everywhere; failures raise
+        :class:`PromptLimitError` carrying the limits for a structured
+        400.
+        """
+        total = prompt_len + max_new_tokens
+        limits = {
+            "prompt_len": prompt_len,
+            "max_new_tokens": max_new_tokens,
+            "max_seq_len": self.cache.max_seq_len,
+        }
+        if total > self.cache.max_seq_len:
+            raise PromptLimitError(
+                f"prompt + max_new_tokens = {total} exceeds window "
+                f"L={self.cache.max_seq_len}", limits)
+        if self._paged:
+            limits["kv_num_pages"] = self.cache.num_pages
+            if self.cache.pages_for(total) > self.cache.num_pages:
+                raise PromptLimitError(
+                    f"prompt + max_new_tokens = {total} needs "
+                    f"{self.cache.pages_for(total)} KV pages; the pool "
+                    f"holds {self.cache.num_pages}", limits)
 
     @staticmethod
     def _trace_fields(trace_ctx) -> dict:
@@ -314,7 +396,24 @@ class GenerationEngine:
             if not self._queue:
                 break
             if self._slots[slot] is None:
-                seq = self._queue.popleft()
+                seq = self._queue[0]
+                if self._paged:
+                    # Page-availability admission: attach any cached
+                    # prefix pages and reserve the prompt's fresh pages;
+                    # when the pool cannot supply them, keep the request
+                    # (and everything behind it — FIFO) queued.
+                    cached = self.cache.try_admit(slot, seq.tokens)
+                    if cached is None:
+                        break
+                    if cached != seq.fed:
+                        seq.fed = cached
+                        self._events.emit(
+                            "prefix_cache_hit", request_id=seq.request_id,
+                            cached_tokens=cached,
+                            **self._trace_fields(seq.trace_ctx))
+                else:
+                    self.cache.reset_slot(slot)
+                self._queue.popleft()
                 if now is None:
                     now = self._clock()
                 seq.admitted_t = now
@@ -331,8 +430,37 @@ class GenerationEngine:
                         parent=seq.trace_ctx, request_id=seq.request_id,
                         slot=slot)
                 self._slots[slot] = seq
-                self.cache.reset_slot(slot)
         self._sync_gauges()
+
+    def _relieve_page_pressure(self, active: list[int]) -> list[int]:
+        """Preempt youngest-first until the next step's pages fit the pool.
+
+        An oversubscribed pool can run dry mid-decode: several slots hit
+        a page boundary in the same step with the free list empty.
+        Rather than crash (or deadlock the batch), the youngest active
+        request is recompute-preempted: its pages are released and it
+        re-enters the *front* of the queue with its sampled tokens kept,
+        so re-admission replays deterministically — feeding the kept
+        tokens consumes no RNG draws, and its own registered prefix pages
+        usually make the replay a cache hit.  The oldest sequence is
+        never preempted, so the engine always makes progress (a lone
+        sequence fits by the :meth:`submit` capacity check).
+        """
+        while len(active) > 1 and self.cache.step_page_shortfall(active) > 0:
+            slot = max(active, key=lambda s: self._slots[s].request_id)
+            seq = self._slots[slot]
+            self._slots[slot] = None
+            self.cache.reset_slot(slot)
+            seq.fed = 0
+            self._queue.appendleft(seq)
+            active.remove(slot)
+            self.preemptions += 1
+            self._c_preempt.inc()
+            self._events.emit(
+                "request_preempted", request_id=seq.request_id,
+                tokens_kept=len(seq.tokens),
+                **self._trace_fields(seq.trace_ctx))
+        return active
 
     def step(self) -> list[GenerationResult]:
         """Advance every active sequence one token; return newly finished
@@ -340,6 +468,8 @@ class GenerationEngine:
         self._admit()
         active = [slot for slot in range(self.batch_size)
                   if self._slots[slot] is not None]
+        if self._paged:
+            active = self._relieve_page_pressure(active)
         if not active:
             return []
         sequences = [self._slots[slot] for slot in active]
@@ -355,9 +485,14 @@ class GenerationEngine:
         self.total_steps += 1
         self._active_slot_steps += len(active)
         self._c_steps.inc()
-        for seq in sequences:
+        for row, seq in enumerate(sequences):
             seq.fed += 1
             seq.steps += 1
+            if self._paged and seq.fed == seq.prompt_len:
+                # Prompt fully ingested: publish its full pages so later
+                # requests sharing the prefix skip this work (idempotent
+                # if the pages came from the cache in the first place).
+                self.cache.register_prefix(active[row], seq.tokens)
 
         # Rows that have now seen their whole sequence need a fresh token:
         # the last prompt token just went in, or the previous sample did.
@@ -420,6 +555,11 @@ class GenerationEngine:
                     **self._trace_fields(seq.trace_ctx),
                 )
                 self._slots[active[row]] = None
+                # Reclaim the slot's pages immediately (not lazily at
+                # the next admission): prefix-cached pages drop to
+                # refcount 1 and become evictable, everything else goes
+                # straight back to the free list.
+                self.cache.reset_slot(active[row])
         self._results.extend(finished)
         self._sync_gauges()
         return finished
@@ -434,6 +574,20 @@ class GenerationEngine:
         """
         self._g_active.set(self.num_active)
         self._g_queue.set(len(self._queue))
+        if self._paged:
+            self._g_pages_free.set(self.cache.free_pages)
+            self._g_pages_used.set(self.cache.used_pages)
+            self._g_pages_shared.set(self.cache.shared_pages)
+            prefix = self.cache.prefix
+            if prefix is not None:
+                pushed = self._prefix_pushed
+                for counter, key in ((self._c_prefix_hit, "hits"),
+                                     (self._c_prefix_miss, "misses"),
+                                     (self._c_prefix_evict, "evictions")):
+                    delta = getattr(prefix, key) - pushed[key]
+                    if delta:
+                        counter.inc(delta)
+                        pushed[key] += delta
 
     def run(self) -> list[GenerationResult]:
         """Decode until queue and slots are empty; results in request order."""
@@ -498,6 +652,11 @@ class GenerationEngine:
         run, the continuous-batching ideal.
         """
         slot_steps = self.total_steps * self.batch_size
+        if self._paged:
+            kv = self.cache.stats()
+            kv["preemptions"] = self.preemptions
+        else:
+            kv = {"backend": "dense", "kv_bytes_pool": self.cache.nbytes}
         return {
             "batch_size": self.batch_size,
             "active_slots": self.num_active,
@@ -508,4 +667,5 @@ class GenerationEngine:
             "requests_completed": self._completed,
             "occupancy": (self._active_slot_steps / slot_steps
                           if slot_steps else 0.0),
+            "kv": kv,
         }

@@ -19,11 +19,39 @@ With a local-attention ``window`` the buffer stays linear (bounded by the
 model window L, which every admitted sequence must fit) and reads slice
 the last ``window`` positions, matching the banded mask of
 :func:`repro.core.attention.causal_mask`.
+
+This dense cache allocates ``slots x max_len`` positions up front whether
+or not they are ever written; its paged sibling
+:class:`repro.infer.PagedKVCache` allocates fixed-size pages on demand
+from a shared pool (and shares identical prompt prefixes between slots).
+Both backends hand out layer states with the same ``append(k, v)``
+contract, so the attention step path cannot tell them apart — and the
+engine is bit-identical on either.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+
+def ragged_key_mask(new_lens: np.ndarray, lo: int, t_max: int,
+                    window: int | None) -> np.ndarray | None:
+    """Additive ``(n, t_max - lo)`` key mask for rows at mixed lengths.
+
+    Returns ``None`` when every row sits at ``t_max`` (uniform lengths
+    need no masking — the exact single-sequence code path).  Shared by
+    the dense and paged cache backends so their masks are bit-identical
+    by construction: 0 on positions a row may attend to, ``-inf`` on
+    unwritten tails and (with a local-attention ``window``) positions
+    that have slid out of the row's band.
+    """
+    if int(new_lens.min()) == t_max:
+        return None
+    positions = lo + np.arange(t_max - lo)
+    valid = positions[None, :] < new_lens[:, None]
+    if window is not None:
+        valid &= positions[None, :] >= new_lens[:, None] - window
+    return np.where(valid, 0.0, -np.inf)
 
 
 class LayerKV:
@@ -66,14 +94,7 @@ class LayerKV:
         else:
             keys = kb[:, :, lo:t_max][active]
             values = vb[:, :, lo:t_max][active]
-        if int(new_lens.min()) == t_max:
-            return keys, values, None
-        positions = lo + np.arange(t_max - lo)
-        valid = positions[None, :] < new_lens[:, None]
-        if window is not None:
-            valid &= positions[None, :] >= new_lens[:, None] - window
-        mask = np.where(valid, 0.0, -np.inf)
-        return keys, values, mask
+        return keys, values, ragged_key_mask(new_lens, lo, t_max, window)
 
 
 class KVCache:

@@ -1,0 +1,548 @@
+"""Paged KV cache: a vLLM-style block-pool allocator with prefix sharing.
+
+The dense :class:`~repro.infer.KVCache` preallocates ``slots x max_len``
+positions per layer, so memory scales with the *worst case* even when
+every live request is short, and identical prompt prefixes (a shared
+system prompt, few-shot headers) are recomputed and stored once per
+slot.  This module replaces that buffer with the serving-literature
+answer (paged attention + KV reuse, per the training-to-inference
+survey in PAPERS.md):
+
+- **Page pool** — K/V storage is carved into fixed-size *pages* of
+  ``page_size`` token positions, held in one
+  ``(layers, num_pages, H, page_size, head_dim)`` buffer pair.  A page
+  id is valid across every layer, so allocation granularity is "one
+  page of positions for the whole model".
+- **Free list + refcounts** — pages are handed out from a free list and
+  reference-counted; a page returns to the pool when its last holder
+  (a slot's block table or the prefix cache) releases it.
+- **Block tables** — each slot maps logical positions to pages through
+  a per-slot table: position ``p`` lives in ``table[p // page_size]``
+  at row ``p % page_size``.  Short sequences hold few pages; nothing
+  scales with ``max_len`` until a sequence actually grows.
+- **Copy-on-write** — :meth:`PagedKVCache.fork_slot` shares every page
+  between parent and child; the first write to a shared page copies it
+  (all layers) so divergent continuations never corrupt each other.
+- **Prefix cache** — full pages of finished prompt prefills are
+  published under their token-prefix key; a later prompt with the same
+  prefix re-uses those pages outright and skips the covered positions
+  at prefill.  Under memory pressure, unreferenced cached pages are
+  evicted LRU back into the free list.
+
+Reads gather the referenced pages into the contiguous ``(B, H, t, hd)``
+view the attention step expects.  Gathered values are bit-for-bit the
+same floats the dense buffer would hold and ragged-length masks come
+from the shared :func:`~repro.infer.kv_cache.ragged_key_mask`, so a
+paged engine decodes **bit-identically** to the dense path whenever no
+sharing is in play — and still token-identically on cache hits, because
+shared pages hold exactly the keys/values an identical prefill would
+have produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kv_cache import ragged_key_mask
+
+
+class PagePoolExhausted(RuntimeError):
+    """No free page and nothing evictable: every page is actively held.
+
+    The engine avoids this by checking availability before admitting or
+    stepping (queueing / preempting instead); seeing it raised means the
+    caller wrote past what :meth:`PagedKVCache.step_page_shortfall`
+    reported, or sized the pool below one maximum-length sequence.
+    """
+
+
+class PrefixCache:
+    """Token-prefix -> page index for sharing prompt prefills across slots.
+
+    One entry per *full* page of a registered prompt, keyed by the
+    tuple of every token up to and including that page — chained
+    keying, so a lookup hit guarantees the whole covered prefix
+    matches, not just the page's own slice.  Entries hold a pool
+    reference (refcount +1) to keep their page alive after the
+    registering slot retires; :meth:`evict_one` drops the least
+    recently used entry whose page no live slot shares.
+
+    Hit/miss/eviction totals are plain ints so the cache stays free of
+    telemetry dependencies; the engine mirrors them into ``repro.obs``
+    counters.
+    """
+
+    def __init__(self, cache: "PagedKVCache"):
+        self._cache = cache
+        self._pages: dict[tuple, int] = {}    # prefix key -> page id
+        self._stamp: dict[tuple, int] = {}    # prefix key -> LRU tick
+        self._tick = 0                        # logical clock, RNG-free
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.hit_tokens = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def _touch(self, key: tuple) -> None:
+        self._tick += 1
+        self._stamp[key] = self._tick
+
+    def match(self, tokens, record: bool = True) -> list[int]:
+        """Longest chain of cached pages covering a prefix of ``tokens``.
+
+        Capped at ``len(tokens) - 1`` positions so at least one token is
+        always left to feed (the model must produce logits for the last
+        prompt position before anything can be sampled).  ``record``
+        updates hit/miss counters and LRU stamps; peek with
+        ``record=False`` when only sizing an admission decision.
+        """
+        size = self._cache.page_size
+        pages: list[int] = []
+        for n_pages in range(1, (len(tokens) - 1) // size + 1):
+            key = tuple(tokens[: n_pages * size])
+            page = self._pages.get(key)
+            if page is None:
+                break
+            pages.append(page)
+            if record:
+                self._touch(key)
+        if record:
+            if pages:
+                self.hits += 1
+                self.hit_tokens += len(pages) * size
+            else:
+                self.misses += 1
+        return pages
+
+    def insert(self, tokens, block_table: list[int]) -> int:
+        """Publish every full page of ``tokens`` held in ``block_table``.
+
+        Idempotent: prefixes already cached (including pages this very
+        slot borrowed on its own admission) are left untouched, so two
+        slots registering the same prompt share one chain.  Returns the
+        number of newly published pages.
+        """
+        size = self._cache.page_size
+        published = 0
+        for n_pages in range(1, len(tokens) // size + 1):
+            key = tuple(tokens[: n_pages * size])
+            if key in self._pages:
+                self._touch(key)
+                continue
+            page = block_table[n_pages - 1]
+            self._pages[key] = page
+            self._cache.refcounts[page] += 1
+            self._touch(key)
+            published += 1
+        return published
+
+    @property
+    def evictable_pages(self) -> int:
+        """Cached pages no live slot shares (refcount held by us alone)."""
+        refs = self._cache.refcounts
+        return sum(refs[page] == 1 for page in self._pages.values())
+
+    def evict_one(self) -> int:
+        """Drop the LRU unshared entry, freeing its page; returns the page.
+
+        Raises :class:`PagePoolExhausted` when every cached page is
+        still shared by a live slot (nothing can be reclaimed).
+        """
+        refs = self._cache.refcounts
+        victim = None
+        for key in sorted(self._pages, key=self._stamp.__getitem__):
+            if refs[self._pages[key]] == 1:
+                victim = key
+                break
+        if victim is None:
+            raise PagePoolExhausted(
+                "prefix cache holds no evictable page: every page is "
+                "shared by a live slot")
+        page = self._pages.pop(victim)
+        del self._stamp[victim]
+        self._cache._release(page)
+        self.evictions += 1
+        return page
+
+    def stats(self) -> dict:
+        """JSON-ready counters for ``engine.stats()`` / ``/v1/stats``."""
+        return {
+            "entries": len(self._pages),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_tokens": self.hit_tokens,
+        }
+
+
+class PagedLayerKV:
+    """One layer's view of the page pool; the ``state`` handed to
+    :meth:`MultiHeadSelfAttention.step` — same ``append`` contract as
+    the dense :class:`~repro.infer.kv_cache.LayerKV`."""
+
+    __slots__ = ("_cache", "_layer")
+
+    def __init__(self, cache: "PagedKVCache", layer: int):
+        self._cache = cache
+        self._layer = layer
+
+    def append(self, k: np.ndarray, v: np.ndarray):
+        """Write this step's (n, H, head_dim) keys/values into the pool.
+
+        The first layer of a step resolves each active slot's writable
+        page (allocating fresh pages at page boundaries, copying shared
+        pages on write); later layers reuse that resolution, so a block
+        stack writes one position per slot per step exactly like the
+        dense cache.  Returns ``(keys, values, mask)`` gathered over
+        every cached position the active rows may attend to.
+        """
+        cache = self._cache
+        if not cache._prepared:
+            cache._prepare_step()
+        kb = cache._k[self._layer]
+        vb = cache._v[self._layer]
+        active = cache._active
+        lens = cache.lengths[active]
+        offsets = lens % cache.page_size
+        kb[cache._write_pages, :, offsets, :] = k
+        vb[cache._write_pages, :, offsets, :] = v
+
+        new_lens = lens + 1
+        t_max = int(new_lens.max())
+        window = cache.window
+        lo = 0 if window is None else max(0, int(new_lens.min()) - window)
+        keys = cache._gather(kb, active, lo, t_max)
+        values = cache._gather(vb, active, lo, t_max)
+        return keys, values, ragged_key_mask(new_lens, lo, t_max, window)
+
+
+class PagedKVCache:
+    """Fixed-size-page KV pool with refcounted sharing and copy-on-write.
+
+    Drop-in engine backend next to the dense :class:`~repro.infer.KVCache`:
+    same ``layers`` / ``set_active`` / ``advance`` / ``reset_slot``
+    surface, plus the paging-specific API the engine's admission and
+    preemption logic uses (:meth:`try_admit`, :meth:`step_page_shortfall`,
+    :meth:`register_prefix`, :meth:`fork_slot`).
+
+    ``num_pages`` defaults to dense-equivalent capacity
+    (``batch_size * ceil(max_seq_len / page_size)``) so a default
+    engine can never run out of pages; size it smaller to oversubscribe
+    slots against real memory, with admission/preemption absorbing the
+    pressure.
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        batch_size: int,
+        num_heads: int,
+        max_seq_len: int,
+        head_dim: int,
+        page_size: int = 16,
+        num_pages: int | None = None,
+        window: int | None = None,
+        dtype=np.float64,
+        prefix_sharing: bool = True,
+    ):
+        if min(num_layers, batch_size, num_heads, max_seq_len, head_dim,
+               page_size) < 1:
+            raise ValueError("all PagedKVCache dimensions must be >= 1")
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 when set")
+        if num_pages is None:
+            # Dense-equivalent capacity: every slot can reach max_seq_len,
+            # so a default engine can never exhaust the pool.  Sizing
+            # num_pages smaller opts into oversubscription — the engine
+            # then bounds each request by pool capacity at submit and
+            # preempts under mid-decode pressure.
+            num_pages = batch_size * -(-max_seq_len // page_size)
+        if num_pages < 1:
+            raise ValueError("num_pages must be >= 1")
+        shape = (num_layers, num_pages, num_heads, page_size, head_dim)
+        self._k = np.zeros(shape, dtype=dtype)
+        self._v = np.zeros(shape, dtype=dtype)
+        self.batch_size = batch_size
+        self.max_seq_len = max_seq_len
+        self.page_size = page_size
+        self.num_pages = num_pages
+        self.window = window
+        self.lengths = np.zeros(batch_size, dtype=np.int64)
+        self.block_tables: list[list[int]] = [[] for _ in range(batch_size)]
+        self.refcounts = np.zeros(num_pages, dtype=np.int64)
+        # Popping yields ascending page ids: deterministic allocation
+        # order, which keeps paged runs reproducible byte for byte.
+        self._free = list(range(num_pages - 1, -1, -1))
+        self.peak_pages_used = 0
+        self.prefix: PrefixCache | None = \
+            PrefixCache(self) if prefix_sharing else None
+        self.layers = [PagedLayerKV(self, i) for i in range(num_layers)]
+        self._write_pages = np.empty(0, dtype=np.int64)
+        self._prepared = False
+        self.set_active(np.arange(batch_size))
+
+    @classmethod
+    def for_model(cls, model, batch_size: int,
+                  max_seq_len: int | None = None, page_size: int = 16,
+                  num_pages: int | None = None,
+                  prefix_sharing: bool = True) -> "PagedKVCache":
+        """Size a cache from a :class:`TransformerLM`-style ``model.config``."""
+        cfg = model.config
+        return cls(
+            num_layers=cfg.num_layers,
+            batch_size=batch_size,
+            num_heads=cfg.num_heads,
+            max_seq_len=max_seq_len or cfg.max_seq_len,
+            head_dim=cfg.head_dim,
+            page_size=page_size,
+            num_pages=num_pages,
+            window=cfg.attention_window,
+            prefix_sharing=prefix_sharing,
+        )
+
+    # ------------------------------------------------------------------
+    # Pool accounting
+    # ------------------------------------------------------------------
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_pages(self) -> int:
+        return self.num_pages - len(self._free)
+
+    @property
+    def shared_pages(self) -> int:
+        """Pages with more than one holder (slots and/or the prefix cache)."""
+        return int((self.refcounts > 1).sum())
+
+    @property
+    def available_pages(self) -> int:
+        """Pages obtainable right now: free plus LRU-evictable cached."""
+        evictable = self.prefix.evictable_pages if self.prefix else 0
+        return len(self._free) + evictable
+
+    @property
+    def page_bytes(self) -> int:
+        """K+V bytes of one page across every layer."""
+        return int(self._k[:, 0].nbytes + self._v[:, 0].nbytes)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the whole pool allocation (used or not)."""
+        return self._k.nbytes + self._v.nbytes
+
+    @property
+    def bytes_in_use(self) -> int:
+        """Bytes of pages currently held by slots or the prefix cache."""
+        return self.used_pages * self.page_bytes
+
+    def pages_for(self, n_tokens: int) -> int:
+        """Pages needed to hold ``n_tokens`` positions."""
+        return -(-n_tokens // self.page_size)
+
+    def stats(self) -> dict:
+        """JSON-ready pool + prefix-cache snapshot for ``engine.stats()``."""
+        snapshot = {
+            "backend": "paged",
+            "page_size": self.page_size,
+            "num_pages": self.num_pages,
+            "pages_free": self.free_pages,
+            "pages_used": self.used_pages,
+            "pages_shared": self.shared_pages,
+            "peak_pages_used": self.peak_pages_used,
+            "page_bytes": self.page_bytes,
+            "kv_bytes_pool": self.nbytes,
+            "kv_bytes_in_use": self.bytes_in_use,
+        }
+        if self.prefix is not None:
+            snapshot["prefix_cache"] = self.prefix.stats()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Allocation / release
+    # ------------------------------------------------------------------
+    def _allocate(self) -> int:
+        if not self._free:
+            if self.prefix is None:
+                raise PagePoolExhausted(
+                    f"all {self.num_pages} pages are in use")
+            self.prefix.evict_one()
+        page = self._free.pop()
+        self.refcounts[page] = 1
+        self.peak_pages_used = max(self.peak_pages_used, self.used_pages)
+        return page
+
+    def _release(self, page: int) -> None:
+        self.refcounts[page] -= 1
+        if self.refcounts[page] == 0:
+            self._free.append(page)
+        elif self.refcounts[page] < 0:
+            raise AssertionError(f"page {page} refcount went negative")
+
+    # ------------------------------------------------------------------
+    # Step protocol (same surface as the dense KVCache)
+    # ------------------------------------------------------------------
+    def set_active(self, slots: np.ndarray) -> None:
+        """Select which slots the next append/advance operates on."""
+        self._active = np.asarray(slots, dtype=np.int64)
+        self._prepared = False
+
+    def _writable_page(self, slot: int) -> int:
+        """Resolve (allocating or copy-on-writing) this slot's write page."""
+        pos = int(self.lengths[slot])
+        if pos >= self.max_seq_len:
+            raise ValueError(
+                f"PagedKVCache overflow: sequence exceeds {self.max_seq_len}")
+        idx = pos // self.page_size
+        table = self.block_tables[slot]
+        if idx == len(table):
+            table.append(self._allocate())
+        elif self.refcounts[table[idx]] > 1:
+            # Copy-on-write: the page is shared (a fork sibling or the
+            # prefix cache also holds it); divergence gets a private copy
+            # of every layer's rows before the write lands.
+            fresh = self._allocate()
+            self._k[:, fresh] = self._k[:, table[idx]]
+            self._v[:, fresh] = self._v[:, table[idx]]
+            self._release(table[idx])
+            table[idx] = fresh
+        return table[idx]
+
+    def _prepare_step(self) -> None:
+        """Resolve every active slot's write page once per model step."""
+        pages = np.empty(self._active.size, dtype=np.int64)
+        for row, slot in enumerate(self._active):
+            pages[row] = self._writable_page(int(slot))
+        self._write_pages = pages
+        self._prepared = True
+
+    def _gather(self, buf: np.ndarray, active: np.ndarray, lo: int,
+                t_max: int) -> np.ndarray:
+        """Contiguous (n, H, t_max - lo, hd) view over scattered pages.
+
+        Rows shorter than ``t_max`` gather whatever the defaulted page 0
+        holds beyond their block table — those positions are exactly the
+        ones :func:`ragged_key_mask` sends to ``-inf``, so their values
+        never reach an attention weight (``exp(-inf) == 0.0``).
+        """
+        size = self.page_size
+        page_lo = lo // size
+        page_hi = -(-t_max // size)
+        cols = page_hi - page_lo
+        table = np.zeros((active.size, cols), dtype=np.int64)
+        for row, slot in enumerate(active):
+            bt = self.block_tables[int(slot)]
+            have = min(len(bt), page_hi) - page_lo
+            if have > 0:
+                table[row, :have] = bt[page_lo:page_hi]
+        n = active.size
+        _, heads, _, head_dim = buf.shape
+        # One column at a time lands each (n, H, page, hd) page block
+        # directly in its target position — a single copy into the
+        # contiguous layout, instead of fancy-index + transpose/reshape
+        # (two full copies).  cols is small (t / page_size).
+        out = np.empty((n, heads, cols * size, head_dim), dtype=buf.dtype)
+        for col in range(cols):
+            out[:, :, col * size:(col + 1) * size] = buf[table[:, col]]
+        return out[:, :, lo - page_lo * size: t_max - page_lo * size]
+
+    def advance(self) -> None:
+        """Commit one decode step: every active slot grew by one position."""
+        if self._active.size and \
+                int(self.lengths[self._active].max()) >= self.max_seq_len:
+            raise ValueError(
+                f"PagedKVCache overflow: sequence exceeds {self.max_seq_len}")
+        self.lengths[self._active] += 1
+        self._prepared = False
+
+    def reset_slot(self, slot: int) -> None:
+        """Release the slot's pages back to the pool (or to the prefix
+        cache, for pages it also holds) and zero its length."""
+        for page in self.block_tables[slot]:
+            self._release(page)
+        self.block_tables[slot] = []
+        self.lengths[slot] = 0
+        self._prepared = False
+
+    # ------------------------------------------------------------------
+    # Paging-specific API (admission, sharing, forking)
+    # ------------------------------------------------------------------
+    def pages_to_admit(self, tokens) -> int:
+        """Fresh pages an admission would need after prefix reuse."""
+        shared = len(self.prefix.match(tokens, record=False)) \
+            if self.prefix else 0
+        return self.pages_for(len(tokens)) - shared
+
+    def try_admit(self, slot: int, tokens) -> int | None:
+        """Attach prefix-cached pages and reserve the slot for ``tokens``.
+
+        Returns the number of positions covered by reused pages (0 on a
+        miss) — the engine starts prefill *after* them — or ``None``
+        when the pool cannot currently supply the prompt's fresh pages
+        (the caller should keep the request queued).
+        """
+        pages = self.prefix.match(tokens, record=False) if self.prefix else []
+        needed = self.pages_for(len(tokens)) - len(pages)
+        self.reset_slot(slot)
+        for page in pages:
+            self.refcounts[page] += 1
+        # Matched pages are pinned (refcount >= 2) before availability is
+        # measured, so the eviction headroom below cannot count them.
+        if needed > self.available_pages:
+            for page in pages:
+                self._release(page)
+            return None
+        if self.prefix is not None:
+            # Re-record as a real admission (match() above only peeked).
+            if pages:
+                self.prefix.hits += 1
+                self.prefix.hit_tokens += len(pages) * self.page_size
+                for n_pages in range(1, len(pages) + 1):
+                    self.prefix._touch(tuple(tokens[: n_pages * self.page_size]))
+            else:
+                self.prefix.misses += 1
+        self.block_tables[slot] = list(pages)
+        self.lengths[slot] = len(pages) * self.page_size
+        return len(pages) * self.page_size
+
+    def step_page_shortfall(self, active) -> int:
+        """Pages the next step needs beyond what the pool can supply.
+
+        Positive means stepping would exhaust the pool: some active slot
+        sits at a page boundary (needs a fresh page) or must copy-on-
+        write a shared page, and free + evictable cannot cover them all.
+        The engine preempts until this is no longer positive.
+        """
+        needed = 0
+        for slot in active:
+            pos = int(self.lengths[slot])
+            idx = pos // self.page_size
+            table = self.block_tables[int(slot)]
+            if idx == len(table) or self.refcounts[table[idx]] > 1:
+                needed += 1
+        return needed - self.available_pages
+
+    def register_prefix(self, slot: int, tokens) -> int:
+        """Publish the slot's full prompt pages into the prefix cache."""
+        if self.prefix is None:
+            return 0
+        return self.prefix.insert(tokens, self.block_tables[slot])
+
+    def fork_slot(self, src: int, dst: int) -> None:
+        """Clone ``src`` into ``dst`` by sharing every page (O(1) copies).
+
+        Both slots keep decoding from the same history; the first write
+        either side makes to a shared page triggers copy-on-write, so
+        continuations diverge safely — the building block for parallel
+        sampling and beam-style search.
+        """
+        if src == dst:
+            raise ValueError("cannot fork a slot onto itself")
+        self.reset_slot(dst)
+        for page in self.block_tables[src]:
+            self.refcounts[page] += 1
+        self.block_tables[dst] = list(self.block_tables[src])
+        self.lengths[dst] = self.lengths[src]

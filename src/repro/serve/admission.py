@@ -30,10 +30,18 @@ class ServeError(Exception):
     """Base class for admission failures; carries the HTTP status."""
 
     status = 500
+    #: Optional structured payload merged into the error body (e.g. the
+    #: ``limits`` dict of a :class:`~repro.infer.PromptLimitError`), so
+    #: clients can machine-read *which* bound was exceeded instead of
+    #: parsing the detail string.
+    payload: dict | None = None
 
     def to_json(self) -> dict:
         """JSON error body for the HTTP layer."""
-        return {"error": type(self).__name__, "detail": str(self)}
+        body = {"error": type(self).__name__, "detail": str(self)}
+        if self.payload:
+            body["limits"] = dict(self.payload)
+        return body
 
 
 class ShedError(ServeError):
@@ -54,9 +62,11 @@ class ShedError(ServeError):
 class RejectError(ServeError):
     """Invalid or over-budget request (HTTP 4xx, default 400)."""
 
-    def __init__(self, message: str, status: int = 400):
+    def __init__(self, message: str, status: int = 400,
+                 payload: dict | None = None):
         super().__init__(message)
         self.status = status
+        self.payload = payload
 
 
 @dataclass(frozen=True)

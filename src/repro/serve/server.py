@@ -38,7 +38,11 @@ to paste into ``GET /v1/trace?id=...``.
 Admission control maps onto status codes: 429 + ``Retry-After`` when
 the queue-depth cap sheds the request, 400 for invalid/over-budget
 bodies, 504 when the request's wall-clock timeout cancelled it (the
-partial result is included), 503 once shutdown has begun.
+partial result is included), 503 once shutdown has begun.  Requests
+that can never fit the KV budget (``prompt + max_new_tokens`` over the
+window, or over the page pool) get a 400 whose body carries a
+``limits`` dict — identical on the blocking and streaming paths, both
+of which funnel through the same submit validation.
 """
 
 from __future__ import annotations

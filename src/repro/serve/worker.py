@@ -208,7 +208,12 @@ class EngineWorker:
             except ValueError as exc:
                 self._c_rejected.inc()
                 self._n_rejected += 1
-                raise RejectError(str(exc)) from exc
+                # PromptLimitError carries a structured ``limits`` dict;
+                # forwarding it keeps the 400 body identical on the
+                # blocking and streaming paths (both land here).
+                raise RejectError(
+                    str(exc),
+                    payload=getattr(exc, "limits", None)) from exc
             self.slo.observe_queue_depth(self.engine.num_queued)
             deadline = None
             if self.policy.request_timeout_s is not None:

@@ -3,7 +3,10 @@
 Runs ``benchmarks/bench_inference_throughput.py --smoke`` as a subprocess
 (tiny model, seconds-scale) so a perf regression on the batched decode
 path — e.g. reintroducing per-token cache reallocation — fails the normal
-test run, not just a manually-invoked benchmark.
+test run, not just a manually-invoked benchmark.  The record's PR 8
+phases are gated too: the paged KV backend must hold >=2x less memory
+per concurrent request than the dense buffer (bit-identically), and
+prefix-cache hits must skip prefill steps.
 """
 
 import json
@@ -41,3 +44,20 @@ def test_inference_throughput_smoke(tmp_path):
     # continuous batching actually batched: 8 prompts of equal length decode
     # in ~1/8th the model steps of the single-slot engine
     assert full["model_steps"] * 8 == record["batched"][0]["model_steps"]
+
+    # PR 8 memory phase: paged engine holds >=2x less KV per concurrent
+    # request than the dense buffer, with bit-identical outputs
+    memory = record["memory"]
+    assert memory["bit_identical_to_dense"] is True
+    assert memory["memory_saving_ratio"] >= 2.0
+    assert memory["paged_kv_bytes_per_request"] < \
+        memory["dense_kv_bytes_per_request"]
+
+    # PR 8 prefix phase: warm requests hit the cache and skip prefill
+    # steps (deterministic counts — wall-clock TTFT is reported but not
+    # gated here, to keep tier-1 robust on busy machines)
+    prefix = record["prefix"]
+    assert prefix["warm_matches_reference"] is True
+    assert prefix["prefix_hits"] == prefix["num_requests"] - 1
+    assert prefix["warm_prefill_steps_mean"] < prefix["cold_prefill_steps"]
+    assert prefix["hit_tokens"] > 0

@@ -4,12 +4,13 @@
 against a committed baseline (benchmarks/baselines/) and fails on a >20% throughput drop.
 These tests run it as a subprocess the same way CI would: an identical
 record passes, a degraded record fails with a named metric, and the
-mixed-mode guards refuse apples-to-oranges comparisons.  The committed
-``BENCH_serving.json`` baseline is exercised directly so the gate and
-the checked-in record can never drift apart silently.
+mixed-mode guards refuse apples-to-oranges comparisons.  Direction
+matters: throughput and efficiency ratios (speedup, saving_ratio,
+hit_rate) fail on a drop, KV bytes-per-request fails on growth.  The
+committed serving and inference baselines are exercised directly so the
+gate and the checked-in records can never drift apart silently.
 """
 
-import copy
 import json
 import os
 import subprocess
@@ -96,6 +97,65 @@ class TestGate:
         assert run_checker(base, fresh, "--threshold", "0.05").returncode == 1
 
 
+class TestDirectionAwareGate:
+    """PR 8 metrics: ratios gate like throughput, bytes gate inverted."""
+
+    @staticmethod
+    def paged_record():
+        return {
+            "bench": "inference_throughput",
+            "smoke": False,
+            "memory": {
+                "memory_saving_ratio": 2.0,
+                "paged_kv_bytes_per_request": 320000.0,
+                "dense_kv_bytes_per_request": 640000.0,
+            },
+            "prefix": {"ttft_speedup": 10.0, "prefix_hit_rate": 0.83},
+        }
+
+    def test_saving_ratio_drop_fails(self, tmp_path):
+        base = write(tmp_path / "base.json", self.paged_record())
+        worse = self.paged_record()
+        worse["memory"]["memory_saving_ratio"] = 1.2
+        fresh = write(tmp_path / "fresh.json", worse)
+        proc = run_checker(base, fresh)
+        assert proc.returncode == 1
+        assert "memory_saving_ratio" in proc.stderr
+
+    def test_ttft_speedup_drop_fails(self, tmp_path):
+        base = write(tmp_path / "base.json", self.paged_record())
+        worse = self.paged_record()
+        worse["prefix"]["ttft_speedup"] = 2.0
+        fresh = write(tmp_path / "fresh.json", worse)
+        proc = run_checker(base, fresh)
+        assert proc.returncode == 1
+        assert "ttft_speedup" in proc.stderr
+
+    def test_bytes_per_request_growth_fails(self, tmp_path):
+        base = write(tmp_path / "base.json", self.paged_record())
+        bloated = self.paged_record()
+        bloated["memory"]["paged_kv_bytes_per_request"] *= 1.5
+        fresh = write(tmp_path / "fresh.json", bloated)
+        proc = run_checker(base, fresh)
+        assert proc.returncode == 1
+        assert "paged_kv_bytes_per_request" in proc.stderr
+        assert "growth" in proc.stderr
+
+    def test_bytes_per_request_shrink_passes(self, tmp_path):
+        base = write(tmp_path / "base.json", self.paged_record())
+        leaner = self.paged_record()
+        leaner["memory"]["paged_kv_bytes_per_request"] *= 0.5
+        fresh = write(tmp_path / "fresh.json", leaner)
+        assert run_checker(base, fresh).returncode == 0
+
+    def test_small_growth_within_threshold_passes(self, tmp_path):
+        base = write(tmp_path / "base.json", self.paged_record())
+        wobbled = self.paged_record()
+        wobbled["memory"]["paged_kv_bytes_per_request"] *= 1.1
+        fresh = write(tmp_path / "fresh.json", wobbled)
+        assert run_checker(base, fresh).returncode == 0
+
+
 class TestMixedModeGuards:
     def test_different_bench_names_refused(self, tmp_path):
         base = write(tmp_path / "base.json", sample_record())
@@ -125,3 +185,15 @@ class TestCommittedBaseline:
         assert record["bench"] == "serving"
         # the baseline carries the metrics the gate watches
         assert "tokens_per_sec" in json.dumps(record)
+
+    def test_committed_inference_baseline_gates_itself(self):
+        baseline = os.path.join(BENCH_DIR, "baselines", "inference.json")
+        assert os.path.exists(baseline), \
+            "benchmarks/baselines/inference.json baseline is missing"
+        proc = run_checker(baseline, baseline)
+        assert proc.returncode == 0, proc.stderr
+        record = json.loads(open(baseline).read())
+        assert record["bench"] == "inference_throughput"
+        # PR 8 gated leaves are present in the committed record
+        assert "memory_saving_ratio" in json.dumps(record)
+        assert "ttft_speedup" in json.dumps(record)

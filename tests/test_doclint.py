@@ -6,9 +6,13 @@ the contract is tier-1-tested either way: every public module, class,
 and module-level function under ``src/repro`` carries a docstring.
 Methods (D102) and nested helper functions are deliberately out of
 scope, matching the configured ruff selection.
+
+Also lints the documentation itself: every relative markdown link in
+README/EXPERIMENTS/docs must resolve to a real file.
 """
 
 import ast
+import re
 from pathlib import Path
 
 import repro
@@ -70,8 +74,49 @@ def test_obs_package_in_scope():
         assert not docstring_violations(path), path
 
 
+def test_infer_package_in_scope():
+    """The inference layer (PR 8: paged KV cache + prefix sharing) is
+    covered by the same docstring contract; guard against the package
+    being skipped by a future scoping change."""
+    infer = [p for p in iter_sources() if p.parent.name == "infer"]
+    names = {p.name for p in infer}
+    assert {"__init__.py", "kv_cache.py", "paged_kv.py",
+            "engine.py"} <= names
+    for path in infer:
+        assert not docstring_violations(path), path
+
+
 def test_public_api_is_documented():
     violations = []
     for path in iter_sources():
         violations.extend(docstring_violations(path))
+    assert not violations, "\n" + "\n".join(violations)
+
+
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_REPO_ROOT = SRC_ROOT.parent.parent
+
+
+def markdown_link_violations(md_path: Path) -> list[str]:
+    """Relative links in ``md_path`` that point at nothing on disk."""
+    violations = []
+    for target in _MD_LINK.findall(md_path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (md_path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            violations.append(f"{md_path.name}: broken link -> {target}")
+    return violations
+
+
+def test_markdown_links_resolve():
+    """Every relative link in the top-level and docs/ markdown resolves
+    (PR 8 satellite: KV_CACHE.md is cross-linked from README and
+    ARCHITECTURE — broken doc links fail tier-1, not code review)."""
+    pages = [_REPO_ROOT / "README.md", _REPO_ROOT / "EXPERIMENTS.md"]
+    pages += sorted((_REPO_ROOT / "docs").glob("*.md"))
+    assert any(p.name == "KV_CACHE.md" for p in pages)
+    violations = []
+    for page in pages:
+        violations.extend(markdown_link_violations(page))
     assert not violations, "\n" + "\n".join(violations)

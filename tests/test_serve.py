@@ -587,3 +587,73 @@ class TestAdmissionPolicy:
             "max_queue_depth": 3, "max_tokens_per_request": 9,
             "request_timeout_s": 1.5, "retry_after_s": 0.2,
         }
+
+
+class TestPromptLimitParity:
+    """PR 8 satellite: one length check for both submit paths.
+
+    ``prompt + max_new_tokens`` greater than the cache window must
+    produce the *same* structured 400 — with a machine-readable
+    ``limits`` dict — whether the client blocks or streams, and the
+    exact boundary (sum == window) must be accepted on both.
+    """
+
+    def test_boundary_accepted_on_both_paths(self, model):
+        window = model.config.max_seq_len
+        with serve(model, batch_size=1) as server:
+            client = ServeClient(server.host, server.port)
+            blocking = client.submit([1] * (window - 4), 4)
+            assert blocking["finish_reason"] in ("length", "stop_token")
+            records = list(client.stream([1] * (window - 4), 4))
+            assert records[-1]["done"] is True
+            # prompt exactly at the window with zero budget is also legal
+            assert client.submit([1] * window, 0)["finish_reason"] == "length"
+
+    def test_over_window_identical_400_on_both_paths(self, model):
+        window = model.config.max_seq_len
+        with serve(model, batch_size=1) as server:
+            client = ServeClient(server.host, server.port)
+            with pytest.raises(ServeClientError) as blocking:
+                client.submit([1] * window, 1)
+            with pytest.raises(ServeClientError) as streaming:
+                list(client.stream([1] * window, 1))
+            assert blocking.value.status == streaming.value.status == 400
+            assert blocking.value.body == streaming.value.body
+            limits = blocking.value.body["limits"]
+            assert limits["max_seq_len"] == window
+            assert limits["prompt_len"] == window
+            assert limits["max_new_tokens"] == 1
+
+    def test_page_pool_limit_surfaces_in_400(self, model):
+        with serve(model, batch_size=1, kv_page_size=4,
+                   kv_num_pages=4) as server:
+            client = ServeClient(server.host, server.port)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.submit([1, 2, 3], 20)     # 23 tokens > 16 positions
+            assert excinfo.value.status == 400
+            assert excinfo.value.body["limits"]["kv_num_pages"] == 4
+
+    def test_kv_stats_flow_through_http(self, model):
+        """/v1/stats carries the paged-pool + prefix-cache snapshot."""
+        system = [1, 2, 3, 4, 5, 6, 7, 8]
+        with serve(model, batch_size=1, kv_page_size=4) as server:
+            client = ServeClient(server.host, server.port)
+            client.submit(system + [9], 4)
+            client.submit(system + [10], 4)
+            kv = client.stats()["kv"]
+            assert kv["backend"] == "paged"
+            assert kv["pages_used"] >= 2
+            assert kv["prefix_cache"]["hits"] == 1
+            assert kv["prefix_cache"]["misses"] == 1
+
+    def test_kv_page_gauges_on_metrics_endpoint(self, model):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs import Observability
+        obs = Observability(metrics=MetricsRegistry())
+        with serve(model, batch_size=1, obs=obs) as server:
+            client = ServeClient(server.host, server.port)
+            client.submit([1, 2, 3], 4)
+            text = client.metrics()
+            assert "engine_kv_pages_used" in text
+            assert "engine_kv_pages_free" in text
+            assert "prefix_cache_miss" in text
