@@ -55,7 +55,7 @@ import numpy as np
 from _util import BenchRun, banner, fmt_table, scale
 
 from repro.core import TransformerConfig, TransformerLM
-from repro.infer import GenerationEngine
+from repro.infer import GenerationEngine, SamplingParams
 from repro.obs import EventLog, Observability, SLOMonitor, SLOThresholds
 from repro.serve import (
     AdmissionPolicy,
@@ -170,7 +170,7 @@ def _run_phase(model, workload, offsets, batch_size: int,
     loop); with ``closed_loop_workers`` > 0 the workload is instead
     split across that many always-busy clients.
     """
-    engine = GenerationEngine(model, batch_size=batch_size, greedy=True,
+    engine = GenerationEngine(model, batch_size=batch_size, params=SamplingParams(greedy=True),
                               obs=obs)
     reference = _Reference(model)
     records: list[dict] = []
@@ -210,7 +210,7 @@ def _run_phase(model, workload, offsets, batch_size: int,
 
 def _bit_identity(model, obs) -> dict:
     """Batch-1 greedy through HTTP must equal generate_fast bit for bit."""
-    engine = GenerationEngine(model, batch_size=1, greedy=True, obs=obs)
+    engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True), obs=obs)
     rng = np.random.default_rng(7)
     workload = _make_workload(rng, 4, model.config.vocab_size, 6, 12)
     identical = True
@@ -234,7 +234,7 @@ def _prefix_phase(model, obs) -> dict:
     streamed token — drops.  ``/v1/stats`` must report the hits, and
     every completion still matches its greedy reference.
     """
-    engine = GenerationEngine(model, batch_size=1, greedy=True, obs=obs)
+    engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True), obs=obs)
     rng = np.random.default_rng(11)
     vocab = model.config.vocab_size
     system = [int(t) for t in rng.integers(0, vocab, size=48)]
@@ -280,7 +280,7 @@ _METRIC_LINE = re.compile(
 
 def _observability_probe(model, obs) -> dict:
     """Scrape /metrics, /healthz, and /v1/trace on a live server."""
-    engine = GenerationEngine(model, batch_size=1, greedy=True, obs=obs)
+    engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True), obs=obs)
     with InferenceServer(engine, policy=AdmissionPolicy(max_queue_depth=4),
                          obs=obs) as server:
         client = ServeClient(server.host, server.port)
@@ -317,7 +317,7 @@ def _slo_phase(model, smoke: bool) -> dict:
     slo = SLOMonitor(SLOThresholds(ttft_p99_s=None, max_shed_rate=0.1,
                                    max_error_rate=None, min_requests=4),
                      window=16, events=log)
-    engine = GenerationEngine(model, batch_size=2, greedy=True)
+    engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True))
     rng = np.random.default_rng(11)
     herd_n = 8 if smoke else 16
     workload = _make_workload(rng, herd_n, model.config.vocab_size, 4, 8)

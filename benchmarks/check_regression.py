@@ -5,9 +5,10 @@ baseline and fails (exit 1) when any gated metric regresses by more
 than ``--threshold`` (default 20%).  Gated metrics are numeric leaves
 matched by key name: throughput-style (``tokens_per_sec``,
 ``throughput``) and efficiency ratios (``*speedup*``,
-``*saving_ratio*``, ``*hit_rate*``) are higher-is-better; KV-memory
-capacity leaves (``*bytes_per_request*``) are lower-is-better and fail
-when they *grow* past the threshold.
+``*saving_ratio*``, ``*hit_rate*``, ``*accepted_tokens_per_step*``,
+``*acceptance_rate*``) are higher-is-better; KV-memory capacity leaves
+(``*bytes_per_request*``) are lower-is-better and fail when they *grow*
+past the threshold.
 Metric identity is the JSON path, so the two records must come from the
 same bench; the tool refuses to compare different ``bench`` names or a
 ``--smoke`` record against a full one (override with ``--allow-mixed``
@@ -34,8 +35,10 @@ import sys
 # substrings of leaf key names treated as higher-is-better throughput
 THROUGHPUT_TAGS = ("tokens_per_sec", "throughput", "tok_per_s")
 # higher-is-better efficiency ratios (PR 8: paged-KV memory saving and
-# prefix-cache TTFT win) — gated exactly like throughput
-RATIO_TAGS = ("speedup", "saving_ratio", "hit_rate")
+# prefix-cache TTFT win; PR 9: speculative acceptance per verify round)
+# — gated exactly like throughput
+RATIO_TAGS = ("speedup", "saving_ratio", "hit_rate",
+              "accepted_tokens_per_step", "acceptance_rate")
 # lower-is-better capacity metrics: fail when they *grow* past threshold
 LOWER_BETTER_TAGS = ("bytes_per_request",)
 # top-level subtrees that never carry comparable metrics

@@ -15,7 +15,7 @@ import numpy as np
 from repro.core import TransformerConfig, TransformerLM
 from repro.data import Corpus, WordTokenizer
 from repro.grammar import english_toy_pcfg, sample_treebank, treebank_text
-from repro.infer import GenerationEngine
+from repro.infer import GenerationEngine, SamplingParams
 from repro.train import train_lm_on_stream
 
 
@@ -51,7 +51,7 @@ def main() -> None:
     seq_s = time.perf_counter() - start
 
     # 4. Batched: 4 slots serving 12 prompts via continuous batching.
-    engine = GenerationEngine(model, batch_size=4, greedy=True)
+    engine = GenerationEngine(model, batch_size=4, params=SamplingParams(greedy=True))
     start = time.perf_counter()
     batched = engine.generate(prompts, max_new)
     batch_s = time.perf_counter() - start
@@ -70,7 +70,8 @@ def main() -> None:
 
     # 5. Stochastic serving: one shared RNG, per-row draws, reproducible.
     engine = GenerationEngine(model, batch_size=4,
-                              rng=np.random.default_rng(7), temperature=0.8)
+                              rng=np.random.default_rng(7),
+                              params=SamplingParams(temperature=0.8))
     sampled = engine.generate(prompts[:4], max_new)
     print("\nsampled at T=0.8:")
     for text_prompt, out, prompt in zip(prompt_texts, sampled, prompts):

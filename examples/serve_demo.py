@@ -26,7 +26,7 @@ import numpy as np
 from repro.core import TransformerConfig, TransformerLM
 from repro.data import Corpus, WordTokenizer
 from repro.grammar import english_toy_pcfg, sample_treebank, treebank_text
-from repro.infer import GenerationEngine
+from repro.infer import GenerationEngine, SamplingParams
 from repro.serve import (
     AdmissionPolicy,
     InferenceServer,
@@ -54,7 +54,7 @@ def main() -> None:
 
     # 2. Serve it: 4 engine slots, at most 8 requests waiting, 30s budget
     #    per request.  port=0 binds an ephemeral port.
-    engine = GenerationEngine(model, batch_size=4, greedy=True)
+    engine = GenerationEngine(model, batch_size=4, params=SamplingParams(greedy=True))
     policy = AdmissionPolicy(max_queue_depth=8, request_timeout_s=30.0,
                              retry_after_s=0.5)
     with InferenceServer(engine, policy=policy) as server:

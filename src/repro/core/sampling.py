@@ -78,6 +78,45 @@ def filter_top_p(logits: np.ndarray, p: float, temperature: float = 1.0) -> np.n
     return out[0] if was_1d else out
 
 
+def sampling_probs(
+    logits: np.ndarray,
+    temperature: float = 1.0,
+    top_k: int | None = None,
+    top_p: float | None = None,
+) -> np.ndarray:
+    """The exact distribution :func:`sample_token` draws from.
+
+    Applies the same filter pipeline (top-k, then nucleus, then the
+    Eq. 8 softmax at ``temperature``) and returns the resulting
+    probability rows — ``(V,)`` for a 1-D input, ``(B, V)`` for a
+    batch.  Speculative decoding uses this for both sides of the
+    rejection-sampling identity: the target's modified distribution
+    ``p`` and the draft's proposal distribution ``q`` must be computed
+    by the very pipeline the baseline sampler uses, or acceptance
+    would be measured against a distribution nobody samples from.
+    """
+    rows, was_1d = _as_logit_array(logits, "sampling_probs")
+    if top_k is not None:
+        rows = filter_top_k(rows, top_k)
+    if top_p is not None:
+        rows = filter_top_p(rows, top_p, temperature)
+    probs = logits_to_probs(rows, temperature)
+    return probs[0] if was_1d else probs
+
+
+def sample_from_probs(probs: np.ndarray, rng: np.random.Generator) -> int:
+    """One inverse-CDF draw from a ``(V,)`` probability vector.
+
+    Mirrors :func:`sample_token`'s CDF construction (normalise by the
+    final cumulative value, ``searchsorted`` with ``side="right"``) so
+    a draw from ``sampling_probs(logits)`` consumes the RNG exactly
+    like ``sample_token(logits)`` would.
+    """
+    cdf = np.cumsum(np.asarray(probs, dtype=np.float64))
+    cdf /= cdf[-1]
+    return int(np.searchsorted(cdf, rng.random(), side="right"))
+
+
 def sample_token(
     logits: np.ndarray,
     rng: np.random.Generator | None = None,

@@ -13,12 +13,22 @@ memory tracks actual sequence lengths, identical prompt prefixes are
 shared across requests via :class:`PrefixCache`, and forks copy-on-write
 — bit-identical to the dense cache on non-shared workloads (see
 docs/KV_CACHE.md).
+
+PR 9 adds per-request :class:`SamplingParams` (each submit carries its
+own temperature/top-k/top-p/stop/seed; the engine groups identical
+params into one vectorized sampler call) and speculative decoding
+(:class:`SpeculativeConfig` + any :class:`DraftModel`): a cheap draft
+proposes k tokens, one batched verify forward over a forked KV branch
+accepts a prefix, and greedy output stays bit-identical to the
+non-speculative engine (see docs/SPECULATIVE.md).
 """
 
 from .engine import (GenerationEngine, GenerationResult, PromptLimitError,
                      RequestTiming)
 from .kv_cache import KVCache, LayerKV, ragged_key_mask
-from .paged_kv import PagedKVCache, PagePoolExhausted, PrefixCache
+from .paged_kv import PagedKVCache, PagePoolExhausted, PrefixCache, SpanBatch
+from .sampling_params import SamplingParams, SamplingParamsError
+from .speculative import DraftModel, SpeculativeConfig, verify_draft
 
 __all__ = [
     "KVCache",
@@ -27,8 +37,14 @@ __all__ = [
     "PagedKVCache",
     "PagePoolExhausted",
     "PrefixCache",
+    "SpanBatch",
     "GenerationEngine",
     "GenerationResult",
     "PromptLimitError",
     "RequestTiming",
+    "SamplingParams",
+    "SamplingParamsError",
+    "SpeculativeConfig",
+    "DraftModel",
+    "verify_draft",
 ]

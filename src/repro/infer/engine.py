@@ -11,11 +11,33 @@ moment they emit their stop token or exhaust their token budget; a queued
 prompt immediately takes the freed slot (continuous batching), so the
 batch stays full whenever there is work.
 
-Sampling draws one uniform per sampling row per step, in slot order, via
-the batched :func:`repro.core.sampling.sample_token`.  With a single slot
-the engine consumes the RNG stream exactly like ``generate_fast``, so a
-batch of one is bit-identical to the single-sequence path for the same
-seed.
+Sampling is configured **per request** (PR 9): each submit carries a
+:class:`~repro.infer.SamplingParams` (engine-wide constructor knobs
+survive as deprecated defaults), and the sampler groups slots with
+identical parameters into one vectorized
+:func:`repro.core.sampling.sample_token` call per group, drawing from
+the engine RNG in slot order.  When every slot shares the default
+parameters this collapses to exactly the old single batched call, so
+existing seeds keep producing identical streams; with a single slot the
+engine consumes the RNG exactly like ``generate_fast``, so a batch of
+one is bit-identical to the single-sequence path for the same seed.  A
+request with ``seed`` set draws from its own private RNG, making its
+trajectory independent of batch composition.
+
+Speculative decoding (PR 9): passing a
+:class:`~repro.infer.SpeculativeConfig` makes every decode round draft
+``k`` tokens from a cheap :class:`~repro.infer.DraftModel` (the
+classical LMs in :mod:`repro.lm` via
+:class:`~repro.lm.LanguageModelDraft`), verify all of them plus the
+pending token in one batched ``decode_step`` laid out as a paged *span
+batch* (time along the batch axis, writing into a
+:meth:`~repro.infer.PagedKVCache.fork_slot` of the sequence's slot),
+and keep the longest accepted prefix by rejection sampling —
+:meth:`~repro.infer.PagedKVCache.promote_fork` commits the accepted
+pages and rolls the rejected ones back to the pool.  Greedy requests
+decode bit-identically to the non-speculative engine while emitting up
+to k+1 tokens per model step; stochastic requests stay
+distribution-correct (docs/SPECULATIVE.md gives the argument).
 
 Serving telemetry (PR 2): every request is stamped through its lifecycle
 — submitted, admitted to a slot, first sampled token, finished — so each
@@ -41,8 +63,9 @@ gives the argument, tests/test_infer_engine.py the proof).
 from __future__ import annotations
 
 import time
+import warnings
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -50,6 +73,8 @@ from ..core.sampling import sample_token
 from ..obs import NULL_OBS, Observability
 from .kv_cache import KVCache
 from .paged_kv import PagedKVCache
+from .sampling_params import SamplingParams
+from .speculative import SpeculativeConfig, verify_draft
 
 
 class PromptLimitError(ValueError):
@@ -114,6 +139,7 @@ class GenerationResult:
     finish_reason: str           # "stop_token" | "length"
     steps: int = 0               # decode steps spent on this sequence
     timing: RequestTiming | None = None
+    params: SamplingParams | None = None   # resolved per-request params
 
     @property
     def completion(self) -> list[int]:
@@ -128,7 +154,8 @@ class _Sequence:
     tokens: list[int]            # prompt, then sampled tokens as they land
     prompt_len: int
     max_new_tokens: int
-    stop_token: int | None
+    params: SamplingParams
+    rng: np.random.Generator | None = None  # private stream when seeded
     fed: int = 0                 # how many of ``tokens`` the model has seen
     steps: int = 0
     submitted_t: float = 0.0
@@ -142,8 +169,15 @@ class GenerationEngine:
 
     The model only needs ``config`` (for sizing the cache) and
     ``decode_step(tokens, positions, states) -> (B, V) logits``.
-    Sampling parameters are engine-wide; ``max_new_tokens`` and
-    ``stop_token`` may vary per request.
+    Sampling is configured per request via
+    :class:`~repro.infer.SamplingParams` (``params=`` on
+    :meth:`submit`); ``params=`` on the constructor sets the default for
+    requests that do not carry their own.  The engine-wide
+    ``temperature``/``top_k``/``top_p``/``greedy``/``stop_token``
+    arguments survive as a deprecated spelling of that default and emit
+    a :class:`DeprecationWarning`.  ``speculative=`` (a
+    :class:`~repro.infer.SpeculativeConfig`) turns on draft-and-verify
+    decoding over the paged cache.
     """
 
     def __init__(
@@ -151,10 +185,10 @@ class GenerationEngine:
         model,
         batch_size: int = 8,
         rng: np.random.Generator | None = None,
-        temperature: float = 1.0,
+        temperature: float | None = None,
         top_k: int | None = None,
         top_p: float | None = None,
-        greedy: bool = False,
+        greedy: bool | None = None,
         stop_token: int | None = None,
         obs: Observability | None = None,
         on_token=None,
@@ -162,17 +196,31 @@ class GenerationEngine:
         kv_page_size: int = 16,
         kv_num_pages: int | None = None,
         prefix_cache: bool = True,
+        params: SamplingParams | None = None,
+        speculative: SpeculativeConfig | None = None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.model = model
         self.batch_size = batch_size
         self.rng = rng
-        self.temperature = temperature
-        self.top_k = top_k
-        self.top_p = top_p
-        self.greedy = greedy
-        self.stop_token = stop_token
+        legacy = {"temperature": temperature, "top_k": top_k,
+                  "top_p": top_p, "greedy": greedy, "stop_token": stop_token}
+        passed = {name: value for name, value in legacy.items()
+                  if value is not None}
+        if passed:
+            warnings.warn(
+                "engine-wide sampling arguments (temperature/top_k/top_p/"
+                "greedy/stop_token) are deprecated; pass "
+                "params=SamplingParams(...) as the engine default or "
+                "per-request via submit(..., params=...)",
+                DeprecationWarning, stacklevel=2)
+            if params is not None:
+                raise ValueError(
+                    "pass the sampling default via params= or the "
+                    "deprecated engine-wide arguments, not both")
+            params = SamplingParams(**passed)
+        self.default_params = params if params is not None else SamplingParams()
         # Per-token hook for streaming consumers (the serving layer):
         # called as on_token(request_id, token) for every sampled token,
         # stop tokens included, after the token lands on the sequence.
@@ -184,10 +232,28 @@ class GenerationEngine:
         # prefix sharing across requests.  ``paged=False`` keeps the
         # dense preallocated cache, the equivalence oracle.
         self._paged = paged
+        self.spec = speculative
+        if speculative is not None and not paged:
+            raise ValueError(
+                "speculative decoding requires the paged KV cache "
+                "(fork_slot/promote_fork); drop paged=False")
         if paged:
+            # Speculative mode doubles the slot count: slot i's draft
+            # branch verifies on scratch slot batch_size + i.  The pool
+            # is sized for the *real* batch plus per-slot speculation
+            # headroom (the span's fresh pages and one copy-on-write of
+            # the fork boundary page), not for 2x dense capacity.
+            slots = batch_size
+            num_pages = kv_num_pages
+            if speculative is not None:
+                slots = 2 * batch_size
+                if num_pages is None:
+                    per_slot = -(-model.config.max_seq_len // kv_page_size)
+                    margin = -(-(speculative.k + 1) // kv_page_size) + 1
+                    num_pages = batch_size * (per_slot + margin)
             self.cache = PagedKVCache.for_model(
-                model, batch_size, page_size=kv_page_size,
-                num_pages=kv_num_pages, prefix_sharing=prefix_cache)
+                model, slots, page_size=kv_page_size,
+                num_pages=num_pages, prefix_sharing=prefix_cache)
         else:
             self.cache = KVCache.for_model(model, batch_size)
         self._slots: list[_Sequence | None] = [None] * batch_size
@@ -225,17 +291,75 @@ class GenerationEngine:
         # readable value) and emit only the delta on each sync.
         self._prefix_pushed = {"hits": 0, "misses": 0, "evictions": 0}
         self.preemptions = 0
+        # Speculative accounting: drafts proposed / accepted / rejected,
+        # and verify rounds (model steps that judged at least one draft).
+        self.spec_proposed = 0
+        self.spec_accepted = 0
+        self.spec_rejected = 0
+        self.spec_rounds = 0
+        self._c_spec_proposed = metrics.counter("engine.spec.proposed")
+        self._c_spec_accepted = metrics.counter("engine.spec.accepted")
+        self._c_spec_rejected = metrics.counter("engine.spec.rejected")
+        self._g_spec_rate = metrics.gauge(
+            "engine.spec.accepted_tokens_per_step")
+
+    # ------------------------------------------------------------------
+    # Sampling defaults (deprecated engine-wide views + resolution)
+    # ------------------------------------------------------------------
+    @property
+    def temperature(self) -> float:
+        """Deprecated engine-wide view of ``default_params.temperature``."""
+        return self.default_params.temperature
+
+    @property
+    def top_k(self) -> int | None:
+        """Deprecated engine-wide view of ``default_params.top_k``."""
+        return self.default_params.top_k
+
+    @property
+    def top_p(self) -> float | None:
+        """Deprecated engine-wide view of ``default_params.top_p``."""
+        return self.default_params.top_p
+
+    @property
+    def greedy(self) -> bool:
+        """Deprecated engine-wide view of ``default_params.greedy``."""
+        return self.default_params.greedy
+
+    @property
+    def stop_token(self) -> int | None:
+        """Deprecated engine-wide view of ``default_params.stop_token``."""
+        return self.default_params.stop_token
+
+    def resolve_params(self, params: SamplingParams | None = None,
+                       stop_token=...) -> SamplingParams:
+        """The parameters a request submitted with these arguments gets.
+
+        ``params=None`` means the engine default; an explicit
+        ``stop_token`` argument (the ``...`` sentinel distinguishes
+        "absent" from "disable with None") overrides whatever the chosen
+        params carry, preserving the long-standing per-request override
+        spelling.  The serving layer calls this to echo resolved
+        parameters back to clients before the request finishes.
+        """
+        base = self.default_params if params is None else params
+        if stop_token is not ...:
+            base = replace(base, stop_token=stop_token)
+        return base
 
     # ------------------------------------------------------------------
     # Request intake
     # ------------------------------------------------------------------
     def submit(self, prompt, max_new_tokens: int, stop_token=...,
-               trace_ctx=None) -> int:
+               trace_ctx=None,
+               params: SamplingParams | None = None) -> int:
         """Queue one prompt; returns its request id.
 
-        ``stop_token`` defaults (via the ``...`` sentinel) to the
-        engine-wide value, so an explicit ``None`` disables stopping for
-        this request only.
+        ``params`` (a :class:`~repro.infer.SamplingParams`) carries this
+        request's sampling configuration; omitted, the engine default
+        applies.  ``stop_token`` defaults (via the ``...`` sentinel) to
+        the chosen params' value, so an explicit ``None`` disables
+        stopping for this request only — see :meth:`resolve_params`.
 
         ``trace_ctx`` (a :class:`~repro.obs.TraceContext`) scopes this
         request's lifecycle telemetry to an end-to-end trace: queue-wait
@@ -249,6 +373,7 @@ class GenerationEngine:
         if max_new_tokens < 0:
             raise ValueError("max_new_tokens must be >= 0")
         self._check_limits(len(ids), max_new_tokens)
+        resolved = self.resolve_params(params, stop_token)
         request_id = self._next_id
         self._next_id += 1
         self._submitted += 1
@@ -258,7 +383,9 @@ class GenerationEngine:
             tokens=ids,
             prompt_len=len(ids),
             max_new_tokens=max_new_tokens,
-            stop_token=self.stop_token if stop_token is ... else stop_token,
+            params=resolved,
+            rng=(np.random.default_rng(resolved.seed)
+                 if resolved.seed is not None else None),
             submitted_t=now,
             trace_ctx=trace_ctx,
         )
@@ -269,7 +396,7 @@ class GenerationEngine:
             self._completed += 1
             self._results.append(GenerationResult(
                 request_id=request_id, tokens=ids, prompt_len=len(ids),
-                finish_reason="length",
+                finish_reason="length", params=resolved,
                 timing=RequestTiming(submitted=now, admitted=now,
                                      first_token=now, finished=now,
                                      new_tokens=0),
@@ -323,7 +450,7 @@ class GenerationEngine:
         result = GenerationResult(
             request_id=seq.request_id, tokens=seq.tokens,
             prompt_len=seq.prompt_len, finish_reason="cancelled",
-            steps=seq.steps, timing=timing,
+            steps=seq.steps, timing=timing, params=seq.params,
         )
         self._results.append(result)
         self._completed += 1
@@ -362,10 +489,16 @@ class GenerationEngine:
                 f"L={self.cache.max_seq_len}", limits)
         if self._paged:
             limits["kv_num_pages"] = self.cache.num_pages
-            if self.cache.pages_for(total) > self.cache.num_pages:
+            need = self.cache.pages_for(total)
+            if self.spec is not None:
+                # Speculative rounds need scratch headroom on top of the
+                # sequence itself: the verify span's pages plus one
+                # copy-on-write of the fork boundary page.
+                need += self.cache.pages_for(self.spec.k + 1) + 1
+            if need > self.cache.num_pages:
                 raise PromptLimitError(
                     f"prompt + max_new_tokens = {total} needs "
-                    f"{self.cache.pages_for(total)} KV pages; the pool "
+                    f"{need} KV pages; the pool "
                     f"holds {self.cache.num_pages}", limits)
 
     @staticmethod
@@ -432,7 +565,8 @@ class GenerationEngine:
                 self._slots[slot] = seq
         self._sync_gauges()
 
-    def _relieve_page_pressure(self, active: list[int]) -> list[int]:
+    def _relieve_page_pressure(self, active: list[int],
+                               shortfall=None) -> list[int]:
         """Preempt youngest-first until the next step's pages fit the pool.
 
         An oversubscribed pool can run dry mid-decode: several slots hit
@@ -445,8 +579,14 @@ class GenerationEngine:
         usually make the replay a cache hit.  The oldest sequence is
         never preempted, so the engine always makes progress (a lone
         sequence fits by the :meth:`submit` capacity check).
+
+        ``shortfall`` (a callable over the active slot list) defaults to
+        the one-position-per-slot estimate; the speculative step passes
+        its own span-aware bound.
         """
-        while len(active) > 1 and self.cache.step_page_shortfall(active) > 0:
+        if shortfall is None:
+            shortfall = self.cache.step_page_shortfall
+        while len(active) > 1 and shortfall(active) > 0:
             slot = max(active, key=lambda s: self._slots[s].request_id)
             seq = self._slots[slot]
             self._slots[slot] = None
@@ -462,9 +602,100 @@ class GenerationEngine:
                 **self._trace_fields(seq.trace_ctx))
         return active
 
+    def _sample_rows(self, logits: np.ndarray, rows: list[int],
+                     seqs: list[_Sequence]) -> np.ndarray:
+        """One token per sampling row, grouping identical params.
+
+        Rows sharing a :attr:`SamplingParams.sampling_key` draw through
+        one vectorized :func:`sample_token` call from the engine RNG, in
+        slot order within the group and first-appearance order across
+        groups — a batch where every row carries the default params
+        collapses to exactly the single pre-params call, so existing
+        seeds keep their streams.  Rows with a per-request ``seed`` draw
+        from their own RNG, making their tokens independent of batch
+        composition.
+        """
+        drawn = np.empty(len(rows), dtype=np.int64)
+        groups: dict[tuple, list[int]] = {}
+        for pos, seq in enumerate(seqs):
+            key = ("seeded", seq.request_id) if seq.rng is not None \
+                else seq.params.sampling_key
+            groups.setdefault(key, []).append(pos)
+        for positions in groups.values():
+            seq0 = seqs[positions[0]]
+            p = seq0.params
+            drawn[positions] = sample_token(
+                logits[[rows[pos] for pos in positions]],
+                rng=seq0.rng if seq0.rng is not None else self.rng,
+                temperature=p.temperature, top_k=p.top_k, top_p=p.top_p,
+                greedy=p.greedy,
+            )
+        return drawn
+
+    def _land_token(self, seq: _Sequence, token: int, now: float,
+                    step_t0: float) -> str | None:
+        """Append one sampled token to ``seq``; returns the finish
+        reason ("stop_token" | "length") or None while still running."""
+        seq.tokens.append(token)
+        if seq.first_token_t is None:
+            seq.first_token_t = now
+            self._h_ttft.observe(now - seq.submitted_t)
+            if seq.trace_ctx is not None:
+                self._tracer.record_span(
+                    "request.prefill", seq.admitted_t, now,
+                    parent=seq.trace_ctx, request_id=seq.request_id,
+                    prompt_len=seq.prompt_len)
+        elif seq.trace_ctx is not None and self._tracer.enabled:
+            # One span per decode step per traced request, covering
+            # this batched model step from the request's viewpoint.
+            self._tracer.record_span(
+                "request.decode_step", step_t0, now,
+                parent=seq.trace_ctx, request_id=seq.request_id,
+                step=seq.steps)
+        if self.on_token is not None:
+            self.on_token(seq.request_id, token)
+        if seq.params.stop_token is not None \
+                and token == seq.params.stop_token:
+            return "stop_token"
+        if len(seq.tokens) - seq.prompt_len >= seq.max_new_tokens:
+            return "length"
+        return None
+
+    def _finish_seq(self, seq: _Sequence, reason: str,
+                    now: float) -> GenerationResult:
+        """Build, record, and account one finished request."""
+        generated = len(seq.tokens) - seq.prompt_len
+        first = seq.first_token_t if seq.first_token_t is not None else now
+        timing = RequestTiming(
+            submitted=seq.submitted_t, admitted=seq.admitted_t,
+            first_token=first, finished=now, new_tokens=generated,
+        )
+        result = GenerationResult(
+            request_id=seq.request_id, tokens=seq.tokens,
+            prompt_len=seq.prompt_len, finish_reason=reason,
+            steps=seq.steps, timing=timing, params=seq.params,
+        )
+        self._completed += 1
+        self._events.emit(
+            "request_finished", request_id=seq.request_id,
+            finish_reason=reason, steps=seq.steps,
+            new_tokens=generated, queue_wait_s=timing.queue_wait_s,
+            ttft_s=timing.ttft_s, decode_s=timing.decode_s,
+            tokens_per_sec=timing.tokens_per_sec,
+            **self._trace_fields(seq.trace_ctx),
+        )
+        return result
+
     def step(self) -> list[GenerationResult]:
-        """Advance every active sequence one token; return newly finished
-        results (empty list while everything is still running)."""
+        """Advance every active sequence; return newly finished results
+        (empty list while everything is still running).
+
+        One model step advances each sequence by one token — or, under
+        a :class:`~repro.infer.SpeculativeConfig`, by up to ``k + 1``
+        accepted tokens (see :meth:`_spec_step`).
+        """
+        if self.spec is not None:
+            return self._spec_step()
         self._admit()
         active = [slot for slot in range(self.batch_size)
                   if self._slots[slot] is not None]
@@ -492,7 +723,10 @@ class GenerationEngine:
                 # Prompt fully ingested: publish its full pages so later
                 # requests sharing the prefix skip this work (idempotent
                 # if the pages came from the cache in the first place).
-                self.cache.register_prefix(active[row], seq.tokens)
+                # Only the fed prefix is published — after a preemption
+                # replay ``tokens`` holds sampled tokens beyond ``fed``
+                # whose positions are not written yet.
+                self.cache.register_prefix(active[row], seq.tokens[:seq.fed])
 
         # Rows that have now seen their whole sequence need a fresh token:
         # the last prompt token just went in, or the previous sample did.
@@ -500,66 +734,204 @@ class GenerationEngine:
                     if seq.fed == len(seq.tokens)]
         finished: list[GenerationResult] = []
         if sampling:
-            drawn = sample_token(
-                logits[sampling], rng=self.rng, temperature=self.temperature,
-                top_k=self.top_k, top_p=self.top_p, greedy=self.greedy,
-            )
+            drawn = self._sample_rows(logits, sampling,
+                                      [sequences[row] for row in sampling])
             now = self._clock()
             self._sampled_tokens += len(sampling)
             self._c_sampled.inc(len(sampling))
             for row, token in zip(sampling, (int(t) for t in drawn)):
                 seq = sequences[row]
-                seq.tokens.append(token)
-                if seq.first_token_t is None:
-                    seq.first_token_t = now
-                    self._h_ttft.observe(now - seq.submitted_t)
-                    if seq.trace_ctx is not None:
-                        self._tracer.record_span(
-                            "request.prefill", seq.admitted_t, now,
-                            parent=seq.trace_ctx, request_id=seq.request_id,
-                            prompt_len=seq.prompt_len)
-                elif seq.trace_ctx is not None and self._tracer.enabled:
-                    # One span per decode step per traced request, covering
-                    # this batched model step from the request's viewpoint.
-                    self._tracer.record_span(
-                        "request.decode_step", step_t0, now,
-                        parent=seq.trace_ctx, request_id=seq.request_id,
-                        step=seq.steps)
-                if self.on_token is not None:
-                    self.on_token(seq.request_id, token)
-                generated = len(seq.tokens) - seq.prompt_len
-                if seq.stop_token is not None and token == seq.stop_token:
-                    reason = "stop_token"
-                elif generated >= seq.max_new_tokens:
-                    reason = "length"
-                else:
+                reason = self._land_token(seq, token, now, step_t0)
+                if reason is None:
                     continue
-                timing = RequestTiming(
-                    submitted=seq.submitted_t, admitted=seq.admitted_t,
-                    first_token=seq.first_token_t, finished=now,
-                    new_tokens=generated,
-                )
-                result = GenerationResult(
-                    request_id=seq.request_id, tokens=seq.tokens,
-                    prompt_len=seq.prompt_len, finish_reason=reason,
-                    steps=seq.steps, timing=timing,
-                )
-                finished.append(result)
-                self._completed += 1
-                self._events.emit(
-                    "request_finished", request_id=seq.request_id,
-                    finish_reason=reason, steps=seq.steps,
-                    new_tokens=generated, queue_wait_s=timing.queue_wait_s,
-                    ttft_s=timing.ttft_s, decode_s=timing.decode_s,
-                    tokens_per_sec=timing.tokens_per_sec,
-                    **self._trace_fields(seq.trace_ctx),
-                )
+                finished.append(self._finish_seq(seq, reason, now))
                 self._slots[active[row]] = None
                 # Reclaim the slot's pages immediately (not lazily at
                 # the next admission): prefix-cached pages drop to
                 # refcount 1 and become evictable, everything else goes
                 # straight back to the free list.
                 self.cache.reset_slot(active[row])
+        self._results.extend(finished)
+        self._sync_gauges()
+        return finished
+
+    # ------------------------------------------------------------------
+    # Speculative decode loop
+    # ------------------------------------------------------------------
+    def _spec_page_shortfall(self, active: list[int], chunk: int) -> int:
+        """Upper bound on pages this speculative round needs beyond the
+        pool: per slot, the span's fresh pages plus one potential
+        copy-on-write of the fork boundary page."""
+        cache = self.cache
+        needed = 0
+        for slot in active:
+            seq = self._slots[slot]
+            remaining = len(seq.tokens) - seq.fed
+            m = chunk if remaining == 1 else min(remaining, chunk)
+            end = min(seq.fed + m, cache.max_seq_len)
+            fresh = cache.pages_for(end) - len(cache.block_tables[slot])
+            needed += max(fresh, 0) + 1
+        return needed - cache.available_pages
+
+    def _spec_step(self) -> list[GenerationResult]:
+        """One speculative round: draft, verify in one forward, commit.
+
+        Every active slot contributes one *span* of consecutive
+        positions to a single batched ``decode_step``:
+
+        - a still-prefilling sequence feeds up to ``k + 1`` known
+          tokens on its own slot (chunked prefill — same writes the
+          one-position path would do, k+1 steps at a time);
+        - a sequence at the decode rest point forks its slot to the
+          scratch slot ``batch_size + slot``, drafts ``k'`` tokens, and
+          verifies pending + drafts there; the accept-prefix rule then
+          decides how much of the scratch branch
+          :meth:`~repro.infer.PagedKVCache.promote_fork` keeps.
+
+        Greedy sequences reproduce the non-speculative trajectory
+        bit-for-bit: the verify rows see byte-identical histories (the
+        span writes exactly what sequential steps would have written),
+        and the greedy accept rule emits argmax at every position.
+        """
+        spec = self.spec
+        chunk = spec.k + 1
+        self._admit()
+        active = [slot for slot in range(self.batch_size)
+                  if self._slots[slot] is not None]
+        active = self._relieve_page_pressure(
+            active, lambda slots: self._spec_page_shortfall(slots, chunk))
+        if not active:
+            return []
+        # Build the span plan.  Drafting happens before the forward and
+        # consumes each sequence's own RNG (or the engine RNG) in slot
+        # order; greedy drafting consumes none.
+        plans = []   # (slot, seq, kind, row_lo, row_hi, drafts, q)
+        span_specs = []
+        tokens: list[int] = []
+        row = 0
+        for slot in active:
+            seq = self._slots[slot]
+            f = seq.fed
+            remaining = len(seq.tokens) - f
+            if remaining > 1:
+                m = min(remaining, chunk)
+                span_tokens = seq.tokens[f:f + m]
+                span_specs.append((slot, f, m))
+                plans.append((slot, seq, "feed", row, row + m, None, None))
+            else:
+                budget = seq.max_new_tokens - (len(seq.tokens)
+                                               - seq.prompt_len)
+                k = min(spec.k, budget - 1)
+                if k > 0:
+                    rng = seq.rng if seq.rng is not None else self.rng
+                    drafts, q = spec.draft.propose(seq.tokens, k,
+                                                   seq.params, rng)
+                    scratch = self.batch_size + slot
+                    self.cache.fork_slot(slot, scratch)
+                    span_tokens = [seq.tokens[f]] + [int(d) for d in drafts]
+                    span_specs.append((scratch, f, 1 + k))
+                    plans.append((slot, seq, "verify", row, row + 1 + k,
+                                  drafts, q))
+                else:
+                    # No draft budget left (the next token is the last):
+                    # degrade to a plain one-position step.
+                    span_tokens = [seq.tokens[f]]
+                    span_specs.append((slot, f, 1))
+                    plans.append((slot, seq, "feed", row, row + 1,
+                                  None, None))
+            tokens.extend(int(t) for t in span_tokens)
+            row += len(span_tokens)
+
+        span = self.cache.begin_spans(span_specs)
+        step_t0 = self._clock() if self._tracer.enabled else 0.0
+        with self._tracer.span("engine.step", active=len(active),
+                               queued=len(self._queue), speculative=True,
+                               rows=row):
+            logits = self.model.decode_step(
+                np.asarray(tokens, dtype=np.int64),
+                span.new_lens - 1, span.layers)
+        self.total_steps += 1
+        self._active_slot_steps += len(active)
+        self._c_steps.inc()
+        now = self._clock()
+        finished: list[GenerationResult] = []
+
+        # Feed spans commit first and their completing rows sample
+        # through the same grouped call the non-speculative step uses.
+        sample_rows: list[int] = []
+        sample_plans = []
+        for plan in plans:
+            slot, seq, kind, lo, hi, _, _ = plan
+            if kind != "feed":
+                continue
+            old_fed = seq.fed
+            seq.fed += hi - lo
+            seq.steps += 1
+            self.cache.commit_span(slot, seq.fed)
+            if old_fed < seq.prompt_len <= seq.fed:
+                self.cache.register_prefix(
+                    slot, seq.tokens[:seq.prompt_len])
+            if seq.fed == len(seq.tokens):
+                sample_rows.append(hi - 1)
+                sample_plans.append(plan)
+        if sample_rows:
+            drawn = self._sample_rows(logits, sample_rows,
+                                      [plan[1] for plan in sample_plans])
+            self._sampled_tokens += len(sample_rows)
+            self._c_sampled.inc(len(sample_rows))
+            for plan, token in zip(sample_plans, (int(t) for t in drawn)):
+                slot, seq = plan[0], plan[1]
+                reason = self._land_token(seq, token, now, step_t0)
+                if reason is not None:
+                    finished.append(self._finish_seq(seq, reason, now))
+                    self._slots[slot] = None
+                    self.cache.reset_slot(slot)
+
+        # Verify spans: accept-prefix per sequence, then promote the
+        # scratch branch onto the canonical slot truncated to the
+        # accepted length — the rollback of rejected pages.
+        for plan in plans:
+            slot, seq, kind, lo, hi, drafts, q = plan
+            if kind != "verify":
+                continue
+            k = hi - lo - 1
+            f = seq.fed
+            rng = seq.rng if seq.rng is not None else self.rng
+            emitted, accepted = verify_draft(logits[lo:hi], drafts, q,
+                                             seq.params, rng)
+            self.spec_proposed += k
+            self.spec_accepted += accepted
+            self.spec_rejected += k - accepted
+            self.spec_rounds += 1
+            self._c_spec_proposed.inc(k)
+            self._c_spec_accepted.inc(accepted)
+            self._c_spec_rejected.inc(k - accepted)
+            seq.steps += 1
+            reason = None
+            kept = 0
+            for token in emitted:
+                kept += 1
+                reason = self._land_token(seq, token, now, step_t0)
+                if reason is not None:
+                    break
+            self._sampled_tokens += kept
+            self._c_sampled.inc(kept)
+            # Positions f .. f + min(accepted, kept) hold KV of tokens
+            # that made it into the sequence (the pending token plus the
+            # kept accepted drafts); everything beyond is rejected or
+            # truncated by an early stop token and rolls back.
+            new_fed = f + 1 + min(accepted, kept)
+            self.cache.promote_fork(self.batch_size + slot, slot, new_fed)
+            seq.fed = new_fed
+            if f < seq.prompt_len <= new_fed:
+                self.cache.register_prefix(
+                    slot, seq.tokens[:seq.prompt_len])
+            if reason is not None:
+                finished.append(self._finish_seq(seq, reason, now))
+                self._slots[slot] = None
+                self.cache.reset_slot(slot)
+        if self.spec_rounds:
+            self._g_spec_rate.set(self.spec_accepted / self.spec_rounds)
         self._results.extend(finished)
         self._sync_gauges()
         return finished
@@ -657,7 +1029,22 @@ class GenerationEngine:
             kv["preemptions"] = self.preemptions
         else:
             kv = {"backend": "dense", "kv_bytes_pool": self.cache.nbytes}
-        return {
+        spec = None
+        if self.spec is not None:
+            spec = {
+                "k": self.spec.k,
+                "draft": type(self.spec.draft).__name__,
+                "proposed": self.spec_proposed,
+                "accepted": self.spec_accepted,
+                "rejected": self.spec_rejected,
+                "rounds": self.spec_rounds,
+                "acceptance_rate": (self.spec_accepted / self.spec_proposed
+                                    if self.spec_proposed else 0.0),
+                "accepted_tokens_per_step": (
+                    self.spec_accepted / self.spec_rounds
+                    if self.spec_rounds else 0.0),
+            }
+        out = {
             "batch_size": self.batch_size,
             "active_slots": self.num_active,
             "queue_depth": self.num_queued,
@@ -669,3 +1056,6 @@ class GenerationEngine:
                           if slot_steps else 0.0),
             "kv": kv,
         }
+        if spec is not None:
+            out["spec"] = spec
+        return out

@@ -218,6 +218,98 @@ class PagedLayerKV:
         return keys, values, ragged_key_mask(new_lens, lo, t_max, window)
 
 
+class SpanLayerKV:
+    """One layer's view of a multi-position span write (speculative decode).
+
+    Same ``append(k, v) -> (keys, values, mask)`` contract as
+    :class:`PagedLayerKV`, but each batch row is one *position* of a
+    span rather than one slot: verifying k draft tokens of a sequence
+    becomes k+1 rows of the same slot at consecutive positions, all in
+    one batched forward.  Row ``j`` attends to rows ``< j`` of its own
+    span because ``append`` writes every row's K/V into the pool
+    *before* gathering, and the ragged mask (``new_lens[j] = pos_j + 1``)
+    hides later positions — time laid out along the batch axis.
+    """
+
+    __slots__ = ("_span", "_layer")
+
+    def __init__(self, span: "SpanBatch", layer: int):
+        self._span = span
+        self._layer = layer
+
+    def append(self, k: np.ndarray, v: np.ndarray):
+        """Write one position per row, then gather each row's history."""
+        span = self._span
+        cache = span.cache
+        kb = cache._k[self._layer]
+        vb = cache._v[self._layer]
+        kb[span.pages, :, span.offsets, :] = k
+        vb[span.pages, :, span.offsets, :] = v
+        keys = cache._gather(kb, span.row_slots, span.lo, span.t_max)
+        values = cache._gather(vb, span.row_slots, span.lo, span.t_max)
+        return keys, values, ragged_key_mask(span.new_lens, span.lo,
+                                             span.t_max, cache.window)
+
+
+class SpanBatch:
+    """Resolved write plan for one batched multi-position model step.
+
+    Built by :meth:`PagedKVCache.begin_spans` from ``(slot, start, m)``
+    triples: positions ``start .. start+m-1`` of each slot become ``m``
+    consecutive batch rows.  Construction resolves every written page
+    once (allocating at page boundaries, copying shared pages on write
+    — at most one COW per span, the fork boundary page); the per-layer
+    :attr:`layers` states then write vectorized.  Slot lengths are NOT
+    advanced: the caller commits explicitly (``commit_span`` /
+    ``promote_fork``) after deciding how much of the span survives.
+    """
+
+    __slots__ = ("cache", "row_slots", "pages", "offsets", "new_lens",
+                 "lo", "t_max", "layers")
+
+    def __init__(self, cache: "PagedKVCache", spans):
+        size = cache.page_size
+        row_slots: list[int] = []
+        pages: list[int] = []
+        positions: list[int] = []
+        for slot, start, m in spans:
+            if m < 1:
+                raise ValueError("span length must be >= 1")
+            end = start + m
+            if end > cache.max_seq_len:
+                raise ValueError(
+                    f"PagedKVCache overflow: span reaches {end} > "
+                    f"{cache.max_seq_len}")
+            table = cache.block_tables[slot]
+            for idx in range(start // size, (end - 1) // size + 1):
+                if idx == len(table):
+                    table.append(cache._allocate())
+                elif cache.refcounts[table[idx]] > 1:
+                    # Copy-on-write before the span lands: the page is
+                    # shared with a fork parent or the prefix cache.
+                    fresh = cache._allocate()
+                    cache._k[:, fresh] = cache._k[:, table[idx]]
+                    cache._v[:, fresh] = cache._v[:, table[idx]]
+                    cache._release(table[idx])
+                    table[idx] = fresh
+            for pos in range(start, end):
+                row_slots.append(slot)
+                pages.append(table[pos // size])
+                positions.append(pos)
+        self.cache = cache
+        self.row_slots = np.asarray(row_slots, dtype=np.int64)
+        self.pages = np.asarray(pages, dtype=np.int64)
+        pos_arr = np.asarray(positions, dtype=np.int64)
+        self.offsets = pos_arr % size
+        self.new_lens = pos_arr + 1
+        self.t_max = int(self.new_lens.max())
+        window = cache.window
+        self.lo = 0 if window is None \
+            else max(0, int(self.new_lens.min()) - window)
+        self.layers = [SpanLayerKV(self, i)
+                       for i in range(len(cache.layers))]
+
+
 class PagedKVCache:
     """Fixed-size-page KV pool with refcounted sharing and copy-on-write.
 
@@ -530,6 +622,50 @@ class PagedKVCache:
         if self.prefix is None:
             return 0
         return self.prefix.insert(tokens, self.block_tables[slot])
+
+    def begin_spans(self, spans) -> SpanBatch:
+        """Resolve a multi-position write: ``spans`` is a list of
+        ``(slot, start, m)`` triples, each contributing ``m`` batch rows
+        at consecutive positions.  Returns the :class:`SpanBatch` whose
+        ``layers`` drive one ``decode_step``; commit survivors with
+        :meth:`commit_span` / :meth:`promote_fork` afterwards."""
+        return SpanBatch(self, spans)
+
+    def commit_span(self, slot: int, length: int) -> None:
+        """Set a slot's valid length after a span write landed on it."""
+        if length > self.max_seq_len:
+            raise ValueError(
+                f"PagedKVCache overflow: sequence exceeds {self.max_seq_len}")
+        self.lengths[slot] = length
+        self._prepared = False
+
+    def promote_fork(self, src: int, dst: int, length: int) -> None:
+        """Adopt ``src``'s pages as ``dst``'s state, truncated to ``length``.
+
+        The speculative commit-or-rollback primitive: the draft branch
+        decoded on fork ``src``; ``dst`` (the canonical slot) takes over
+        ``src``'s block table up to ``length`` accepted positions, pages
+        beyond that are released (the rollback of rejected drafts), and
+        ``dst``'s previous references are dropped — pages shared by both
+        tables just lose the fork's double-count, pages ``src`` COW-ed
+        replace their stale originals, and ``src`` is left empty.
+        """
+        keep = self.pages_for(length)
+        table = self.block_tables[src]
+        if keep > len(table):
+            raise ValueError(
+                f"promote_fork: {length} positions need {keep} pages but "
+                f"slot {src} holds {len(table)}")
+        for page in table[keep:]:
+            self._release(page)
+        kept = table[:keep]
+        self.block_tables[src] = []
+        self.lengths[src] = 0
+        for page in self.block_tables[dst]:
+            self._release(page)
+        self.block_tables[dst] = kept
+        self.lengths[dst] = length
+        self._prepared = False
 
     def fork_slot(self, src: int, dst: int) -> None:
         """Clone ``src`` into ``dst`` by sharing every page (O(1) copies).

@@ -1,0 +1,128 @@
+"""Per-request sampling parameters for the generation engine.
+
+Sampling knobs used to be engine-wide constructor arguments, which
+made one batch share a single temperature/top-k/top-p even though the
+engine interleaves unrelated users' requests.  :class:`SamplingParams`
+is the per-request value object threaded from the HTTP body through
+:meth:`GenerationEngine.submit` down to the sampler: each request
+carries its own knobs, the engine groups slots with identical
+parameters into one vectorized :func:`~repro.core.sampling.sample_token`
+call, and a request with a ``seed`` owns a private RNG so its draws
+are reproducible regardless of batch composition.
+
+Validation happens at construction and raises
+:class:`SamplingParamsError` carrying a structured ``params`` dict —
+the serving layer surfaces it as an HTTP 400 with a ``params`` payload,
+mirroring the ``limits`` payload of
+:class:`~repro.infer.PromptLimitError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+class SamplingParamsError(ValueError):
+    """Invalid sampling parameters: structured rejection for serving.
+
+    ``params`` names the offending field, the value received, and the
+    constraint violated, so the HTTP layer can return the same
+    machine-readable 400 body on the blocking and streaming paths.
+    """
+
+    def __init__(self, message: str, params: dict):
+        super().__init__(message)
+        self.params = params
+
+
+def _reject(field: str, value, constraint: str) -> SamplingParamsError:
+    return SamplingParamsError(
+        f"invalid sampling params: {field}={value!r} violates {constraint}",
+        {"field": field, "value": value, "constraint": constraint})
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """One request's sampling configuration.
+
+    ``temperature == 0`` is normalised to ``greedy=True`` (the
+    beta -> infinity limit of Eq. 8), so the two spellings of argmax
+    decoding compare equal and group into the same sampling batch.
+    ``seed`` gives the request a private ``np.random.default_rng(seed)``
+    stream; without it, draws come from the engine-wide RNG in slot
+    order.
+    """
+
+    temperature: float = 1.0
+    top_k: int | None = None
+    top_p: float | None = None
+    greedy: bool = False
+    stop_token: int | None = None
+    seed: int | None = None
+
+    def __post_init__(self):
+        if not isinstance(self.temperature, (int, float)) \
+                or isinstance(self.temperature, bool):
+            raise _reject("temperature", self.temperature, "a number")
+        if self.temperature < 0:
+            raise _reject("temperature", self.temperature, "temperature >= 0")
+        if self.temperature == 0:
+            # T -> 0 is argmax; normalise so downstream code never
+            # divides logits by zero and both spellings batch together.
+            object.__setattr__(self, "temperature", 1.0)
+            object.__setattr__(self, "greedy", True)
+        if self.top_k is not None:
+            if not isinstance(self.top_k, int) or isinstance(self.top_k, bool):
+                raise _reject("top_k", self.top_k, "an integer")
+            if self.top_k < 1:
+                raise _reject("top_k", self.top_k, "top_k >= 1")
+        if self.top_p is not None:
+            if not isinstance(self.top_p, (int, float)) \
+                    or isinstance(self.top_p, bool):
+                raise _reject("top_p", self.top_p, "a number")
+            if not 0.0 < self.top_p <= 1.0:
+                raise _reject("top_p", self.top_p, "0 < top_p <= 1")
+        if self.stop_token is not None and (
+                not isinstance(self.stop_token, int)
+                or isinstance(self.stop_token, bool)):
+            raise _reject("stop_token", self.stop_token, "an integer or null")
+        if self.seed is not None:
+            if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+                raise _reject("seed", self.seed, "an integer")
+            if self.seed < 0:
+                raise _reject("seed", self.seed, "seed >= 0")
+
+    @property
+    def sampling_key(self) -> tuple:
+        """Slots whose keys match may share one vectorized sampler call."""
+        if self.greedy:
+            return ("greedy",)
+        return (self.temperature, self.top_k, self.top_p)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view, echoed back in serving responses."""
+        return {
+            "temperature": self.temperature,
+            "top_k": self.top_k,
+            "top_p": self.top_p,
+            "greedy": self.greedy,
+            "stop_token": self.stop_token,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "SamplingParams":
+        """Build from an untrusted JSON object (the ``"sampling"`` body).
+
+        Unknown keys are rejected rather than ignored — a typo like
+        ``"temprature"`` silently falling back to the default would be
+        far harder to debug than a 400.
+        """
+        if not isinstance(obj, dict):
+            raise _reject("sampling", obj, "a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(obj) - known)
+        if unknown:
+            raise _reject(unknown[0], obj[unknown[0]],
+                          f"a known field (one of {sorted(known)})")
+        return cls(**obj)

@@ -1,6 +1,11 @@
-"""Simpler language models (§5) and the shared LanguageModel interface."""
+"""Simpler language models (§5) and the shared LanguageModel interface.
+
+:class:`LanguageModelDraft` adapts any of them into a speculative-
+decoding draft model for :mod:`repro.infer` (PR 9).
+"""
 
 from .base import LanguageModel, bits_per_token
+from .draft import LanguageModelDraft
 from .ffn import FFNLM, make_windows
 from .kneser_ney import KneserNeyLM
 from .ngram import InterpolatedNGramLM, NGramLM
@@ -9,6 +14,7 @@ from .unigram import UnigramLM
 
 __all__ = [
     "LanguageModel",
+    "LanguageModelDraft",
     "bits_per_token",
     "UnigramLM",
     "NGramLM",

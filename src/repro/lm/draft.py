@@ -1,0 +1,65 @@
+"""Classical LMs as speculative-decoding draft models.
+
+Speculative decoding needs a proposer that is much cheaper than the
+target transformer and returns, alongside its k proposed tokens, the
+exact distribution each one was drawn from — the ``q`` side of the
+rejection-sampling identity.  Every model in :mod:`repro.lm` (n-gram,
+Kneser-Ney, FFN, RNN) already exposes
+:meth:`~repro.lm.LanguageModel.next_token_logprobs`, so one adapter
+covers the whole family: :class:`LanguageModelDraft` rolls the LM
+forward k tokens under the *request's own*
+:class:`~repro.infer.SamplingParams`, using the same filter pipeline
+(:func:`~repro.core.sampling.sampling_probs`) as the target sampler.
+Proposing under different knobs than the verifier judges with would
+silently destroy the acceptance rate, not the correctness — the
+rejection rule keeps the output distribution right regardless of how
+bad ``q`` is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sampling import sample_from_probs, sampling_probs
+
+
+class LanguageModelDraft:
+    """Adapt any :class:`~repro.lm.LanguageModel` to the
+    :class:`~repro.infer.DraftModel` protocol.
+
+    ``propose`` is autoregressive over the LM's own proposals: token
+    ``i+1`` conditions on the context extended by draft token ``i``,
+    exactly as the verified sequence would read if everything is
+    accepted.
+    """
+
+    def __init__(self, lm):
+        self.lm = lm
+        self.vocab_size = lm.vocab_size
+
+    def propose(self, tokens, k: int, params, rng):
+        """Propose ``k`` tokens after ``tokens``; returns ``(drafts, q)``.
+
+        ``drafts`` is a length-k list of token ids and ``q`` the
+        ``(k, V)`` array of proposal distributions they were drawn from
+        (one-hot under greedy params).  ``rng`` may be ``None`` for
+        greedy proposals, which consume no randomness.
+        """
+        context = [int(t) for t in tokens]
+        drafts: list[int] = []
+        q = np.empty((k, self.vocab_size), dtype=np.float64)
+        for i in range(k):
+            logprobs = self.lm.next_token_logprobs(
+                np.asarray(context, dtype=np.int64))
+            if params.greedy:
+                token = int(np.argmax(logprobs))
+                row = np.zeros(self.vocab_size, dtype=np.float64)
+                row[token] = 1.0
+            else:
+                row = sampling_probs(logprobs, temperature=params.temperature,
+                                     top_k=params.top_k, top_p=params.top_p)
+                token = sample_from_probs(row, rng)
+            q[i] = row
+            drafts.append(token)
+            context.append(token)
+        return drafts, q

@@ -31,16 +31,20 @@ class ServeError(Exception):
 
     status = 500
     #: Optional structured payload merged into the error body (e.g. the
-    #: ``limits`` dict of a :class:`~repro.infer.PromptLimitError`), so
-    #: clients can machine-read *which* bound was exceeded instead of
-    #: parsing the detail string.
+    #: ``limits`` dict of a :class:`~repro.infer.PromptLimitError` or the
+    #: ``params`` dict of a
+    #: :class:`~repro.infer.SamplingParamsError`), so clients can
+    #: machine-read *which* bound was exceeded instead of parsing the
+    #: detail string.  ``payload_key`` names the body field it lands
+    #: under.
     payload: dict | None = None
+    payload_key: str = "limits"
 
     def to_json(self) -> dict:
         """JSON error body for the HTTP layer."""
         body = {"error": type(self).__name__, "detail": str(self)}
         if self.payload:
-            body["limits"] = dict(self.payload)
+            body[self.payload_key] = dict(self.payload)
         return body
 
 
@@ -63,10 +67,12 @@ class RejectError(ServeError):
     """Invalid or over-budget request (HTTP 4xx, default 400)."""
 
     def __init__(self, message: str, status: int = 400,
-                 payload: dict | None = None):
+                 payload: dict | None = None,
+                 payload_key: str = "limits"):
         super().__init__(message)
         self.status = status
         self.payload = payload
+        self.payload_key = payload_key
 
 
 @dataclass(frozen=True)

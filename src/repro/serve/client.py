@@ -62,13 +62,18 @@ class ServeClient:
 
     @staticmethod
     def _submit_body(prompt, max_new_tokens: int, stop_token,
-                     stream: bool) -> dict:
+                     stream: bool, sampling=None) -> dict:
         body = {"prompt": [int(t) for t in prompt],
                 "max_new_tokens": int(max_new_tokens)}
         if stop_token is not ...:
             body["stop_token"] = stop_token
         if stream:
             body["stream"] = True
+        if sampling is not None:
+            # Accept either a plain dict or a SamplingParams-like object.
+            body["sampling"] = (sampling.to_dict()
+                                if hasattr(sampling, "to_dict")
+                                else dict(sampling))
         return body
 
     # ------------------------------------------------------------------
@@ -105,23 +110,31 @@ class ServeClient:
         """``GET /v1/stats``."""
         return self._request("GET", "/v1/stats")
 
-    def submit(self, prompt, max_new_tokens: int, stop_token=...) -> dict:
+    def submit(self, prompt, max_new_tokens: int, stop_token=...,
+               sampling=None) -> dict:
         """Blocking ``POST /v1/submit``; returns the finished result.
 
-        Raises :class:`ServeClientError` on shed (429), rejection (4xx),
-        or timeout (504 — the body still carries the partial result).
+        ``sampling`` (a dict or :class:`~repro.infer.SamplingParams`)
+        becomes the request's ``"sampling"`` object; the resolved params
+        are echoed back in the result.  Raises :class:`ServeClientError`
+        on shed (429), rejection (4xx), or timeout (504 — the body still
+        carries the partial result).
         """
         return self._request(
             "POST", "/v1/submit",
-            self._submit_body(prompt, max_new_tokens, stop_token, False))
+            self._submit_body(prompt, max_new_tokens, stop_token, False,
+                              sampling))
 
-    def stream(self, prompt, max_new_tokens: int, stop_token=...):
+    def stream(self, prompt, max_new_tokens: int, stop_token=...,
+               sampling=None):
         """Streaming ``POST /v1/submit``: yields one decoded record per
-        NDJSON line — ``{"request_id"}``, then ``{"token"}`` per sampled
-        token, then the final ``{"done": true, ...}`` result record."""
+        NDJSON line — ``{"request_id", "sampling"?}``, then ``{"token"}``
+        per sampled token, then the final ``{"done": true, ...}`` result
+        record."""
         conn = self._connect()
         try:
-            body = self._submit_body(prompt, max_new_tokens, stop_token, True)
+            body = self._submit_body(prompt, max_new_tokens, stop_token, True,
+                                     sampling)
             conn.request("POST", "/v1/submit", body=json.dumps(body).encode(),
                          headers={"Content-Type": "application/json"})
             response = conn.getresponse()

@@ -11,11 +11,16 @@ threads only ever block on their own request's
 Endpoints:
 
 - ``POST /v1/submit`` — body ``{"prompt": [ids...], "max_new_tokens": N,
-  "stop_token": id?, "stream": bool?}``.  Non-streaming requests block
-  and return the finished result with timing; ``"stream": true``
-  responds ``application/x-ndjson`` over chunked transfer encoding, one
-  ``{"token": id}`` line per sampled token as it lands, then a final
-  ``{"done": true, ...}`` record.
+  "stop_token": id?, "stream": bool?, "sampling": {...}?}``.  The
+  optional ``"sampling"`` object carries per-request
+  :class:`~repro.infer.SamplingParams` fields (temperature / top_k /
+  top_p / greedy / stop_token / seed); the resolved params are echoed
+  back as ``"sampling"`` in the response (and in the first streaming
+  record).  Non-streaming requests block and return the finished result
+  with timing; ``"stream": true`` responds ``application/x-ndjson``
+  over chunked transfer encoding, one ``{"token": id}`` line per
+  sampled token as it lands, then a final ``{"done": true, ...}``
+  record.
 - ``GET /v1/stats`` — engine + server accounting snapshot plus the
   metrics-registry snapshot and the SLO verdict.
 - ``GET /v1/trace?id=<trace_id>`` — one request's spans as a
@@ -42,7 +47,10 @@ partial result is included), 503 once shutdown has begun.  Requests
 that can never fit the KV budget (``prompt + max_new_tokens`` over the
 window, or over the page pool) get a 400 whose body carries a
 ``limits`` dict — identical on the blocking and streaming paths, both
-of which funnel through the same submit validation.
+of which funnel through the same submit validation.  Invalid
+``"sampling"`` objects get the same treatment: a 400 whose body
+carries a ``params`` dict naming the offending field, value, and
+constraint.
 """
 
 from __future__ import annotations
@@ -55,6 +63,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from ..obs import NULL_OBS, Observability, TraceContext
 from ..obs.exposition import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from ..obs.exposition import to_prometheus
+from ..infer.sampling_params import SamplingParams, SamplingParamsError
 from .admission import AdmissionPolicy, ServeError
 from .worker import EngineWorker, RequestHandle
 
@@ -69,6 +78,8 @@ def result_to_json(result) -> dict:
         "finish_reason": result.finish_reason,
         "steps": result.steps,
     }
+    if result.params is not None:
+        body["sampling"] = result.params.to_dict()
     timing = result.timing
     if timing is not None:
         body["timing"] = {
@@ -217,10 +228,23 @@ class _Handler(BaseHTTPRequestHandler):
         except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
             self._send_json(400, {"error": "BadRequest", "detail": str(exc)})
             return
+        params = None
+        if "sampling" in body and body["sampling"] is not None:
+            try:
+                params = SamplingParams.from_dict(body["sampling"])
+            except SamplingParamsError as exc:
+                # Parsed before the stream/blocking split, so both paths
+                # return byte-identical 400 bodies with the structured
+                # ``params`` payload.
+                self._send_json(400, {"error": "SamplingParamsError",
+                                      "detail": str(exc),
+                                      "params": exc.params})
+                return
         try:
             handle = self.server.worker.submit(prompt, max_new_tokens,
                                                stop_token,
-                                               trace_ctx=self.trace_ctx)
+                                               trace_ctx=self.trace_ctx,
+                                               params=params)
         except ServeError as exc:
             headers = {}
             retry = getattr(exc, "retry_after_s", None)
@@ -248,6 +272,8 @@ class _Handler(BaseHTTPRequestHandler):
             first = {"request_id": handle.request_id}
             if self.trace_ctx is not None:
                 first["trace_id"] = self.trace_ctx.trace_id
+            if handle.params is not None:
+                first["sampling"] = handle.params.to_dict()
             self._stream_line(first)
             for token in handle.tokens():
                 self._stream_line({"token": token})
@@ -278,7 +304,8 @@ class InferenceServer:
 
     Usage::
 
-        engine = GenerationEngine(model, batch_size=8, greedy=True)
+        engine = GenerationEngine(model, batch_size=8,
+                                  params=SamplingParams(greedy=True))
         with InferenceServer(engine, policy=AdmissionPolicy(
                 max_queue_depth=32, request_timeout_s=30.0)) as server:
             print("listening on", server.url)

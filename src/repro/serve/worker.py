@@ -57,6 +57,7 @@ class RequestHandle:
         self.request_id = request_id
         self.prompt_len = prompt_len
         self.deadline = deadline          # time.monotonic() seconds, or None
+        self.params = None                # resolved SamplingParams (worker)
         self.timed_out = False
         self.result: GenerationResult | None = None
         self._stream: queue.Queue = queue.Queue()
@@ -173,14 +174,17 @@ class EngineWorker:
     # Submit path (any thread)
     # ------------------------------------------------------------------
     def submit(self, prompt, max_new_tokens: int,
-               stop_token=..., trace_ctx=None) -> RequestHandle:
+               stop_token=..., trace_ctx=None,
+               params=None) -> RequestHandle:
         """Admission-checked submit; returns a :class:`RequestHandle`.
 
         Raises :class:`~repro.serve.admission.ShedError` at the queue
         cap and :class:`~repro.serve.admission.RejectError` for invalid
         or over-budget requests.  ``trace_ctx`` (the request's
         :class:`~repro.obs.TraceContext`, minted by the HTTP layer) is
-        forwarded to the engine so decode-thread spans land under it.
+        forwarded to the engine so decode-thread spans land under it;
+        ``params`` (a :class:`~repro.infer.SamplingParams`) overrides
+        the engine-wide sampling defaults for this request.
         """
         with self._lock:
             if self._closed:
@@ -204,13 +208,20 @@ class EngineWorker:
             try:
                 request_id = self.engine.submit(prompt, max_new_tokens,
                                                 stop_token,
-                                                trace_ctx=trace_ctx)
+                                                trace_ctx=trace_ctx,
+                                                params=params)
             except ValueError as exc:
                 self._c_rejected.inc()
                 self._n_rejected += 1
-                # PromptLimitError carries a structured ``limits`` dict;
-                # forwarding it keeps the 400 body identical on the
-                # blocking and streaming paths (both land here).
+                # PromptLimitError carries a structured ``limits`` dict
+                # and SamplingParamsError a ``params`` dict; forwarding
+                # them (under the matching body key) keeps the 400 body
+                # identical on the blocking and streaming paths (both
+                # land here).
+                sp = getattr(exc, "params", None)
+                if sp is not None:
+                    raise RejectError(str(exc), payload=sp,
+                                      payload_key="params") from exc
                 raise RejectError(
                     str(exc),
                     payload=getattr(exc, "limits", None)) from exc
@@ -219,6 +230,7 @@ class EngineWorker:
             if self.policy.request_timeout_s is not None:
                 deadline = time.monotonic() + self.policy.request_timeout_s
             handle = RequestHandle(request_id, len(list(prompt)), deadline)
+            handle.params = self.engine.resolve_params(params, stop_token)
             self._handles[request_id] = handle
             self._c_accepted.inc()
             self._n_accepted += 1

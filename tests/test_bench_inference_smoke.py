@@ -6,7 +6,10 @@ path — e.g. reintroducing per-token cache reallocation — fails the normal
 test run, not just a manually-invoked benchmark.  The record's PR 8
 phases are gated too: the paged KV backend must hold >=2x less memory
 per concurrent request than the dense buffer (bit-identically), and
-prefix-cache hits must skip prefill steps.
+prefix-cache hits must skip prefill steps.  The PR 9 speculative phase
+is gated on deterministic model-step counts (never wall-clock): the
+n-gram draft at k=4 must cut model steps >=1.5x while staying
+bit-identical to plain greedy decoding.
 """
 
 import json
@@ -61,3 +64,12 @@ def test_inference_throughput_smoke(tmp_path):
     assert prefix["prefix_hits"] == prefix["num_requests"] - 1
     assert prefix["warm_prefill_steps_mean"] < prefix["cold_prefill_steps"]
     assert prefix["hit_tokens"] > 0
+
+    # PR 9 speculative phase: bit-identical greedy output with a
+    # decisive model-step cut (deterministic counts, never wall-clock)
+    spec = record["speculative"]
+    assert spec["bit_identical_to_baseline"] is True
+    assert spec["step_speedup"] >= 1.5
+    assert spec["spec_model_steps"] < spec["baseline_model_steps"]
+    assert spec["accepted_tokens_per_step"] >= 1.0
+    assert 0.0 < spec["acceptance_rate"] <= 1.0

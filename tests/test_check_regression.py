@@ -98,7 +98,7 @@ class TestGate:
 
 
 class TestDirectionAwareGate:
-    """PR 8 metrics: ratios gate like throughput, bytes gate inverted."""
+    """PR 8/9 metrics: ratios gate like throughput, bytes gate inverted."""
 
     @staticmethod
     def paged_record():
@@ -111,6 +111,10 @@ class TestDirectionAwareGate:
                 "dense_kv_bytes_per_request": 640000.0,
             },
             "prefix": {"ttft_speedup": 10.0, "prefix_hit_rate": 0.83},
+            "speculative": {"accepted_tokens_per_step": 2.5,
+                            "acceptance_rate": 0.7,
+                            "spec_tokens_per_sec": 1800.0,
+                            "spec_speedup": 2.0},
         }
 
     def test_saving_ratio_drop_fails(self, tmp_path):
@@ -130,6 +134,34 @@ class TestDirectionAwareGate:
         proc = run_checker(base, fresh)
         assert proc.returncode == 1
         assert "ttft_speedup" in proc.stderr
+
+    def test_accepted_tokens_per_step_drop_fails(self, tmp_path):
+        """PR 9: a draft-quality regression (fewer accepted tokens per
+        verify round) must fail the gate even if tokens/sec holds up."""
+        base = write(tmp_path / "base.json", self.paged_record())
+        worse = self.paged_record()
+        worse["speculative"]["accepted_tokens_per_step"] = 1.2
+        fresh = write(tmp_path / "fresh.json", worse)
+        proc = run_checker(base, fresh)
+        assert proc.returncode == 1
+        assert "accepted_tokens_per_step" in proc.stderr
+
+    def test_spec_tokens_per_sec_drop_fails(self, tmp_path):
+        base = write(tmp_path / "base.json", self.paged_record())
+        worse = self.paged_record()
+        worse["speculative"]["spec_tokens_per_sec"] = 900.0
+        fresh = write(tmp_path / "fresh.json", worse)
+        proc = run_checker(base, fresh)
+        assert proc.returncode == 1
+        assert "spec_tokens_per_sec" in proc.stderr
+
+    def test_spec_improvement_passes(self, tmp_path):
+        base = write(tmp_path / "base.json", self.paged_record())
+        better = self.paged_record()
+        better["speculative"]["accepted_tokens_per_step"] = 4.0
+        better["speculative"]["acceptance_rate"] = 0.95
+        fresh = write(tmp_path / "fresh.json", better)
+        assert run_checker(base, fresh).returncode == 0
 
     def test_bytes_per_request_growth_fails(self, tmp_path):
         base = write(tmp_path / "base.json", self.paged_record())
@@ -194,6 +226,8 @@ class TestCommittedBaseline:
         assert proc.returncode == 0, proc.stderr
         record = json.loads(open(baseline).read())
         assert record["bench"] == "inference_throughput"
-        # PR 8 gated leaves are present in the committed record
+        # PR 8 + PR 9 gated leaves are present in the committed record
         assert "memory_saving_ratio" in json.dumps(record)
         assert "ttft_speedup" in json.dumps(record)
+        assert "accepted_tokens_per_step" in json.dumps(record)
+        assert "spec_tokens_per_sec" in json.dumps(record)

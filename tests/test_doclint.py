@@ -75,14 +75,24 @@ def test_obs_package_in_scope():
 
 
 def test_infer_package_in_scope():
-    """The inference layer (PR 8: paged KV cache + prefix sharing) is
+    """The inference layer (PR 8: paged KV cache + prefix sharing;
+    PR 9: per-request sampling params + speculative decoding) is
     covered by the same docstring contract; guard against the package
     being skipped by a future scoping change."""
     infer = [p for p in iter_sources() if p.parent.name == "infer"]
     names = {p.name for p in infer}
     assert {"__init__.py", "kv_cache.py", "paged_kv.py",
-            "engine.py"} <= names
+            "engine.py", "sampling_params.py", "speculative.py"} <= names
     for path in infer:
+        assert not docstring_violations(path), path
+
+
+def test_lm_draft_adapter_in_scope():
+    """The speculative-decoding draft adapter (PR 9) lives in the lm
+    package; guard that it is linted with everything else."""
+    lm = [p for p in iter_sources() if p.parent.name == "lm"]
+    assert "draft.py" in {p.name for p in lm}
+    for path in lm:
         assert not docstring_violations(path), path
 
 

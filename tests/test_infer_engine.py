@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.core import TransformerConfig, TransformerLM
-from repro.infer import GenerationEngine
+from repro.infer import GenerationEngine, SamplingParams
 from repro.obs import Observability
 
 SAMPLING_CONFIGS = [
@@ -49,7 +49,8 @@ class TestThreeWayEquivalence:
         slow = model.generate(prompt, 12, rng=np.random.default_rng(9), **sampling)
         fast = model.generate_fast(prompt, 12, rng=np.random.default_rng(9), **sampling)
         engine = GenerationEngine(model, batch_size=1,
-                                  rng=np.random.default_rng(9), **sampling)
+                                  rng=np.random.default_rng(9),
+                                  params=SamplingParams(**sampling))
         batched = engine.generate([prompt], 12)[0]
         assert slow == fast == batched
 
@@ -61,9 +62,9 @@ class TestEngineMatchesGenerateFast:
             ref = model.generate_fast([2, 4, 6], 20,
                                       rng=np.random.default_rng(seed),
                                       temperature=1.2, top_k=7)
-            engine = GenerationEngine(model, batch_size=1,
-                                      rng=np.random.default_rng(seed),
-                                      temperature=1.2, top_k=7)
+            engine = GenerationEngine(
+                model, batch_size=1, rng=np.random.default_rng(seed),
+                params=SamplingParams(temperature=1.2, top_k=7))
             assert engine.generate([[2, 4, 6]], 20)[0] == ref
 
     def test_batch_one_shared_rng_stream_across_requests(self):
@@ -74,13 +75,14 @@ class TestEngineMatchesGenerateFast:
         rng = np.random.default_rng(42)
         refs = [model.generate_fast(p, 8, rng=rng, temperature=1.1) for p in prompts]
         engine = GenerationEngine(model, batch_size=1,
-                                  rng=np.random.default_rng(42), temperature=1.1)
+                                  rng=np.random.default_rng(42),
+                                  params=SamplingParams(temperature=1.1))
         assert engine.generate(prompts, 8) == refs
 
     def test_ragged_batch_greedy_matches_per_sequence(self):
         model = tiny_model()
         prompts = [[1, 2, 3], [0], [4, 5, 6, 7, 8, 0, 1], [2, 2], [9, 10]]
-        engine = GenerationEngine(model, batch_size=5, greedy=True)
+        engine = GenerationEngine(model, batch_size=5, params=SamplingParams(greedy=True))
         outs = engine.generate(prompts, 15)
         refs = [model.generate_fast(p, 15, greedy=True) for p in prompts]
         assert outs == refs
@@ -88,7 +90,7 @@ class TestEngineMatchesGenerateFast:
     def test_ragged_windowed_batch_matches_per_sequence(self):
         model = tiny_model(attention_window=3)
         prompts = [[1, 2, 3, 4, 5], [0], [6, 7]]
-        engine = GenerationEngine(model, batch_size=3, greedy=True)
+        engine = GenerationEngine(model, batch_size=3, params=SamplingParams(greedy=True))
         outs = engine.generate(prompts, 12)
         refs = [model.generate_fast(p, 12, greedy=True) for p in prompts]
         assert outs == refs
@@ -98,14 +100,14 @@ class TestContinuousBatching:
     def test_queue_longer_than_slot_pool(self):
         model = tiny_model()
         prompts = [[i % 11] for i in range(10)]
-        engine = GenerationEngine(model, batch_size=3, greedy=True)
+        engine = GenerationEngine(model, batch_size=3, params=SamplingParams(greedy=True))
         outs = engine.generate(prompts, 9)
         refs = [model.generate_fast(p, 9, greedy=True) for p in prompts]
         assert outs == refs
 
     def test_independent_retirement_on_stop_token(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=4, greedy=True, stop_token=5)
+        engine = GenerationEngine(model, batch_size=4, params=SamplingParams(greedy=True, stop_token=5))
         ids = [engine.submit([t], 20) for t in (1, 2, 3, 4)]
         results = engine.run()
         assert [r.request_id for r in results] == ids
@@ -120,7 +122,7 @@ class TestContinuousBatching:
 
     def test_retired_slot_is_reused(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True))
         engine.submit([1], 3)
         engine.submit([2], 18)
         engine.submit([3], 3)  # queued until a slot frees up
@@ -132,7 +134,7 @@ class TestContinuousBatching:
 
     def test_per_request_stop_token_override(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=2, greedy=True, stop_token=5)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True, stop_token=5))
         a = engine.submit([1], 12)
         b = engine.submit([1], 12, stop_token=None)  # never stops early
         results = {r.request_id: r for r in engine.run()}
@@ -144,9 +146,9 @@ class TestContinuousBatching:
         model = tiny_model()
         runs = []
         for _ in range(2):
-            engine = GenerationEngine(model, batch_size=4,
-                                      rng=np.random.default_rng(17),
-                                      temperature=1.2, top_p=0.9)
+            engine = GenerationEngine(
+                model, batch_size=4, rng=np.random.default_rng(17),
+                params=SamplingParams(temperature=1.2, top_p=0.9))
             runs.append(engine.generate([[1], [2], [3], [4], [5]], 10))
         assert runs[0] == runs[1]
 
@@ -154,7 +156,7 @@ class TestContinuousBatching:
 class TestEngineValidation:
     def test_rejects_bad_requests(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True))
         with pytest.raises(ValueError):
             engine.submit([], 5)
         with pytest.raises(ValueError):
@@ -166,12 +168,12 @@ class TestEngineValidation:
 
     def test_zero_new_tokens_returns_prompt(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True))
         assert engine.generate([[1, 2]], 0) == [[1, 2]]
 
     def test_result_metadata(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=1, greedy=True)
+        engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True))
         engine.submit([1, 2, 3], 6)
         (result,) = engine.run()
         assert result.prompt_len == 3
@@ -189,7 +191,7 @@ class TestInterleavedSubmitters:
         """A request submitted outside generate() is neither mis-mapped
         into its output nor discarded: the old first+i indexing lost it."""
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True))
         foreign = engine.submit([7, 8], 5)
         outs = engine.generate([[1, 2], [3]], 6)
         assert outs == [model.generate_fast([1, 2], 6, greedy=True),
@@ -201,7 +203,7 @@ class TestInterleavedSubmitters:
 
     def test_back_to_back_generate_calls_on_one_engine(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True))
         for _ in range(3):  # request ids keep climbing across calls
             outs = engine.generate([[1], [2, 3]], 7)
             assert outs == [model.generate_fast([1], 7, greedy=True),
@@ -209,7 +211,7 @@ class TestInterleavedSubmitters:
 
     def test_back_to_back_run_calls_on_one_engine(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True))
         first = engine.submit([1], 5)
         assert [r.request_id for r in engine.run()] == [first]
         second = engine.submit([2], 5)
@@ -220,7 +222,7 @@ class TestInterleavedSubmitters:
 
     def test_generate_with_zero_token_and_normal_requests(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True))
         outs = engine.generate([[1, 2], [3, 4]], 0)
         assert outs == [[1, 2], [3, 4]]
         assert engine.generate([[5]], 4) == \
@@ -230,7 +232,7 @@ class TestInterleavedSubmitters:
 class TestServingSupport:
     def test_cancel_queued_request(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=1, greedy=True)
+        engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True))
         keep = engine.submit([1], 6)
         dropped = engine.submit([2, 3], 6)  # waits behind `keep`
         result = engine.cancel(dropped)
@@ -243,7 +245,7 @@ class TestServingSupport:
 
     def test_cancel_active_request_reclaims_slot(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=1, greedy=True)
+        engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True))
         victim = engine.submit([1], 20)
         queued = engine.submit([2], 3)
         for _ in range(4):
@@ -256,7 +258,7 @@ class TestServingSupport:
 
     def test_cancel_unknown_or_finished_returns_none(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=1, greedy=True)
+        engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True))
         request = engine.submit([1], 3)
         engine.run()
         assert engine.cancel(request) is None
@@ -266,7 +268,8 @@ class TestServingSupport:
         model = tiny_model()
         streamed: dict[int, list[int]] = {}
         engine = GenerationEngine(
-            model, batch_size=2, greedy=True, stop_token=5,
+            model, batch_size=2,
+            params=SamplingParams(greedy=True, stop_token=5),
             on_token=lambda rid, tok: streamed.setdefault(rid, []).append(tok))
         ids = [engine.submit([t], 12) for t in (1, 2, 3)]
         results = {r.request_id: r for r in engine.run()}
@@ -277,7 +280,7 @@ class TestServingSupport:
 
     def test_drain_is_incremental(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True))
         short = engine.submit([1], 2)
         long = engine.submit([2], 10)
         drained = []
@@ -291,7 +294,7 @@ class TestServingSupport:
     def test_zero_token_request_emits_finished_event(self):
         model = tiny_model()
         obs = Observability.standard()
-        engine = GenerationEngine(model, batch_size=1, greedy=True, obs=obs)
+        engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True), obs=obs)
         engine.submit([1, 2], 0)
         engine.submit([3], 4)
         engine.run()
@@ -305,7 +308,7 @@ class TestServingSupport:
     def test_gauges_fresh_at_every_transition(self):
         model = tiny_model()
         obs = Observability.standard()
-        engine = GenerationEngine(model, batch_size=2, greedy=True, obs=obs)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True), obs=obs)
         active = obs.metrics.gauge("engine.active_slots")
         queued = obs.metrics.gauge("engine.queue_depth")
         for prompt in ([1], [2], [3]):
@@ -319,7 +322,7 @@ class TestServingSupport:
 
     def test_stats_consistent_midflight(self):
         model = tiny_model()
-        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True))
         for prompt in ([1], [2], [3]):
             engine.submit(prompt, 6)
         stats = engine.stats()

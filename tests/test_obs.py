@@ -9,7 +9,7 @@ import pytest
 
 from repro.autograd import Tensor
 from repro.core import TransformerConfig, TransformerLM
-from repro.infer import GenerationEngine
+from repro.infer import GenerationEngine, SamplingParams
 from repro.lm import FFNLM, make_windows
 from repro.nn import Adam
 from repro.obs import (
@@ -423,7 +423,7 @@ class TestEngineInstrumentation:
 
     def test_request_timing_ordering(self):
         model = self._model()
-        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True))
         for prompt in ([1, 2], [3, 4], [5, 6]):
             engine.submit(prompt, 6)
         results = engine.run()
@@ -446,7 +446,7 @@ class TestEngineInstrumentation:
 
     def test_stats_snapshot(self):
         model = self._model()
-        engine = GenerationEngine(model, batch_size=2, greedy=True)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True))
         for prompt in ([1, 2], [3, 4]):
             engine.submit(prompt, 5)
         engine.run()
@@ -464,7 +464,7 @@ class TestEngineInstrumentation:
     def test_obs_emits_lifecycle(self):
         model = self._model()
         obs = Observability.standard()
-        engine = GenerationEngine(model, batch_size=2, greedy=True, obs=obs)
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True), obs=obs)
         for prompt in ([1, 2], [3, 4], [5, 6]):
             engine.submit(prompt, 4)
         engine.run()
@@ -486,7 +486,8 @@ class TestEngineInstrumentation:
         obs = Observability.standard()
         engine = GenerationEngine(model, batch_size=1,
                                   rng=np.random.default_rng(7),
-                                  temperature=0.9, obs=obs)
+                                  params=SamplingParams(temperature=0.9),
+                                  obs=obs)
         engine.submit(prompt, 10)
         (result,) = engine.run()
         assert result.tokens == ref

@@ -17,7 +17,7 @@ import numpy as np
 import pytest
 
 from repro.core import TransformerConfig, TransformerLM
-from repro.infer import GenerationEngine
+from repro.infer import GenerationEngine, SamplingParams
 from repro.obs import Observability
 from repro.train import train_lm_on_stream
 
@@ -36,7 +36,7 @@ def instrumented_run(tmp_path_factory):
     history = train_lm_on_stream(model, ids, num_steps=_STEPS, batch_size=4,
                                  seq_len=8, obs=obs)
 
-    engine = GenerationEngine(model, batch_size=2, greedy=True, obs=obs)
+    engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True), obs=obs)
     for prompt in ([1, 2, 3], [4, 5, 6]):
         engine.submit(prompt, _MAX_NEW)
     results = engine.run()

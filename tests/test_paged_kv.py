@@ -15,6 +15,7 @@ import pytest
 
 from repro.core import TransformerConfig, TransformerLM
 from repro.infer import (GenerationEngine, PagedKVCache, PagePoolExhausted,
+                         SamplingParams,
                          PromptLimitError)
 
 
@@ -222,25 +223,29 @@ class TestEngineEquivalence:
         prompts = [[1, 2, 3], [4, 5], [6, 7, 8, 9, 1, 2, 3, 4], [2],
                    [3, 1, 4, 1, 5], [9, 8, 7]]
         dense = GenerationEngine(model, batch_size=3, paged=False,
-                                 rng=np.random.default_rng(11), **sampling)
+                                 rng=np.random.default_rng(11),
+                                 params=SamplingParams(**sampling))
         paged = GenerationEngine(model, batch_size=3, paged=True,
-                                 rng=np.random.default_rng(11), **sampling)
+                                 rng=np.random.default_rng(11),
+                                 params=SamplingParams(**sampling))
         assert dense.generate(prompts, 14) == paged.generate(prompts, 14)
 
     def test_paged_bit_identical_with_attention_window(self):
         model = tiny_model(attention_window=6)
         prompts = [[1, 2, 3, 4, 5], [6, 7], [8, 9, 1]]
         dense = GenerationEngine(model, batch_size=2, paged=False,
-                                 rng=np.random.default_rng(3), temperature=1.1)
+                                 rng=np.random.default_rng(3),
+                                 params=SamplingParams(temperature=1.1))
         paged = GenerationEngine(model, batch_size=2, paged=True,
-                                 rng=np.random.default_rng(3), temperature=1.1)
+                                 rng=np.random.default_rng(3),
+                                 params=SamplingParams(temperature=1.1))
         assert dense.generate(prompts, 12) == paged.generate(prompts, 12)
 
     def test_prefix_hits_skip_prefill_same_tokens(self, model):
         """Requests sharing a system prompt hit the cache, run fewer
         steps, and still match the no-cache reference exactly."""
         system = list(np.random.default_rng(0).integers(1, 12, size=40))
-        engine = GenerationEngine(model, batch_size=1, greedy=True,
+        engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True),
                                   kv_page_size=8)
         cold = engine.generate([system + [1]], 6)[0]
         cold_steps = engine.total_steps
@@ -255,7 +260,7 @@ class TestEngineEquivalence:
 
     def test_prefix_cache_off_still_identical(self, model):
         system = [1, 2, 3, 4, 5, 6, 7, 8]
-        engine = GenerationEngine(model, batch_size=1, greedy=True,
+        engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True),
                                   prefix_cache=False)
         for suffix in (1, 2):
             out = engine.generate([system + [suffix]], 5)[0]
@@ -269,7 +274,7 @@ class TestEnginePagePressure:
         """Both sequences fit at admission but outgrow the pool while
         decoding; the youngest is preempted and replayed, and greedy
         trajectories still match the unconstrained reference."""
-        engine = GenerationEngine(model, batch_size=2, greedy=True,
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True),
                                   kv_page_size=4, kv_num_pages=8,
                                   prefix_cache=False)
         prompts = [[1, 2, 3, 4], [5, 6, 7, 8]]
@@ -282,7 +287,7 @@ class TestEnginePagePressure:
     def test_admission_queues_when_pages_short(self, model):
         """A prompt whose pages don't fit right now waits in the queue
         (FIFO preserved) instead of crashing or jumping the line."""
-        engine = GenerationEngine(model, batch_size=2, greedy=True,
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True),
                                   kv_page_size=4, kv_num_pages=3,
                                   prefix_cache=False)
         outs = engine.generate([[1] * 8, [2] * 8, [3] * 8], 3)
@@ -290,14 +295,14 @@ class TestEnginePagePressure:
                         for p in ([1] * 8, [2] * 8, [3] * 8)]
 
     def test_oversized_request_rejected_at_submit(self, model):
-        engine = GenerationEngine(model, batch_size=1, greedy=True,
+        engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True),
                                   kv_page_size=4, kv_num_pages=4)
         with pytest.raises(PromptLimitError) as excinfo:
             engine.submit([1, 2, 3], 20)         # 23 tokens > 16 positions
         assert excinfo.value.limits["kv_num_pages"] == 4
 
     def test_cancel_reclaims_pages(self, model):
-        engine = GenerationEngine(model, batch_size=2, greedy=True,
+        engine = GenerationEngine(model, batch_size=2, params=SamplingParams(greedy=True),
                                   prefix_cache=False)
         rid = engine.submit([1, 2, 3, 4, 5], 20)
         for _ in range(8):
@@ -307,7 +312,7 @@ class TestEnginePagePressure:
         assert engine.cache.used_pages == 0
 
     def test_finished_requests_leave_only_prefix_pages(self, model):
-        engine = GenerationEngine(model, batch_size=1, greedy=True,
+        engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True),
                                   kv_page_size=4)
         engine.generate([[1, 2, 3, 4, 5, 6, 7, 8]], 4)
         # slot reclaimed; the two full prompt pages live on, evictable
@@ -317,7 +322,7 @@ class TestEnginePagePressure:
     def test_eviction_cycle_under_tiny_pool(self, model):
         """Distinct prompts churning a tiny pool force LRU evictions and
         never corrupt decoding."""
-        engine = GenerationEngine(model, batch_size=1, greedy=True,
+        engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True),
                                   kv_page_size=4, kv_num_pages=6)
         for i in range(5):
             prompt = [i + 1] * 8 + [i + 2]
@@ -341,7 +346,7 @@ class TestStatsAndMetrics:
         from repro.obs import Observability
         from repro.obs.metrics import MetricsRegistry
         obs = Observability(metrics=MetricsRegistry())
-        engine = GenerationEngine(model, batch_size=1, greedy=True,
+        engine = GenerationEngine(model, batch_size=1, params=SamplingParams(greedy=True),
                                   kv_page_size=8, obs=obs)
         system = list(np.random.default_rng(1).integers(1, 12, size=16))
         engine.generate([system + [1]], 4)

@@ -16,7 +16,7 @@ import time
 import pytest
 
 from repro.core import TransformerConfig, TransformerLM
-from repro.infer import GenerationEngine
+from repro.infer import GenerationEngine, SamplingParams
 from repro.obs import FlightRecorder, Observability, SLOMonitor, SLOThresholds
 from repro.train import faults
 from repro.serve import (
@@ -55,8 +55,8 @@ def model():
 
 
 def make_worker(model_, batch_size=2, policy=None, **engine_kwargs):
-    engine = GenerationEngine(model_, batch_size=batch_size, greedy=True,
-                              **engine_kwargs)
+    engine_kwargs.setdefault("params", SamplingParams(greedy=True))
+    engine = GenerationEngine(model_, batch_size=batch_size, **engine_kwargs)
     return EngineWorker(engine, policy=policy)
 
 
@@ -190,7 +190,8 @@ class TestEngineWorker:
 
 def serve(model_, batch_size=2, policy=None, obs=None, slo=None, flight=None,
           **engine_kwargs):
-    engine = GenerationEngine(model_, batch_size=batch_size, greedy=True,
+    engine_kwargs.setdefault("params", SamplingParams(greedy=True))
+    engine = GenerationEngine(model_, batch_size=batch_size,
                               obs=obs, **engine_kwargs)
     return InferenceServer(engine, policy=policy, obs=obs, slo=slo,
                            flight=flight)
@@ -246,7 +247,9 @@ class TestHTTPServer:
         assert final["tokens"] == model.generate_fast([2, 4], 7, greedy=True)
 
     def test_stop_token_semantics_over_http(self, model):
-        with serve(model, batch_size=1, stop_token=5) as server:
+        with serve(model, batch_size=1,
+                   params=SamplingParams(greedy=True,
+                                         stop_token=5)) as server:
             client = ServeClient(server.host, server.port)
             default = client.submit([1], 12)
             assert default["tokens"] == \
@@ -657,3 +660,118 @@ class TestPromptLimitParity:
             assert "engine_kv_pages_used" in text
             assert "engine_kv_pages_free" in text
             assert "prefix_cache_miss" in text
+
+
+class TestSamplingOverHTTP:
+    """PR 9: the ``"sampling"`` body object on both submit paths.
+
+    Per-request params must decode exactly as the in-process engine
+    would, the resolved params are echoed back (blocking result and
+    first streaming record), and an invalid object produces the same
+    structured 400 — with a ``params`` dict — whether the client blocks
+    or streams, mirroring the PR 8 ``limits`` parity contract.
+    """
+
+    def test_blocking_sampling_decodes_and_echoes(self, model):
+        with serve(model, batch_size=1) as server:
+            client = ServeClient(server.host, server.port)
+            result = client.submit([1, 2, 3], 8,
+                                   sampling={"greedy": True,
+                                             "stop_token": 5})
+            assert result["tokens"] == model.generate_fast(
+                [1, 2, 3], 8, greedy=True, stop_token=5)
+            echo = result["sampling"]
+            assert echo["greedy"] is True and echo["stop_token"] == 5
+
+    def test_sampling_params_object_accepted_by_client(self, model):
+        with serve(model, batch_size=1) as server:
+            client = ServeClient(server.host, server.port)
+            result = client.submit(
+                [2, 4], 6, sampling=SamplingParams(temperature=0.8,
+                                                   top_k=5, seed=3))
+            assert result["sampling"]["seed"] == 3
+            assert result["sampling"]["top_k"] == 5
+
+    def test_streaming_first_record_echoes_sampling(self, model):
+        with serve(model, batch_size=1) as server:
+            client = ServeClient(server.host, server.port)
+            records = list(client.stream([1], 5,
+                                         sampling={"greedy": True}))
+            assert records[0]["sampling"]["greedy"] is True
+            tokens = [r["token"] for r in records if "token" in r]
+            assert records[-1]["done"] is True
+            assert records[-1]["sampling"]["greedy"] is True
+            ref = model.generate_fast([1], 5, greedy=True)
+            assert tokens == ref[1:]
+
+    def test_seeded_requests_reproduce_over_http(self, model):
+        with serve(model, batch_size=2) as server:
+            client = ServeClient(server.host, server.port)
+            sampling = {"temperature": 1.2, "seed": 42}
+            first = client.submit([1, 2], 8, sampling=sampling)
+            second = client.submit([1, 2], 8, sampling=sampling)
+            assert first["tokens"] == second["tokens"]
+
+    def test_invalid_sampling_identical_400_on_both_paths(self, model):
+        with serve(model, batch_size=1) as server:
+            client = ServeClient(server.host, server.port)
+            bad = {"top_p": 2.0}
+            with pytest.raises(ServeClientError) as blocking:
+                client.submit([1], 4, sampling=bad)
+            with pytest.raises(ServeClientError) as streaming:
+                list(client.stream([1], 4, sampling=bad))
+            assert blocking.value.status == streaming.value.status == 400
+            assert blocking.value.body == streaming.value.body
+            params = blocking.value.body["params"]
+            assert params["field"] == "top_p"
+            assert params["value"] == 2.0
+            assert "top_p" in params["constraint"]
+
+    def test_unknown_sampling_key_rejected(self, model):
+        with serve(model, batch_size=1) as server:
+            client = ServeClient(server.host, server.port)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.submit([1], 4, sampling={"temprature": 0.5})
+            assert excinfo.value.status == 400
+            assert excinfo.value.body["params"]["field"] == "temprature"
+
+    def test_bare_body_keeps_engine_default(self, model):
+        # pre-PR-9 clients sending no "sampling" object see no change
+        with serve(model, batch_size=1) as server:
+            client = ServeClient(server.host, server.port)
+            result = client.submit([1, 2, 3], 6)
+            assert result["tokens"] == model.generate_fast(
+                [1, 2, 3], 6, greedy=True)
+            assert result["sampling"]["greedy"] is True
+
+
+class TestSpeculativeOverHTTP:
+    def test_speculative_engine_serves_identical_tokens(self, model):
+        """A speculative engine behind the HTTP stack returns the same
+        greedy tokens and exposes acceptance counters on /v1/stats."""
+        import numpy as np
+
+        from repro.infer import SpeculativeConfig
+        from repro.lm import LanguageModelDraft, NGramLM
+        from repro.obs.metrics import MetricsRegistry
+
+        prompts = [[1, 2, 3], [4, 5]]
+        refs = [model.generate_fast(p, 12, greedy=True) for p in prompts]
+        ngram = NGramLM(vocab_size=model.config.vocab_size, order=4,
+                        add_k=0.01)
+        for seq in refs:
+            ngram.fit(np.asarray(seq, dtype=np.int64))
+        spec = SpeculativeConfig(draft=LanguageModelDraft(ngram), k=4)
+        obs = Observability(metrics=MetricsRegistry())
+        with serve(model, batch_size=2, speculative=spec,
+                   obs=obs) as server:
+            client = ServeClient(server.host, server.port)
+            for prompt, ref in zip(prompts, refs):
+                assert client.submit(prompt, 12)["tokens"] == ref
+            stats = client.stats()["spec"]
+            assert stats["proposed"] > 0
+            assert stats["accepted"] > 0
+            assert stats["accepted_tokens_per_step"] > 0
+            text = client.metrics()
+            assert "engine_spec_accepted" in text
+            assert "engine_spec_accepted_tokens_per_step" in text
