@@ -81,9 +81,12 @@ def provenance(config: dict | None = None) -> dict:
 
     import numpy as np
 
+    from repro.dtypes import default_dtype
+
     return {
         "git_sha": _git_sha(),
         "repro_scale": scale(),
+        "dtype": default_dtype().name,
         "numpy_version": np.__version__,
         "python_version": platform.python_version(),
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),

@@ -33,12 +33,19 @@ speedups.  The draft is fit on the baseline's own greedy outputs
 from any external corpus, so this mirrors the deployed setup where the
 draft approximates the target, not the data.
 
+A ``dtype`` phase compares the same greedy decode workload on a float32
+model (``TransformerConfig(dtype="float32")``) against the float64
+default: the KV pool follows the model's parameter dtype, so the phase
+reports both the decode tokens/sec ratio (``dtype_speedup_f32``) and the
+KV-bytes ratio (``kv_bytes_saving_ratio`` ~= 2.0) — both regression-
+gated, so the float32 path cannot silently lose its wins.
+
 ``--smoke`` runs a seconds-scale configuration and asserts the batched
 engine at full batch is at least as fast as the single stream, the
-paged backend saves >=2x KV memory per request, warm requests hit
-the prefix cache, and speculative decoding cuts model steps while
-staying bit-identical; the tier-1 test suite invokes it so decode-path
-perf and KV-memory regressions fail loudly.
+paged backend saves >=2x KV memory per request, float32 halves KV
+bytes, warm requests hit the prefix cache, and speculative decoding
+cuts model steps while staying bit-identical; the tier-1 test suite
+invokes it so decode-path perf and KV-memory regressions fail loudly.
 """
 
 import argparse
@@ -61,13 +68,15 @@ _NUM_PROMPTS = 8
 _PROMPT_LEN = 8
 
 
-def _build(smoke: bool) -> tuple[TransformerLM, list[list[int]], int]:
+def _build(smoke: bool,
+           dtype: str | None = None) -> tuple[TransformerLM, list[list[int]], int]:
     cfg = TransformerConfig(
         vocab_size=64,
         max_seq_len=96 if smoke else 160,
         d_model=32 if smoke else 64,
         num_heads=4,
         num_layers=2 if smoke else 4,
+        dtype=dtype,
     )
     model = TransformerLM(cfg, rng=0)
     rng = np.random.default_rng(1)
@@ -220,6 +229,46 @@ def _speculative_phase(model, smoke: bool) -> dict:
     }
 
 
+def _dtype_phase(model_f64, prompts, max_new, smoke: bool) -> dict:
+    """Float32 vs float64 decode: tokens/sec and KV pool bytes.
+
+    Builds a float32 twin of the bench model from the same config and
+    seed (initializers draw in float64 and cast, so the parameters are
+    the same numbers rounded) and decodes the same prompt set greedily
+    on both.  The KV pool follows the model's parameter dtype via
+    :func:`repro.infer.kv_value_dtype`, so the bytes ratio is exactly
+    the itemsize ratio — 2.0 — while the pool geometry (pages, slots)
+    is unchanged.  Greedy outputs are *recorded* as matching or not but
+    deliberately not asserted: argmax ties may legitimately break
+    differently at single precision.
+    """
+    model_f32, _, _ = _build(smoke, dtype="float32")
+    batch = len(prompts)
+
+    def _decode(model):
+        engine = GenerationEngine(model, batch_size=batch, params=_GREEDY)
+        start = time.perf_counter()
+        out = engine.generate(prompts, max_new)
+        seconds = time.perf_counter() - start
+        cache = engine.cache
+        return out, seconds, cache.peak_pages_used * cache.page_bytes, cache
+
+    out64, s64, bytes64, cache64 = _decode(model_f64)
+    out32, s32, bytes32, cache32 = _decode(model_f32)
+    generated = sum(len(o) for o in out64) - batch * _PROMPT_LEN
+    return {
+        "batch_size": batch,
+        "generated_tokens": generated,
+        "float64": {"seconds": s64, "tokens_per_sec": generated / s64,
+                    "kv_peak_bytes": bytes64, "kv_dtype": cache64.dtype.name},
+        "float32": {"seconds": s32, "tokens_per_sec": generated / s32,
+                    "kv_peak_bytes": bytes32, "kv_dtype": cache32.dtype.name},
+        "dtype_speedup_f32": s64 / s32,
+        "kv_bytes_saving_ratio": bytes64 / bytes32,
+        "greedy_tokens_match": out32 == out64,
+    }
+
+
 def run(smoke: bool = False, obs: Observability | None = None) -> dict:
     model, prompts, max_new = _build(smoke)
     generated = len(prompts) * max_new
@@ -266,6 +315,7 @@ def run(smoke: bool = False, obs: Observability | None = None) -> dict:
         "memory": _memory_phase(model, prompts, max_new),
         "prefix": _prefix_phase(model),
         "speculative": _speculative_phase(model, smoke),
+        "dtype": _dtype_phase(model, prompts, max_new, smoke),
     }
 
 
@@ -327,6 +377,20 @@ def report(result: dict) -> str:
         f"{spec['spec_speedup']:.1f}x tokens/sec, "
         f"{spec['step_speedup']:.1f}x fewer model steps, "
         f"bit-identical outputs")
+    dtype = result["dtype"]
+    lines.append(banner("Dtype policy — float32 vs float64 decode"))
+    lines.append(fmt_table(
+        ["dtype", "seconds", "tokens/sec", "peak KV bytes"],
+        [["float64", dtype["float64"]["seconds"],
+          dtype["float64"]["tokens_per_sec"],
+          dtype["float64"]["kv_peak_bytes"]],
+         ["float32", dtype["float32"]["seconds"],
+          dtype["float32"]["tokens_per_sec"],
+          dtype["float32"]["kv_peak_bytes"]]]))
+    lines.append(
+        f"float32 decodes {dtype['dtype_speedup_f32']:.2f}x faster with "
+        f"{dtype['kv_bytes_saving_ratio']:.1f}x lower peak KV bytes; greedy "
+        f"tokens {'match' if dtype['greedy_tokens_match'] else 'differ (argmax ties)'}")
     return "\n".join(lines)
 
 
@@ -356,6 +420,9 @@ def test_inference_throughput(benchmark):
     assert spec["bit_identical_to_baseline"]
     assert spec["step_speedup"] >= 1.5
     assert spec["accepted_tokens_per_step"] >= 1.0
+    # Dtype policy acceptance: the float32 KV pool must hold exactly half
+    # the bytes of the float64 pool (deterministic — itemsize ratio).
+    assert result["dtype"]["kv_bytes_saving_ratio"] == 2.0
 
 
 def main(argv=None) -> int:
@@ -400,10 +467,15 @@ def main(argv=None) -> int:
                   f"<1.5x model steps ({spec['step_speedup']:.2f}x)",
                   file=sys.stderr)
             return 1
+        if result["dtype"]["kv_bytes_saving_ratio"] != 2.0:
+            print("SMOKE FAIL: float32 KV pool is not half the float64 pool",
+                  file=sys.stderr)
+            return 1
         print("SMOKE OK: batched >= sequential tokens/sec, "
               f"{result['memory']['memory_saving_ratio']:.1f}x KV saving, "
               f"{prefix['step_speedup']:.1f}x prefill-step win on cache hits, "
-              f"{spec['step_speedup']:.1f}x speculative step win")
+              f"{spec['step_speedup']:.1f}x speculative step win, "
+              f"float32 halves KV bytes")
     return 0
 
 

@@ -7,8 +7,11 @@ matched by key name: throughput-style (``tokens_per_sec``,
 ``throughput``) and efficiency ratios (``*speedup*``,
 ``*saving_ratio*``, ``*hit_rate*``, ``*accepted_tokens_per_step*``,
 ``*acceptance_rate*``) are higher-is-better; KV-memory capacity leaves
-(``*bytes_per_request*``) are lower-is-better and fail when they *grow*
-past the threshold.
+(``*bytes_per_request*``, ``*kv_peak_bytes*``) are lower-is-better and
+fail when they *grow* past the threshold.  The PR 10 dtype-policy
+metrics ride on those same tags: ``dtype_speedup_f32`` and
+``kv_bytes_saving_ratio`` gate higher-is-better, so the float32 compute
+path cannot silently lose its throughput or memory win.
 Metric identity is the JSON path, so the two records must come from the
 same bench; the tool refuses to compare different ``bench`` names or a
 ``--smoke`` record against a full one (override with ``--allow-mixed``
@@ -40,7 +43,7 @@ THROUGHPUT_TAGS = ("tokens_per_sec", "throughput", "tok_per_s")
 RATIO_TAGS = ("speedup", "saving_ratio", "hit_rate",
               "accepted_tokens_per_step", "acceptance_rate")
 # lower-is-better capacity metrics: fail when they *grow* past threshold
-LOWER_BETTER_TAGS = ("bytes_per_request",)
+LOWER_BETTER_TAGS = ("bytes_per_request", "kv_peak_bytes")
 # top-level subtrees that never carry comparable metrics
 SKIP_SUBTREES = ("provenance", "model")
 

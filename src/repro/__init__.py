@@ -3,6 +3,7 @@
 Subpackages
 -----------
 - ``repro.autograd``      reverse-mode autodiff over NumPy
+- ``repro.dtypes``        process-wide compute dtype policy (float32/float64)
 - ``repro.nn``            layers, initializers, optimizers, LR schedules
 - ``repro.data``          vocabularies, tokenizers, batching, synthetic corpora
 - ``repro.lm``            §5 simpler LMs (unigram, N-gram, FFN, RNN, LSTM)
@@ -54,6 +55,7 @@ from . import (
 )
 from .autograd import Tensor, no_grad
 from .core import TransformerConfig, TransformerLM, TransformerRegressor
+from .dtypes import default_dtype, dtype_scope, resolve_dtype, set_default_dtype
 from .data import BPETokenizer, CharTokenizer, Corpus, Vocabulary, WordTokenizer
 from .infer import GenerationEngine, KVCache
 from .lm import FFNLM, LSTMLM, RNNLM, InterpolatedNGramLM, LanguageModel, NGramLM, UnigramLM
@@ -81,6 +83,10 @@ __all__ = [
     "benchsuite",
     "Tensor",
     "no_grad",
+    "default_dtype",
+    "set_default_dtype",
+    "dtype_scope",
+    "resolve_dtype",
     "TransformerConfig",
     "TransformerLM",
     "TransformerRegressor",

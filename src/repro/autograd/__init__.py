@@ -1,5 +1,6 @@
 """Reverse-mode autodiff over NumPy: the substrate behind every model here."""
 
+from ..dtypes import default_dtype, dtype_scope, resolve_dtype, set_default_dtype
 from .functional import (
     cross_entropy,
     dropout,
@@ -30,6 +31,10 @@ __all__ = [
     "where",
     "no_grad",
     "is_grad_enabled",
+    "default_dtype",
+    "set_default_dtype",
+    "dtype_scope",
+    "resolve_dtype",
     "softmax",
     "log_softmax",
     "cross_entropy",

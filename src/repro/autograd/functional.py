@@ -5,6 +5,12 @@ layer norm, GELU, dropout) whose analytic backward passes are both faster
 and numerically better behaved than chaining the primitive ops.  Each
 matches its standard deep-learning definition; softmax is the "Boltzmann
 distribution" of the paper's Eq. 8.
+
+Dtype policy: every op here computes in the activation dtype, but softmax
+denominators and attention normalisers are *accumulated* in float64 via
+:func:`repro.dtypes.f64_sum` even when activations are float32 — for
+float64 inputs that helper is bit-identical to a plain ``sum``, so the
+seed float64 behaviour is unchanged.
 """
 
 from __future__ import annotations
@@ -13,13 +19,14 @@ import math
 
 import numpy as np
 
+from ..dtypes import f64_sum
 from .tensor import Tensor
 
 
 def _softmax_data(x: np.ndarray, axis: int) -> np.ndarray:
     shifted = x - x.max(axis=axis, keepdims=True)
     e = np.exp(shifted)
-    return e / e.sum(axis=axis, keepdims=True)
+    return e / f64_sum(e, axis=axis, keepdims=True)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -36,7 +43,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    lse = np.log(f64_sum(np.exp(shifted), axis=axis, keepdims=True))
     out = shifted - lse
     probs = np.exp(out)
 
@@ -66,7 +73,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") 
         raise ValueError("target index out of range")
 
     shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
-    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    lse = np.log(f64_sum(np.exp(shifted), axis=1, keepdims=True))
     log_probs = shifted - lse
     nll = -log_probs[np.arange(n), flat_targets]
 
@@ -145,7 +152,9 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
         raise ValueError("dropout probability must be in [0, 1)")
     if not training or p == 0.0:
         return x
-    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    # The float64 draw keeps the RNG stream dtype-independent; the mask is
+    # cast afterwards so float32 activations are not upcast by the multiply.
+    mask = ((rng.random(x.shape) >= p) / (1.0 - p)).astype(x.data.dtype, copy=False)
 
     def backward(g, emit):
         emit(x, g * mask, True)
@@ -259,6 +268,12 @@ def fused_attention(
     qh = q.data.reshape(b, t, num_heads, hd).transpose(0, 2, 1, 3)
     kh = k.data.reshape(b, t, num_heads, hd).transpose(0, 2, 1, 3)
     vh = v.data.reshape(b, t, num_heads, hd).transpose(0, 2, 1, 3)
+    # Round the scale to the activation dtype up front.  The composed
+    # path multiplies by a scalar already cast to the score dtype; an
+    # in-place ``*=`` with a float64 scalar would instead compute each
+    # product in float64 and round once at the end — a 1-ulp difference
+    # that breaks fused==composed bit-identity in float32.
+    scale = qh.dtype.type(scale)
 
     if block_size is None:
         out, ctx = _attention_forward_dense(qh, kh, vh, mask, scale, (b, t, c))
@@ -288,7 +303,7 @@ def _attention_forward_dense(qh, kh, vh, mask, scale, btc):
         scores += mask
     scores -= scores.max(axis=-1, keepdims=True)
     np.exp(scores, out=scores)
-    scores /= scores.sum(axis=-1, keepdims=True)
+    scores /= f64_sum(scores, axis=-1, keepdims=True)
     probs = scores
     out = (probs @ vh).transpose(0, 2, 1, 3).reshape(b, t, c)
     return out, probs
@@ -334,18 +349,23 @@ def _attention_forward_blocked(qh, kh, vh, mask, scale, block, btc):
     threshold (the upper triangle, or outside a local window) are never
     formed.  Saves the per-row logsumexp and the merged output for the
     recomputation backward.
+
+    Tile math runs in the activation dtype, but the running normaliser
+    ``norm`` (and the saved logsumexp) accumulate in float64 regardless —
+    the streaming rescale compounds rounding error otherwise.  For
+    float64 activations every step below is bit-identical to the seed.
     """
     b, t, c = btc
     hd = qh.shape[-1]
     h = qh.shape[1]
-    out_h = np.empty((b, h, t, hd))
+    out_h = np.empty((b, h, t, hd), dtype=qh.dtype)
     lse = np.empty((b, h, t))
     for i0 in range(0, t, block):
         i1 = min(i0 + block, t)
         qi = qh[:, :, i0:i1, :]
-        m = np.full((b, h, i1 - i0, 1), -np.inf)
+        m = np.full((b, h, i1 - i0, 1), -np.inf, dtype=qh.dtype)
         norm = np.zeros((b, h, i1 - i0, 1))
-        acc = np.zeros((b, h, i1 - i0, hd))
+        acc = np.zeros((b, h, i1 - i0, hd), dtype=qh.dtype)
         for j0 in range(0, t, block):
             j1 = min(j0 + block, t)
             mblk = None
@@ -360,7 +380,8 @@ def _attention_forward_blocked(qh, kh, vh, mask, scale, block, btc):
             m_new = np.maximum(m, s.max(axis=-1, keepdims=True))
             p = np.exp(s - m_new)
             correction = np.exp(m - m_new)
-            norm = norm * correction + p.sum(axis=-1, keepdims=True)
+            norm = norm * correction + p.sum(axis=-1, keepdims=True,
+                                             dtype=np.float64)
             acc = acc * correction + p @ vh[:, :, j0:j1, :]
             m = m_new
         out_h[:, :, i0:i1, :] = acc / norm
@@ -388,11 +409,15 @@ def _attention_backward_blocked(q, k, v, qh, kh, vh, mask, ctx, scale,
         dq = np.zeros_like(qh)
         dk = np.zeros_like(kh)
         dv = np.zeros_like(vh)
+        # The saved logsumexp is float64; cast it once to the activation
+        # dtype so ``exp(s - lse)`` does not upcast float32 tiles (for
+        # float64 activations the cast is a no-op view).
+        lse_act = lse if qh.dtype == np.float64 else lse.astype(qh.dtype)
         for i0 in range(0, t, block):
             i1 = min(i0 + block, t)
             qi = qh[:, :, i0:i1, :]
             gi = gh[:, :, i0:i1, :]
-            lse_i = lse[:, :, i0:i1, None]
+            lse_i = lse_act[:, :, i0:i1, None]
             dot_i = row_dot[:, :, i0:i1, :]
             for j0 in range(0, t, block):
                 j1 = min(j0 + block, t)

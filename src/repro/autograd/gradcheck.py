@@ -1,4 +1,12 @@
-"""Finite-difference gradient verification for the autograd engine."""
+"""Finite-difference gradient verification for the autograd engine.
+
+This module is pinned to float64 regardless of the process dtype policy:
+central differences with ``eps=1e-6`` are meaningless at float32
+precision (the perturbation drowns in rounding error), so
+:func:`numerical_gradient` rejects lower-precision inputs loudly instead
+of producing garbage comparisons.  Build gradcheck inputs with
+``Tensor(x, dtype="float64")`` or outside any float32 scope.
+"""
 
 from __future__ import annotations
 
@@ -16,6 +24,12 @@ def numerical_gradient(
     eps: float = 1e-6,
 ) -> np.ndarray:
     """Central-difference gradient of ``fn(*inputs).sum()`` w.r.t. one input."""
+    for pos, t in enumerate(inputs):
+        if t.data.dtype != np.float64:
+            raise TypeError(
+                f"gradcheck requires float64 inputs; input {pos} is "
+                f"{t.data.dtype.name} (finite differences at eps={eps} are "
+                "not meaningful below float64 precision)")
     target = inputs[index]
     grad = np.zeros_like(target.data)
     flat = target.data.reshape(-1)

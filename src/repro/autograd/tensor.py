@@ -9,8 +9,13 @@ Only the primitives needed by the rest of the library are implemented, but
 each one supports full NumPy broadcasting; gradients of broadcast operands
 are reduced back to the operand's shape (see :func:`_unbroadcast`).
 
-All arrays are kept in ``float64`` so that the finite-difference checks in
-:mod:`repro.autograd.gradcheck` are meaningful.
+Arrays follow the process dtype policy (:mod:`repro.dtypes`): float64 by
+default — so the finite-difference checks in
+:mod:`repro.autograd.gradcheck` stay meaningful — with an opt-in float32
+path for the bandwidth-bound training and decode hot loops.  A
+:class:`Tensor` built from an existing float32/float64 array keeps that
+array's dtype (and aliasing); anything else is cast to the active
+default.  Gradients are accumulated in the tensor's own dtype.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ import contextlib
 from typing import Callable, Iterable, Sequence, Union
 
 import numpy as np
+
+from ..dtypes import SUPPORTED_DTYPES, default_dtype, resolve_dtype
 
 Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
 
@@ -77,18 +84,31 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a ``numpy.ndarray``; converted to float64.
+        Anything convertible to a ``numpy.ndarray``.  Arrays already in a
+        supported compute dtype (float32/float64) are kept as-is — no
+        copy, no cast — so models built under a ``dtype_scope`` thread
+        their dtype through every downstream op.  Anything else (python
+        scalars, lists, integer arrays) is cast to the policy default.
     requires_grad:
         If True, gradients are accumulated into ``self.grad`` during
         :meth:`backward`.
+    dtype:
+        Optional explicit override; wins over both the array's own dtype
+        and the policy default.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
 
-    def __init__(self, data: Arrayish, requires_grad: bool = False):
+    def __init__(self, data: Arrayish, requires_grad: bool = False, dtype=None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        if dtype is not None:
+            self.data = np.asarray(data, dtype=resolve_dtype(dtype))
+        else:
+            arr = np.asarray(data)
+            if arr.dtype not in SUPPORTED_DTYPES:
+                arr = arr.astype(default_dtype())
+            self.data = arr
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
@@ -166,7 +186,7 @@ class Tensor:
         makes the in-place ``+=`` on subsequent contributions safe.
         """
         if self.grad is None:
-            self.grad = grad if owned else np.array(grad, dtype=np.float64)
+            self.grad = grad if owned else np.array(grad, dtype=self.data.dtype)
         else:
             self.grad += grad
 
@@ -184,7 +204,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("backward() without grad requires a scalar tensor")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ValueError(
                 f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}"
@@ -274,7 +294,7 @@ class Tensor:
     # Arithmetic primitives
     # ------------------------------------------------------------------
     def __add__(self, other: Arrayish) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, self.data.dtype)
         data = self.data + other.data
 
         def backward(g, emit):
@@ -292,13 +312,13 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other: Arrayish) -> "Tensor":
-        return self + (-as_tensor(other))
+        return self + (-as_tensor(other, self.data.dtype))
 
     def __rsub__(self, other: Arrayish) -> "Tensor":
-        return as_tensor(other) + (-self)
+        return as_tensor(other, self.data.dtype) + (-self)
 
     def __mul__(self, other: Arrayish) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, self.data.dtype)
         data = self.data * other.data
 
         def backward(g, emit):
@@ -310,7 +330,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: Arrayish) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, self.data.dtype)
         data = self.data / other.data
 
         def backward(g, emit):
@@ -320,7 +340,7 @@ class Tensor:
         return Tensor._make(data, (self, other), backward)
 
     def __rtruediv__(self, other: Arrayish) -> "Tensor":
-        return as_tensor(other) / self
+        return as_tensor(other, self.data.dtype) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
@@ -436,7 +456,7 @@ class Tensor:
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis)
                 expanded = np.expand_dims(data, axis)
-            mask = (self.data == expanded).astype(np.float64)
+            mask = (self.data == expanded).astype(self.data.dtype)
             # Split gradient evenly among ties, matching subgradient choice.
             mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             emit(self, g * mask, True)
@@ -538,10 +558,19 @@ def _is_basic_index(index) -> bool:
     )
 
 
-def as_tensor(value: Arrayish) -> Tensor:
-    """Coerce ``value`` to a (non-grad-requiring) :class:`Tensor`."""
+def as_tensor(value: Arrayish, dtype=None) -> Tensor:
+    """Coerce ``value`` to a (non-grad-requiring) :class:`Tensor`.
+
+    ``dtype`` applies only when ``value`` is a bare scalar: the binary
+    ops pass their own dtype here so ``x * 0.5`` stays float32 for a
+    float32 ``x`` — wrapping the scalar as a float64 0-d *array* would
+    otherwise upcast the whole expression under NumPy's promotion
+    rules.  Arrays and existing tensors keep their own dtype.
+    """
     if isinstance(value, Tensor):
         return value
+    if dtype is not None and np.isscalar(value):
+        return Tensor(value, dtype=dtype)
     return Tensor(value)
 
 
@@ -575,7 +604,9 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 
 def where(condition: np.ndarray, a: Arrayish, b: Arrayish) -> Tensor:
     """Elementwise select; ``condition`` is a constant boolean array."""
-    a, b = as_tensor(a), as_tensor(b)
+    like = a if isinstance(a, Tensor) else b if isinstance(b, Tensor) else None
+    peer = like.data.dtype if like is not None else None
+    a, b = as_tensor(a, peer), as_tensor(b, peer)
     cond = np.asarray(condition, dtype=bool)
     data = np.where(cond, a.data, b.data)
 

@@ -13,19 +13,23 @@ import numpy as np
 
 from ..autograd import Tensor, fused_attention, softmax, split3
 from ..autograd.functional import dropout as dropout_fn
+from ..dtypes import f64_sum
 from ..nn import Linear, Module
 
 _MASK_VALUE = -1e9
 
-# Mask arrays keyed by (seq_len, window).  Every layer of every forward
-# used to rebuild the same (T, T) float64 triangle; masks are small and
-# few distinct (seq_len, window) pairs occur in a run, so cache them as
-# read-only arrays.  Bounded so pathological callers can't grow it forever.
-_MASK_CACHE: dict[tuple[int, int | None], np.ndarray] = {}
+# Mask arrays keyed by (seq_len, window, dtype).  Every layer of every
+# forward used to rebuild the same (T, T) triangle; masks are small and
+# few distinct keys occur in a run, so cache them as read-only arrays.
+# The dtype is part of the key so a float32 model gets a float32 mask —
+# adding a float64 mask to float32 scores would upcast the whole score
+# tensor.  Bounded so pathological callers can't grow it forever.
+_MASK_CACHE: dict[tuple[int, int | None, str], np.ndarray] = {}
 _MASK_CACHE_MAX = 64
 
 
-def causal_mask(seq_len: int, window: int | None = None) -> np.ndarray:
+def causal_mask(seq_len: int, window: int | None = None,
+                dtype=np.float64) -> np.ndarray:
     """Additive (1, 1, T, T) mask: 0 on allowed pairs, -1e9 elsewhere.
 
     Implements the j <= i restriction of Eq. 13 that makes the model
@@ -35,18 +39,23 @@ def causal_mask(seq_len: int, window: int | None = None) -> np.ndarray:
     fix for the O(L^2) cost; compute here stays dense (NumPy), but the
     *connectivity* matches.
 
-    Results are cached per ``(seq_len, window)`` and returned as shared
-    **read-only** arrays — do not mutate; copy first if you must.
+    ``dtype`` should match the scores the mask is added to (-1e9 is
+    exactly representable in float32, so masking semantics are identical
+    at either precision).  Results are cached per
+    ``(seq_len, window, dtype)`` and returned as shared **read-only**
+    arrays — do not mutate; copy first if you must.
     """
     if window is not None and window < 1:
         raise ValueError("attention window must be >= 1")
-    key = (seq_len, window)
+    dtype = np.dtype(dtype)
+    key = (seq_len, window, dtype.str)
     cached = _MASK_CACHE.get(key)
     if cached is not None:
         return cached
-    mask = np.triu(np.full((seq_len, seq_len), _MASK_VALUE), k=1)
+    mask = np.triu(np.full((seq_len, seq_len), _MASK_VALUE, dtype=dtype), k=1)
     if window is not None:
-        mask += np.tril(np.full((seq_len, seq_len), _MASK_VALUE), k=-window)
+        mask += np.tril(np.full((seq_len, seq_len), _MASK_VALUE, dtype=dtype),
+                        k=-window)
     mask = mask[None, None, :, :]
     mask.setflags(write=False)
     if len(_MASK_CACHE) >= _MASK_CACHE_MAX:
@@ -108,7 +117,8 @@ class MultiHeadSelfAttention(Module):
             and not (self.training and self.dropout_p > 0.0)
         )
         mask = (
-            causal_mask(seq_len, window=self.window) if self.causal else None
+            causal_mask(seq_len, window=self.window, dtype=qkv.data.dtype)
+            if self.causal else None
         )
         if use_fused:
             q, k, v = split3(qkv, axis=-1)
@@ -179,12 +189,14 @@ class MultiHeadSelfAttention(Module):
             mask = None
         else:
             keys, values, mask = state.append(k, v)
-        scores = np.einsum("bhd,bhtd->bht", q, keys) / np.sqrt(self.head_dim)
+        # float(): a np.float64 divisor would upcast float32 scores (NEP 50
+        # keeps numpy scalars strong); a Python float follows the array.
+        scores = np.einsum("bhd,bhtd->bht", q, keys) / float(np.sqrt(self.head_dim))
         if mask is not None:
             scores = scores + mask[:, None, :]
         scores -= scores.max(axis=-1, keepdims=True)
         exp = np.exp(scores)
-        attn = exp / exp.sum(axis=-1, keepdims=True)
+        attn = exp / f64_sum(exp, axis=-1, keepdims=True)
         out = np.einsum("bht,bhtd->bhd", attn, values)
         out = out.reshape(batch, self.d_model)
         out = out @ self.proj.weight.data + self.proj.bias.data

@@ -35,6 +35,7 @@ class TransformerConfig:
     attention_window: int | None = None  # local/sparse attention span (None = full)
     fused: bool = True             # fused-attention kernel (vs composed ops)
     attention_block_size: int | None = None  # flash-style row-block size (None = dense)
+    dtype: str | None = None       # "float32" | "float64" | None (= policy default)
 
     def __post_init__(self) -> None:
         if self.d_ff is None:
@@ -51,6 +52,9 @@ class TransformerConfig:
             raise ValueError("attention_window must be >= 1 when set")
         if self.attention_block_size is not None and self.attention_block_size < 1:
             raise ValueError("attention_block_size must be >= 1 when set")
+        if self.dtype is not None and self.dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"dtype must be 'float32', 'float64', or None, got {self.dtype!r}")
 
     @property
     def head_dim(self) -> int:

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..autograd import Tensor, cross_entropy, no_grad
 from ..autograd.functional import dropout as dropout_fn
+from ..dtypes import dtype_scope
 from ..lm.base import LanguageModel
 from ..nn import Embedding, LayerNorm, Linear, Module
 from .blocks import TransformerBlock
@@ -41,16 +42,20 @@ class TransformerLM(Module, LanguageModel):
             rng = np.random.default_rng(rng)
         self.config = config
         self.vocab_size = config.vocab_size
-        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng)
-        if config.positional == "learned":
-            self.positional = LearnedPositional(config.max_seq_len, config.d_model, rng)
-        elif config.positional == "sinusoidal":
-            self.positional = SinusoidalPositional(config.max_seq_len, config.d_model)
-        else:
-            self.positional = NoPositional()
-        self.blocks = [TransformerBlock(config, rng) for _ in range(config.num_layers)]
-        self.final_norm = LayerNorm(config.d_model)
-        self.lm_head = Linear(config.d_model, config.vocab_size, rng, bias=False)
+        # ``config.dtype`` scopes construction only: parameters are drawn
+        # in float64 (identical RNG stream) and cast once, and every
+        # forward/decode then follows the parameter dtype naturally.
+        with dtype_scope(config.dtype):
+            self.token_embedding = Embedding(config.vocab_size, config.d_model, rng)
+            if config.positional == "learned":
+                self.positional = LearnedPositional(config.max_seq_len, config.d_model, rng)
+            elif config.positional == "sinusoidal":
+                self.positional = SinusoidalPositional(config.max_seq_len, config.d_model)
+            else:
+                self.positional = NoPositional()
+            self.blocks = [TransformerBlock(config, rng) for _ in range(config.num_layers)]
+            self.final_norm = LayerNorm(config.d_model)
+            self.lm_head = Linear(config.d_model, config.vocab_size, rng, bias=False)
         self.dropout_p = config.dropout
         self._rng = rng
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor
+from ..dtypes import default_dtype
 from ..nn import Embedding, Module
 
 
@@ -38,7 +39,10 @@ class SinusoidalPositional(Module):
 
     def __init__(self, max_len: int, dim: int):
         super().__init__()
-        self._table = sinusoidal_positions(max_len, dim)
+        # Built in float64 (the trig math), stored in the policy dtype so
+        # the add in ``forward`` never upcasts float32 embeddings.
+        self._table = np.asarray(sinusoidal_positions(max_len, dim),
+                                 dtype=default_dtype())
         self.max_len = max_len
 
     def forward(self, x: Tensor) -> Tensor:

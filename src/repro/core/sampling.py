@@ -11,6 +11,13 @@ batched forms are what the ``repro.infer`` engine uses to sample one token
 for every active sequence per decode step.  ``sample_token`` consumes
 exactly one uniform draw per row, in row order, so a batch of one is
 bit-identical to the single-sequence path under the same RNG state.
+
+Sampling is deliberately **pinned to float64** regardless of the process
+dtype policy: logits are upcast on entry (see ``_as_logit_array``), so
+probability normalisation, top-k/top-p cutoffs, and the inverse-CDF draw
+behave identically whether the model computed in float32 or float64.
+This keeps RNG consumption dtype-independent; the upcast of one (B, V)
+row per step is noise next to the decode matmuls it follows.
 """
 
 from __future__ import annotations

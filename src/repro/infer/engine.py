@@ -282,6 +282,11 @@ class GenerationEngine:
         self._g_pages_free = metrics.gauge("engine.kv_pages_free")
         self._g_pages_used = metrics.gauge("engine.kv_pages_used")
         self._g_pages_shared = metrics.gauge("engine.kv_pages_shared")
+        # Byte gauges computed from the pool's actual itemsize (a float32
+        # cache reports half the bytes of a float64 one), never an
+        # assumed 8 bytes per element.
+        self._g_kv_bytes_pool = metrics.gauge("engine.kv_bytes_pool")
+        self._g_kv_bytes_in_use = metrics.gauge("engine.kv_bytes_in_use")
         self._c_preempt = metrics.counter("engine.preemptions")
         self._c_prefix_hit = metrics.counter("prefix_cache.hit")
         self._c_prefix_miss = metrics.counter("prefix_cache.miss")
@@ -946,7 +951,9 @@ class GenerationEngine:
         """
         self._g_active.set(self.num_active)
         self._g_queue.set(len(self._queue))
+        self._g_kv_bytes_pool.set(self.cache.nbytes)
         if self._paged:
+            self._g_kv_bytes_in_use.set(self.cache.bytes_in_use)
             self._g_pages_free.set(self.cache.free_pages)
             self._g_pages_used.set(self.cache.used_pages)
             self._g_pages_shared.set(self.cache.shared_pages)
@@ -1028,7 +1035,9 @@ class GenerationEngine:
             kv = self.cache.stats()
             kv["preemptions"] = self.preemptions
         else:
-            kv = {"backend": "dense", "kv_bytes_pool": self.cache.nbytes}
+            kv = {"backend": "dense",
+                  "dtype": self.cache.dtype.name,
+                  "kv_bytes_pool": self.cache.nbytes}
         spec = None
         if self.spec is not None:
             spec = {
@@ -1046,6 +1055,7 @@ class GenerationEngine:
             }
         out = {
             "batch_size": self.batch_size,
+            "dtype": self.cache.dtype.name,
             "active_slots": self.num_active,
             "queue_depth": self.num_queued,
             "total_steps": self.total_steps,

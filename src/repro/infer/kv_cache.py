@@ -33,9 +33,29 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..dtypes import resolve_dtype
+
+
+def kv_value_dtype(model=None, dtype=None) -> np.dtype:
+    """The single policy point for KV pool *value* dtype (both backends).
+
+    Resolution order: an explicit ``dtype`` argument wins; otherwise the
+    ``model``'s parameter dtype (so a float32 model gets a float32 pool —
+    half the KV bytes per page/slot); otherwise the process policy
+    default.  Dense :class:`KVCache` and :class:`~repro.infer.PagedKVCache`
+    both route through here so the two backends cannot drift.  Index and
+    bookkeeping arrays (lengths, block tables, free lists, refcounts)
+    stay int64 regardless — they hold positions, not activations.
+    """
+    if dtype is not None:
+        return resolve_dtype(dtype)
+    if model is not None and hasattr(model, "param_dtype"):
+        return model.param_dtype()
+    return resolve_dtype(None)
+
 
 def ragged_key_mask(new_lens: np.ndarray, lo: int, t_max: int,
-                    window: int | None) -> np.ndarray | None:
+                    window: int | None, dtype=np.float64) -> np.ndarray | None:
     """Additive ``(n, t_max - lo)`` key mask for rows at mixed lengths.
 
     Returns ``None`` when every row sits at ``t_max`` (uniform lengths
@@ -43,7 +63,9 @@ def ragged_key_mask(new_lens: np.ndarray, lo: int, t_max: int,
     the dense and paged cache backends so their masks are bit-identical
     by construction: 0 on positions a row may attend to, ``-inf`` on
     unwritten tails and (with a local-attention ``window``) positions
-    that have slid out of the row's band.
+    that have slid out of the row's band.  ``dtype`` should match the
+    attention scores the mask is added to, so a float32 decode step is
+    not upcast by its mask.
     """
     if int(new_lens.min()) == t_max:
         return None
@@ -51,7 +73,7 @@ def ragged_key_mask(new_lens: np.ndarray, lo: int, t_max: int,
     valid = positions[None, :] < new_lens[:, None]
     if window is not None:
         valid &= positions[None, :] >= new_lens[:, None] - window
-    return np.where(valid, 0.0, -np.inf)
+    return np.where(valid, 0.0, -np.inf).astype(dtype, copy=False)
 
 
 class LayerKV:
@@ -94,7 +116,8 @@ class LayerKV:
         else:
             keys = kb[:, :, lo:t_max][active]
             values = vb[:, :, lo:t_max][active]
-        return keys, values, ragged_key_mask(new_lens, lo, t_max, window)
+        return keys, values, ragged_key_mask(new_lens, lo, t_max, window,
+                                             dtype=kb.dtype)
 
 
 class KVCache:
@@ -108,12 +131,13 @@ class KVCache:
         max_seq_len: int,
         head_dim: int,
         window: int | None = None,
-        dtype=np.float64,
+        dtype=None,
     ):
         if min(num_layers, batch_size, num_heads, max_seq_len, head_dim) < 1:
             raise ValueError("all KVCache dimensions must be >= 1")
         if window is not None and window < 1:
             raise ValueError("window must be >= 1 when set")
+        dtype = kv_value_dtype(dtype=dtype)
         shape = (num_layers, batch_size, num_heads, max_seq_len, head_dim)
         self._k = np.zeros(shape, dtype=dtype)
         self._v = np.zeros(shape, dtype=dtype)
@@ -125,8 +149,14 @@ class KVCache:
         self.set_active(np.arange(batch_size))
 
     @classmethod
-    def for_model(cls, model, batch_size: int, max_seq_len: int | None = None) -> "KVCache":
-        """Size a cache from a :class:`TransformerLM`-style ``model.config``."""
+    def for_model(cls, model, batch_size: int, max_seq_len: int | None = None,
+                  dtype=None) -> "KVCache":
+        """Size a cache from a :class:`TransformerLM`-style ``model.config``.
+
+        The pool dtype follows the model's parameter dtype via
+        :func:`kv_value_dtype` (explicit ``dtype`` overrides), so a
+        float32 model gets a float32 cache — half the KV bytes.
+        """
         cfg = model.config
         return cls(
             num_layers=cfg.num_layers,
@@ -135,7 +165,13 @@ class KVCache:
             max_seq_len=max_seq_len or cfg.max_seq_len,
             head_dim=cfg.head_dim,
             window=cfg.attention_window,
+            dtype=kv_value_dtype(model, dtype),
         )
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype of the K/V pools (index arrays are always int64)."""
+        return self._k.dtype
 
     @property
     def nbytes(self) -> int:

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .kv_cache import ragged_key_mask
+from .kv_cache import kv_value_dtype, ragged_key_mask
 
 
 class PagePoolExhausted(RuntimeError):
@@ -215,7 +215,8 @@ class PagedLayerKV:
         lo = 0 if window is None else max(0, int(new_lens.min()) - window)
         keys = cache._gather(kb, active, lo, t_max)
         values = cache._gather(vb, active, lo, t_max)
-        return keys, values, ragged_key_mask(new_lens, lo, t_max, window)
+        return keys, values, ragged_key_mask(new_lens, lo, t_max, window,
+                                             dtype=kb.dtype)
 
 
 class SpanLayerKV:
@@ -248,7 +249,8 @@ class SpanLayerKV:
         keys = cache._gather(kb, span.row_slots, span.lo, span.t_max)
         values = cache._gather(vb, span.row_slots, span.lo, span.t_max)
         return keys, values, ragged_key_mask(span.new_lens, span.lo,
-                                             span.t_max, cache.window)
+                                             span.t_max, cache.window,
+                                             dtype=kb.dtype)
 
 
 class SpanBatch:
@@ -336,7 +338,7 @@ class PagedKVCache:
         page_size: int = 16,
         num_pages: int | None = None,
         window: int | None = None,
-        dtype=np.float64,
+        dtype=None,
         prefix_sharing: bool = True,
     ):
         if min(num_layers, batch_size, num_heads, max_seq_len, head_dim,
@@ -353,6 +355,7 @@ class PagedKVCache:
             num_pages = batch_size * -(-max_seq_len // page_size)
         if num_pages < 1:
             raise ValueError("num_pages must be >= 1")
+        dtype = kv_value_dtype(dtype=dtype)
         shape = (num_layers, num_pages, num_heads, page_size, head_dim)
         self._k = np.zeros(shape, dtype=dtype)
         self._v = np.zeros(shape, dtype=dtype)
@@ -379,8 +382,14 @@ class PagedKVCache:
     def for_model(cls, model, batch_size: int,
                   max_seq_len: int | None = None, page_size: int = 16,
                   num_pages: int | None = None,
-                  prefix_sharing: bool = True) -> "PagedKVCache":
-        """Size a cache from a :class:`TransformerLM`-style ``model.config``."""
+                  prefix_sharing: bool = True,
+                  dtype=None) -> "PagedKVCache":
+        """Size a cache from a :class:`TransformerLM`-style ``model.config``.
+
+        The page-pool dtype follows the model's parameter dtype via
+        :func:`~repro.infer.kv_cache.kv_value_dtype` (explicit ``dtype``
+        overrides), halving KV bytes per page for a float32 model.
+        """
         cfg = model.config
         return cls(
             num_layers=cfg.num_layers,
@@ -392,11 +401,17 @@ class PagedKVCache:
             num_pages=num_pages,
             window=cfg.attention_window,
             prefix_sharing=prefix_sharing,
+            dtype=kv_value_dtype(model, dtype),
         )
 
     # ------------------------------------------------------------------
     # Pool accounting
     # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype of the page pool (index arrays are always int64)."""
+        return self._k.dtype
+
     @property
     def free_pages(self) -> int:
         return len(self._free)
@@ -439,6 +454,7 @@ class PagedKVCache:
         """JSON-ready pool + prefix-cache snapshot for ``engine.stats()``."""
         snapshot = {
             "backend": "paged",
+            "dtype": self.dtype.name,
             "page_size": self.page_size,
             "num_pages": self.num_pages,
             "pages_free": self.free_pages,

@@ -5,11 +5,19 @@ The paper (§6) notes that parameters are drawn from a normal distribution
 norm independent of the hyperparameters ... typically var(W_ij) ~ 1/p".
 :func:`scaled_normal` implements exactly that; Xavier/He variants are
 provided for the FFN/RNN models.
+
+Every initializer draws in float64 — so seeded draws consume the RNG
+stream identically under any policy — and casts the result to the active
+:func:`repro.dtypes.default_dtype` (a no-op under the float64 default).
+Parameters therefore carry the dtype of the policy active at model
+construction time.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..dtypes import default_dtype
 
 
 def scaled_normal(
@@ -19,27 +27,34 @@ def scaled_normal(
     if fan_in is None:
         fan_in = shape[0] if len(shape) >= 1 else 1
     std = 1.0 / np.sqrt(max(fan_in, 1))
-    return rng.normal(0.0, std, size=shape)
+    return np.asarray(rng.normal(0.0, std, size=shape), dtype=default_dtype())
 
 
 def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
     """Glorot uniform initialisation for (fan_in, fan_out) matrices."""
     fan_in, fan_out = shape[0], shape[-1]
     bound = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return np.asarray(rng.uniform(-bound, bound, size=shape),
+                      dtype=default_dtype())
 
 
 def he_normal(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
     """He/Kaiming normal initialisation, suited to ReLU networks."""
     fan_in = shape[0]
-    return rng.normal(0.0, np.sqrt(2.0 / max(fan_in, 1)), size=shape)
+    draw = rng.normal(0.0, np.sqrt(2.0 / max(fan_in, 1)), size=shape)
+    return np.asarray(draw, dtype=default_dtype())
 
 
-def zeros(shape: tuple[int, ...]) -> np.ndarray:
+def normal(rng: np.random.Generator, std: float, shape: tuple[int, ...]) -> np.ndarray:
+    """N(0, std^2) initialisation (embedding tables, GPT-style 0.02 std)."""
+    return np.asarray(rng.normal(0.0, std, size=shape), dtype=default_dtype())
+
+
+def zeros(shape: tuple[int, ...] | int) -> np.ndarray:
     """All-zero initialisation (biases, LayerNorm shifts)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=default_dtype())
 
 
-def ones(shape: tuple[int, ...]) -> np.ndarray:
+def ones(shape: tuple[int, ...] | int) -> np.ndarray:
     """All-one initialisation (LayerNorm gains)."""
-    return np.ones(shape)
+    return np.ones(shape, dtype=default_dtype())

@@ -54,7 +54,7 @@ class Linear(Module):
         self.out_features = out_features
         weight = init.scaled_normal(rng, (in_features, out_features)) * init_scale
         self.weight = Tensor(weight, requires_grad=True)
-        self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+        self.bias = Tensor(init.zeros(out_features), requires_grad=True) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight
@@ -70,7 +70,7 @@ class Embedding(Module):
         super().__init__()
         self.num_embeddings = num_embeddings
         self.dim = dim
-        self.weight = Tensor(rng.normal(0.0, 0.02, size=(num_embeddings, dim)),
+        self.weight = Tensor(init.normal(rng, 0.02, (num_embeddings, dim)),
                              requires_grad=True)
 
     def forward(self, ids: np.ndarray) -> Tensor:
@@ -90,8 +90,8 @@ class LayerNorm(Module):
         super().__init__()
         self.dim = dim
         self.eps = eps
-        self.weight = Tensor(np.ones(dim), requires_grad=True)
-        self.bias = Tensor(np.zeros(dim), requires_grad=True)
+        self.weight = Tensor(init.ones(dim), requires_grad=True)
+        self.bias = Tensor(init.zeros(dim), requires_grad=True)
 
     def forward(self, x: Tensor) -> Tensor:
         return layer_norm(x, self.weight, self.bias, eps=self.eps)

@@ -47,6 +47,19 @@ class Module:
         """Total learnable scalar count (the paper's P)."""
         return sum(p.size for p in self.parameters())
 
+    def param_dtype(self) -> np.dtype:
+        """The compute dtype of this module's parameters.
+
+        Returns the first parameter's dtype (parameters share one dtype —
+        they are all cast to the policy active at construction), or the
+        current policy default for a parameterless module.  The KV-cache
+        backends use this to size their pools to match the model.
+        """
+        for _, p in self.named_parameters():
+            return p.data.dtype
+        from ..dtypes import default_dtype
+        return default_dtype()
+
     def modules(self) -> Iterator["Module"]:
         """Yield this module and every (transitively) nested submodule."""
         yield self
@@ -113,6 +126,13 @@ class Module:
         ``strict=False`` to load only the intersection (useful for
         warm-starting a different architecture from a partial match);
         shape mismatches raise ``ValueError`` in either mode.
+
+        Arrays are cast to each destination parameter's own dtype (the
+        in-place copy cannot change it), so a float32 model stays float32
+        no matter what precision the snapshot holds.  The checkpoint
+        layer (:mod:`repro.train.checkpoint`) separately *refuses*
+        mismatched dtypes on strict loads — by the time arrays get here
+        they are either matching or deliberately cast.
         """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
@@ -125,7 +145,7 @@ class Module:
         for name, p in own.items():
             if name not in state:
                 continue
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=p.data.dtype)
             if value.shape != p.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: {value.shape} vs {p.data.shape}"

@@ -102,6 +102,31 @@ class CheckpointError(RuntimeError):
     """A snapshot could not be written, found, verified, or loaded."""
 
 
+def _check_param_dtypes(state: dict, model, path) -> None:
+    """Refuse to load a snapshot whose array dtypes differ from the model's.
+
+    The manifest records each array's ``dtype.str``, so a float64 snapshot
+    loaded into a float32 model (or vice versa) is detectable — and under
+    the dtype policy it is a configuration error, not something to paper
+    over with a silent cast: the cast would destroy the bit-exactness the
+    CRC manifest exists to guarantee.  Strict loads call this before any
+    parameter is mutated; non-strict loads keep the forgiving cast in
+    :meth:`repro.nn.Module.load_state_dict`.
+    """
+    own = dict(model.named_parameters())
+    mismatched = [
+        f"{name}: checkpoint {np.asarray(value).dtype.name} "
+        f"vs model {own[name].data.dtype.name}"
+        for name, value in sorted(state.items())
+        if name in own and np.asarray(value).dtype != own[name].data.dtype
+    ]
+    if mismatched:
+        raise CheckpointError(
+            f"{path}: parameter dtype mismatch on strict load — rebuild the "
+            f"model with the matching TransformerConfig(dtype=...) or load "
+            f"with strict=False to cast: " + "; ".join(mismatched))
+
+
 @dataclass(frozen=True)
 class CheckpointInfo:
     """One on-disk snapshot: step index, archive path, manifest path."""
@@ -528,6 +553,8 @@ def load_training_checkpoint(
     model_state = {name[len("model/"):]: value for name, value in arrays.items()
                    if name.startswith("model/")}
     if model is not None:
+        if strict:
+            _check_param_dtypes(model_state, model, chosen.path)
         model.load_state_dict(model_state, strict=strict)
     if optimizer is not None:
         if meta["optimizer"] is None:
@@ -623,5 +650,7 @@ def load_checkpoint(path: str | Path, model: Module, *, strict: bool = True,
     if _CONFIG_KEY in arrays:
         raw = arrays.pop(_CONFIG_KEY)
         config = json.loads(raw.tobytes().decode("utf-8"))
+    if strict:
+        _check_param_dtypes(arrays, model, target)
     model.load_state_dict(arrays, strict=strict)
     return config

@@ -188,6 +188,61 @@ class TestDirectionAwareGate:
         assert run_checker(base, fresh).returncode == 0
 
 
+class TestDtypeGate:
+    """PR 10 dtype-policy metrics: the float32 speedup and KV-bytes wins
+    gate like any other ratio; peak pool bytes gate inverted."""
+
+    @staticmethod
+    def dtype_record():
+        return {
+            "bench": "inference_throughput",
+            "smoke": False,
+            "dtype": {
+                "float64": {"tokens_per_sec": 6000.0,
+                            "kv_peak_bytes": 262144.0},
+                "float32": {"tokens_per_sec": 9000.0,
+                            "kv_peak_bytes": 131072.0},
+                "dtype_speedup_f32": 1.5,
+                "kv_bytes_saving_ratio": 2.0,
+            },
+        }
+
+    def test_dtype_speedup_drop_fails(self, tmp_path):
+        base = write(tmp_path / "base.json", self.dtype_record())
+        worse = self.dtype_record()
+        worse["dtype"]["dtype_speedup_f32"] = 1.0
+        fresh = write(tmp_path / "fresh.json", worse)
+        proc = run_checker(base, fresh)
+        assert proc.returncode == 1
+        assert "dtype_speedup_f32" in proc.stderr
+
+    def test_kv_saving_ratio_drop_fails(self, tmp_path):
+        base = write(tmp_path / "base.json", self.dtype_record())
+        worse = self.dtype_record()
+        worse["dtype"]["kv_bytes_saving_ratio"] = 1.0
+        fresh = write(tmp_path / "fresh.json", worse)
+        proc = run_checker(base, fresh)
+        assert proc.returncode == 1
+        assert "kv_bytes_saving_ratio" in proc.stderr
+
+    def test_kv_peak_bytes_growth_fails(self, tmp_path):
+        base = write(tmp_path / "base.json", self.dtype_record())
+        bloated = self.dtype_record()
+        bloated["dtype"]["float32"]["kv_peak_bytes"] *= 2.0
+        fresh = write(tmp_path / "fresh.json", bloated)
+        proc = run_checker(base, fresh)
+        assert proc.returncode == 1
+        assert "float32/kv_peak_bytes" in proc.stderr
+        assert "growth" in proc.stderr
+
+    def test_kv_peak_bytes_shrink_passes(self, tmp_path):
+        base = write(tmp_path / "base.json", self.dtype_record())
+        leaner = self.dtype_record()
+        leaner["dtype"]["float32"]["kv_peak_bytes"] *= 0.5
+        fresh = write(tmp_path / "fresh.json", leaner)
+        assert run_checker(base, fresh).returncode == 0
+
+
 class TestMixedModeGuards:
     def test_different_bench_names_refused(self, tmp_path):
         base = write(tmp_path / "base.json", sample_record())
@@ -231,3 +286,17 @@ class TestCommittedBaseline:
         assert "ttft_speedup" in json.dumps(record)
         assert "accepted_tokens_per_step" in json.dumps(record)
         assert "spec_tokens_per_sec" in json.dumps(record)
+        # PR 10: float32 decode + KV-bytes wins are gated too
+        assert record["dtype"]["kv_bytes_saving_ratio"] == 2.0
+
+    def test_committed_training_baseline_gates_itself(self):
+        baseline = os.path.join(BENCH_DIR, "baselines", "training.json")
+        assert os.path.exists(baseline), \
+            "benchmarks/baselines/training.json baseline is missing"
+        proc = run_checker(baseline, baseline)
+        assert proc.returncode == 0, proc.stderr
+        record = json.loads(open(baseline).read())
+        assert record["bench"] == "training_throughput"
+        # PR 10 acceptance: the committed record proves the float32 wins
+        assert record["speedup_fused"] >= 1.5
+        assert record["dtype"]["dtype_speedup_f32"] >= 1.5

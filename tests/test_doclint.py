@@ -87,6 +87,16 @@ def test_infer_package_in_scope():
         assert not docstring_violations(path), path
 
 
+def test_dtype_policy_module_in_scope():
+    """The dtype policy (PR 10) is a root-level leaf module; guard that
+    it is linted with everything else and documents its contract."""
+    path = SRC_ROOT / "dtypes.py"
+    assert path.exists()
+    assert not docstring_violations(path), path
+    # the module docstring must spell out the resolution order
+    assert "Resolution order" in ast.get_docstring(ast.parse(path.read_text()))
+
+
 def test_lm_draft_adapter_in_scope():
     """The speculative-decoding draft adapter (PR 9) lives in the lm
     package; guard that it is linted with everything else."""
@@ -126,6 +136,7 @@ def test_markdown_links_resolve():
     pages = [_REPO_ROOT / "README.md", _REPO_ROOT / "EXPERIMENTS.md"]
     pages += sorted((_REPO_ROOT / "docs").glob("*.md"))
     assert any(p.name == "KV_CACHE.md" for p in pages)
+    assert any(p.name == "DTYPE.md" for p in pages)  # PR 10 satellite
     violations = []
     for page in pages:
         violations.extend(markdown_link_violations(page))

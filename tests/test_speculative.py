@@ -165,10 +165,11 @@ class TestConfigAndProtocol:
 
 
 class TestEngineGreedyBitIdentity:
+    @pytest.mark.parametrize("dtype", [None, "float32"], ids=["f64", "f32"])
     @pytest.mark.parametrize("arch", [{}, {"attention_window": 4}],
                              ids=["dense", "windowed"])
-    def test_matches_plain_engine_exactly(self, arch):
-        model = tiny_model(**arch)
+    def test_matches_plain_engine_exactly(self, arch, dtype):
+        model = tiny_model(dtype=dtype, **arch)
         prompts = [[1, 2, 3], [4, 5], [6, 7, 8, 9, 1, 2], [3]]
         draft, refs = distilled_draft(model, prompts, 16)
         engine = GenerationEngine(
